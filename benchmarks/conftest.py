@@ -1,0 +1,29 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Each module regenerates one table/figure of the paper: it runs the
+experiment driver once (timed via pytest-benchmark's pedantic mode so
+``--benchmark-only`` executes it), prints the regenerated series, and
+asserts the paper's qualitative claims — who wins, by roughly what
+factor, and where the knees fall.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Execute ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture()
+def show():
+    """Print an ExperimentResult so `pytest -s` shows the regenerated
+    figure; captured otherwise."""
+
+    def _show(result) -> None:
+        print()
+        print(result.render())
+
+    return _show

@@ -1,0 +1,80 @@
+"""Ablations of the design choices DESIGN.md calls out."""
+
+from conftest import run_once
+
+from repro.bench.experiments import ablations
+
+
+def test_ablation_pipeline_depth(benchmark, show):
+    """Paper §III-B/C: with k cores, widen the compute stage (C-PPCP)
+    instead of deepening the pipeline."""
+    result = run_once(benchmark, ablations.run_depth_ablation)
+    show(result)
+    rows = {row[0]: row for row in result.rows}
+    # At every core budget the wide design wins.
+    assert rows["c-ppcp k=2"][2] > rows["2-deep even split"][2]
+    assert rows["c-ppcp k=3"][2] > rows["3-deep even split"][2]
+    assert rows["c-ppcp k=5"][2] > rows["5-deep per-step"][2]
+    # The per-step split is bounded by its largest step (S5): far from
+    # a 5x compute scaling.
+    assert rows["5-deep per-step"][3] < 2.0
+    # Both parallel designs beat single-core PCP.
+    assert rows["2-deep even split"][3] > 1.0
+    assert rows["c-ppcp k=2"][3] > 1.0
+
+
+def test_ablation_queue_capacity(benchmark, show):
+    result = run_once(benchmark, ablations.run_queue_ablation)
+    show(result)
+    bw = result.column("bw MB/s")
+    # Deeper buffering helps (fill/drain smoothing) ...
+    assert bw[1] >= bw[0]
+    assert bw[-1] >= bw[1]
+    # ... with diminishing returns: the 4->8 step adds <5%.
+    assert bw[-1] <= bw[-2] * 1.05
+
+
+def test_ablation_codec(benchmark, show):
+    result = run_once(benchmark, ablations.run_codec_ablation)
+    show(result)
+    rows = {row[0]: row for row in result.rows}
+    # No compression: little CPU work; on SSD the pipeline is I/O-bound.
+    assert rows["null"][1] == "io-bound"
+    # Default lz77-class costs: CPU-bound (the paper's SSD case).
+    assert rows["lz77 (default)"][1] == "cpu-bound"
+    # Heavier codecs raise the storage-parallel saturation point:
+    # cheaper CPUs want more disks before they are the bottleneck.
+    assert rows["null"][5] >= rows["lz77 (default)"][5]
+    # PCP helps in every regime.
+    for row in result.rows:
+        assert row[4] > 1.0
+
+
+def test_ablation_shared_io(benchmark, show):
+    result = run_once(benchmark, ablations.run_shared_io_ablation)
+    show(result)
+    rows = {row[0]: row[1] for row in result.rows}
+    # One contended device can never beat independent servers.
+    assert rows["hdd shared=True"] <= rows["hdd shared=False"]
+    assert rows["ssd shared=True"] <= rows["ssd shared=False"]
+    # On HDD (I/O-bound) sharing costs a lot; on SSD (CPU-bound) the
+    # compute stage hides the contention.
+    hdd_penalty = rows["hdd shared=True"] / rows["hdd shared=False"]
+    ssd_penalty = rows["ssd shared=True"] / rows["ssd shared=False"]
+    assert hdd_penalty < 0.85
+    assert ssd_penalty > 0.9
+
+
+def test_ablation_distribution(benchmark, show):
+    """Key-arrival order controls merge work: sequential loads move
+    files without merging; random arrivals pay (and pipeline) merges."""
+    result = run_once(benchmark, ablations.run_distribution_ablation, 6000)
+    show(result)
+    rows = result.row_map("distribution")
+    # Sequential: zero real merges, so no PCP gain.
+    assert rows["sequential"][1] == 0
+    assert rows["sequential"][5] == 1.0
+    # Random arrivals merge and benefit.
+    for dist in ("uniform", "zipfian"):
+        assert rows[dist][1] > 0
+        assert rows[dist][5] > 1.1

@@ -1,0 +1,30 @@
+"""Figure 5: SCP execution-time breakdown on HDD and SSD."""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig05
+
+
+def test_fig05_breakdown(benchmark, show):
+    result = run_once(benchmark, fig05.run)
+    show(result)
+    rows = result.row_map("device")
+    hdd = rows["hdd"]
+    ssd = rows["ssd"]
+    headers = list(result.headers)
+    read, compute, write, io = (
+        headers.index("read%"),
+        headers.index("compute%"),
+        headers.index("write%"),
+        headers.index("io%"),
+    )
+    # Paper, HDD: "step read takes more than 40% ... input and output
+    # take more than 60% ... HDD is the performance bottleneck".
+    assert hdd[read] > 40.0
+    assert hdd[io] > 60.0
+    assert hdd[write] < 20.0
+    # Paper, SSD: "computation steps take more than 60% ... step write
+    # takes more time than step read".
+    assert ssd[compute] > 60.0
+    assert ssd[write] > ssd[read]
+    assert ssd[io] < 40.0

@@ -1,0 +1,38 @@
+"""Figure 8: step breakdown vs key-value size (64 B - 1024 B)."""
+
+import pytest
+from conftest import run_once
+
+from repro.bench.experiments import fig08
+
+
+@pytest.mark.parametrize("device", ["hdd", "ssd"])
+def test_fig08_kv_size(benchmark, show, device):
+    result = run_once(benchmark, fig08.run, device=device)
+    show(result)
+    sort_pct = result.column("sort%")
+    crc_pct = result.column("crc%")
+    recrc_pct = result.column("re-crc%")
+    decomp_pct = result.column("decomp%")
+    comp_pct = result.column("comp%")
+    # "As the key-value size increases step sort takes less time."
+    assert all(a > b for a, b in zip(sort_pct, sort_pct[1:]))
+    # "Either step crc or step re-crc takes less than 5%."
+    assert all(v < 5.0 for v in crc_pct)
+    assert all(v < 5.0 for v in recrc_pct)
+    # "Step decomp takes the least amount of time" among the
+    # byte-proportional CPU steps (sort eventually undercuts it at
+    # very large entries, where it processes almost no entries), and
+    # "step comp is almost the most costly" — strictly the most costly
+    # CPU step once sort shrinks (kv >= 128).
+    for row_i in range(len(sort_pct)):
+        per_byte = {
+            "crc": crc_pct[row_i],
+            "decomp": decomp_pct[row_i],
+            "comp": comp_pct[row_i],
+            "re-crc": recrc_pct[row_i],
+        }
+        assert min(per_byte, key=per_byte.get) == "decomp"
+        if row_i >= 1:
+            cpu = dict(per_byte, sort=sort_pct[row_i])
+            assert max(cpu, key=cpu.get) == "comp"

@@ -1,0 +1,31 @@
+"""Figure 9: step breakdown vs sub-task size (64 KB - 4 MB)."""
+
+import pytest
+from conftest import run_once
+
+from repro.bench.experiments import fig09
+
+
+@pytest.mark.parametrize("device", ["hdd", "ssd"])
+def test_fig09_subtask_size(benchmark, show, device):
+    result = run_once(benchmark, fig09.run, device=device)
+    show(result)
+    read_ms_mb = result.column("read ms/MB")
+    write_ms_mb = result.column("write ms/MB")
+    # "The execution time of step write decreases as the sub-task size
+    # increases" (per byte): non-increasing on both devices.
+    assert all(a >= b - 1e-9 for a, b in zip(write_ms_mb, write_ms_mb[1:]))
+    # Reads amortise their positioning/latency cost the same way.
+    assert all(a >= b - 1e-9 for a, b in zip(read_ms_mb, read_ms_mb[1:]))
+    if device == "hdd":
+        # Seek-dominated small sub-tasks: read overwhelmingly dominates.
+        first_read_pct = result.column("read%")[0]
+        assert first_read_pct > 60.0
+        # At every size the HDD stays I/O-bound (read% stays largest
+        # single I/O share and read+write > compute).
+        for row in result.rows:
+            io = row[1] + row[3]
+            assert io > row[2]
+    else:
+        # On SSD the large-sub-task regime is CPU-bound (Fig 6b).
+        assert result.column("compute%")[-1] > 60.0

@@ -1,0 +1,48 @@
+"""Figure 11: bandwidth vs sub-task size (a) and compaction size (b)."""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig11
+
+
+def test_fig11a_subtask_size_sweep(benchmark, show):
+    result = run_once(benchmark, fig11.run_subtask_sweep)
+    show(result)
+    labels = result.column("subtask")
+    scp = result.column("scp MB/s")
+    pcp = result.column("pcp MB/s")
+    # "While the sub-task size increases the compaction bandwidth of
+    # SCP increases" (monotone non-decreasing).
+    assert all(a <= b + 1e-9 for a, b in zip(scp, scp[1:]))
+    # "The compaction bandwidth of PCP first increases and then
+    # decreases ... PCP using 512KB sub-task size is the highest."
+    peak = labels[pcp.index(max(pcp))]
+    assert peak == "512K"
+    assert pcp[0] < max(pcp)
+    assert pcp[-1] < max(pcp)
+    # At the largest size there is a single sub-task: no pipelining.
+    assert pcp[-1] == scp[-1]
+    # PCP >= SCP at every size.
+    assert all(p >= s - 1e-9 for p, s in zip(pcp, scp))
+
+
+def test_fig11b_compaction_size_sweep(benchmark, show):
+    result = run_once(benchmark, fig11.run_compaction_sweep)
+    show(result)
+    scp = result.column("scp MB/s")
+    pcp = result.column("pcp MB/s")
+    speedup = result.column("speedup")
+    # "For SCP the compaction bandwidth does not increase as the
+    # compaction size increases" (flat within 1%).
+    assert max(scp) - min(scp) < 0.01 * max(scp)
+    # "The compaction bandwidth of PCP keeps on increasing until the
+    # sub-task count reaches ~6": strong growth up to 6 sub-tasks, then
+    # marginal (<3% per further step).
+    assert all(a < b for a, b in zip(pcp[:6], pcp[1:6]))
+    gain_to_6 = pcp[5] / pcp[0]
+    assert gain_to_6 > 1.4
+    for a, b in zip(pcp[5:], pcp[6:]):
+        assert (b - a) / a < 0.03
+    # "PCP can improve the compaction bandwidth for all ... compaction
+    # sizes" beyond one sub-task.
+    assert all(x > 1.0 for x in speedup[1:])

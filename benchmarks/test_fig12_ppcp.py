@@ -1,0 +1,38 @@
+"""Figure 12: parallel pipelined compaction (S-PPCP and C-PPCP)."""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig12
+
+
+def test_fig12_sppcp_disks(benchmark, show):
+    result = run_once(benchmark, fig12.run_sppcp)
+    show(result)
+    rows = result.row_map("disks")
+    bw = {k: rows[k][1] for k in rows}
+    # "The throughput increases when more disks are used" up to the
+    # saturation point...
+    assert bw[2] > 1.8 * bw[1]
+    assert bw[4] > bw[3] > bw[2]
+    assert bw[5] > bw[4]
+    # "... does not increase any more when the disk count reaches 5
+    # since the CPU becomes the performance bottleneck" (flat from 5,
+    # within 2%).
+    assert bw[6] <= bw[5] * 1.02
+    assert bw[10] <= bw[5] * 1.02
+    assert bw[10] >= bw[5] * 0.98
+
+
+def test_fig12_cppcp_threads(benchmark, show):
+    result = run_once(benchmark, fig12.run_cppcp)
+    show(result)
+    rows = result.row_map("threads")
+    bw = {k: rows[k][1] for k in rows}
+    # "The throughput increases when another thread is added."
+    assert bw[2] > 1.3 * bw[1]
+    # "When more threads are added ... the throughput and the
+    # compaction bandwidth decrease" — synchronisation overhead.
+    peak_k = max(bw, key=bw.get)
+    assert peak_k <= 3  # saturates with 1-2 extra threads
+    assert bw[6] < bw[peak_k]
+    assert bw[8] < bw[6]  # strictly declining far past saturation

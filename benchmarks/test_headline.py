@@ -1,0 +1,28 @@
+"""The paper's headline: PCP +77% bandwidth / +62% throughput; the
+parallel variants push further (paper: +89% / +64%)."""
+
+from conftest import run_once
+
+from repro.bench.experiments import headline
+
+
+def test_headline(benchmark, show):
+    result = run_once(benchmark, headline.run)
+    show(result)
+    rows = result.row_map("procedure")
+    bw_x = {k: rows[k][2] for k in rows}
+    iops_x = {k: rows[k][4] for k in rows}
+
+    # PCP vs SCP: paper +77% bandwidth (we land within [1.6, 2.0]).
+    assert 1.6 <= bw_x["pcp"] <= 2.0
+    # PCP vs SCP: paper +62% throughput (we land within [1.4, 1.8]),
+    # and the throughput gain trails the bandwidth gain.
+    assert 1.4 <= iops_x["pcp"] <= 1.8
+    assert iops_x["pcp"] < bw_x["pcp"]
+
+    # The parallel variant beats plain PCP on both metrics.  (Our
+    # calibrated SSD has more write headroom above its CPU bound than
+    # the authors' X25-M, so the C-PPCP margin is larger than the
+    # paper's +12 points — see EXPERIMENTS.md.)
+    assert bw_x["c-ppcp k=2"] > bw_x["pcp"]
+    assert iops_x["c-ppcp k=2"] > iops_x["pcp"]

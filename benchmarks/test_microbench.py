@@ -1,0 +1,109 @@
+"""Micro-benchmarks of the engine's hot paths (pytest-benchmark).
+
+Not a paper figure: these time the substrate primitives the compaction
+pipeline is built from, so regressions in the functional code are
+visible independently of the virtual-time experiments.
+"""
+
+import random
+
+import pytest
+
+from repro.codec.checksum import crc32, crc32c_py
+from repro.codec.compress import lz77_compress, lz77_decompress
+from repro.db import DB
+from repro.devices import MemStorage
+from repro.lsm import MemTable, Options
+from repro.workload import InsertWorkload
+
+PAYLOAD = InsertWorkload(n=0)  # unused; keeps import meaningful
+
+
+def _kv_blob(size: int) -> bytes:
+    out = bytearray()
+    i = 0
+    while len(out) < size:
+        out += b"user%012d=field-value-%04d;" % (i, i % 997)
+        i += 1
+    return bytes(out[:size])
+
+
+@pytest.fixture(scope="module")
+def blob64k():
+    return _kv_blob(64 * 1024)
+
+
+def test_bench_crc32c_software(benchmark, blob64k):
+    benchmark(crc32c_py, blob64k)
+
+
+def test_bench_crc32_zlib(benchmark, blob64k):
+    benchmark(crc32, blob64k)
+
+
+def test_bench_lz77_compress(benchmark, blob64k):
+    benchmark(lz77_compress, blob64k)
+
+
+def test_bench_lz77_decompress(benchmark, blob64k):
+    compressed = lz77_compress(blob64k)
+    benchmark(lz77_decompress, compressed)
+
+
+def test_bench_memtable_insert(benchmark):
+    keys = [b"key-%08d" % random.Random(3).randrange(10**7) for _ in range(1000)]
+
+    def insert_1000():
+        mt = MemTable()
+        for seq, key in enumerate(keys, 1):
+            mt.put(seq, key, b"value")
+        return mt
+
+    benchmark(insert_1000)
+
+
+def test_bench_memtable_get(benchmark):
+    mt = MemTable()
+    for i in range(10_000):
+        mt.put(i + 1, b"key-%08d" % i, b"v")
+
+    def get_100():
+        for i in range(0, 10_000, 100):
+            mt.get(b"key-%08d" % i)
+
+    benchmark(get_100)
+
+
+def test_bench_db_put_throughput(benchmark):
+    options = Options(
+        memtable_bytes=1 << 20, sstable_bytes=256 * 1024,
+        level1_bytes=4 << 20, compression="zlib",
+    )
+    workload = list(InsertWorkload(n=2000, distribution="uniform"))
+
+    def insert_2000():
+        db = DB(MemStorage(), options)
+        for key, value in workload:
+            db.put(key, value)
+        db.close()
+
+    benchmark.pedantic(insert_2000, rounds=3, iterations=1)
+
+
+def test_bench_db_get_after_compaction(benchmark):
+    options = Options(
+        memtable_bytes=64 * 1024, sstable_bytes=32 * 1024,
+        level1_bytes=128 * 1024, level_multiplier=4, compression="zlib",
+    )
+    db = DB(MemStorage(), options)
+    for key, value in InsertWorkload(n=5000, distribution="uniform", seed=7):
+        db.put(key, value)
+    db.flush()
+    keys = [key for key, _ in InsertWorkload(n=200, distribution="uniform", seed=7)]
+
+    def get_200():
+        for key in keys:
+            db.get(key)
+
+    benchmark(get_200)
+    db.close()

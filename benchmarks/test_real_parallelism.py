@@ -1,0 +1,84 @@
+"""Wall-clock comparison of the functional backends.
+
+Not a paper figure: quantifies what DESIGN.md states about CPython —
+the *thread* backend cannot overlap pure-Python compute (GIL), while
+the *process* backend achieves real parallelism when cores exist.  On
+single-core machines this bench only reports the overhead.
+"""
+
+import itertools
+import os
+
+from conftest import run_once
+
+from repro.core.procedures import ProcedureSpec, compact_tables
+from repro.devices import MemStorage
+from repro.lsm import KIND_VALUE, Options, Table, TableBuilder, encode_internal_key
+
+
+def _inputs():
+    storage = MemStorage()
+    options = Options(block_bytes=4096, sstable_bytes=1 << 20,
+                      compression="lz77")
+
+    def build(name, rng, seq, tag):
+        with storage.create(name) as f:
+            builder = TableBuilder(f, options)
+            for i in rng:
+                builder.add(
+                    encode_internal_key(b"key-%07d" % i, seq, KIND_VALUE),
+                    b"%s-%d" % (tag, i) * 6,
+                )
+            builder.finish()
+        return Table(storage.open(name), options)
+
+    upper = build("u.sst", range(0, 30000, 2), 9, b"new")
+    lower = build("l.sst", range(0, 30000, 3), 1, b"old")
+    return storage, options, upper, lower
+
+
+def _run(spec, label, storage, options, upper, lower):
+    counter = itertools.count(1)
+    _, stats, _ = compact_tables(
+        [upper, lower], storage, options,
+        file_namer=lambda: f"{label}-{next(counter):04d}.sst",
+        spec=spec,
+    )
+    return stats
+
+
+def test_backend_wall_clock(benchmark):
+    storage, options, upper, lower = _inputs()
+    subtask = 64 * 1024
+
+    def compare():
+        scp = _run(ProcedureSpec.scp(subtask_bytes=subtask),
+                   "scp", storage, options, upper, lower)
+        threads = _run(ProcedureSpec.cppcp(k=2, subtask_bytes=subtask),
+                       "thr", storage, options, upper, lower)
+        procs = _run(
+            ProcedureSpec.cppcp(k=2, subtask_bytes=subtask, backend="process"),
+            "prc", storage, options, upper, lower,
+        )
+        return scp, threads, procs
+
+    scp, threads, procs = run_once(benchmark, compare)
+    print()
+    print(f"scp      wall: {scp.wall_seconds:.2f}s "
+          f"({scp.bandwidth() / 1e6:.1f} MB/s)")
+    print(f"threads  wall: {threads.wall_seconds:.2f}s "
+          f"({threads.bandwidth() / 1e6:.1f} MB/s)  <- GIL-bound")
+    print(f"process  wall: {procs.wall_seconds:.2f}s "
+          f"({procs.bandwidth() / 1e6:.1f} MB/s)")
+
+    # Functional counters always agree.
+    assert scp.n_subtasks == threads.n_subtasks == procs.n_subtasks
+    assert scp.entries_out == threads.entries_out == procs.entries_out
+
+    cores = os.cpu_count() or 1
+    if cores >= 2:
+        # With real cores, process-parallel compute must beat SCP.
+        assert procs.wall_seconds < scp.wall_seconds
+    else:
+        # Single core: the GIL claim itself — threads buy ~nothing.
+        assert threads.wall_seconds > 0.7 * scp.wall_seconds

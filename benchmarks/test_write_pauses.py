@@ -1,0 +1,26 @@
+"""Extension: write-pause (latency tail) reduction under PCP."""
+
+import pytest
+from conftest import run_once
+
+from repro.bench.experiments import write_pauses
+
+
+def test_write_pauses(benchmark, show):
+    result = run_once(benchmark, write_pauses.run, 15_000)
+    show(result)
+    rows = result.row_map("procedure")
+    scp, pcp = rows["scp"], rows["pcp"]
+    headers = list(result.headers)
+    p50, p99, mx = (headers.index("p50 us"), headers.index("p99 us"),
+                    headers.index("max us"))
+    # The common-path latency is the WAL+memtable cost: identical
+    # (up to which op lands on the percentile boundary).
+    assert pcp[p50] == pytest.approx(scp[p50], rel=0.02)
+    assert pcp[p99] == pytest.approx(scp[p99], rel=0.02)
+    # The worst pause is a compaction; pipelining shortens it by a
+    # factor comparable to the compaction-bandwidth gain.
+    assert pcp[mx] < 0.75 * scp[mx]
+    # Stalls don't become more frequent, just shorter.
+    stalls = headers.index("ops stalled >1ms")
+    assert pcp[stalls] <= scp[stalls]

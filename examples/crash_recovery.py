@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Durability walk-through: WAL, MANIFEST, and crash recovery.
+
+Writes through a real on-disk directory, "crashes" (abandons the DB
+without closing), reopens, and shows that:
+
+* every acknowledged write survives (WAL replay),
+* the level structure survives (MANIFEST replay),
+* a torn final WAL record is tolerated, interior corruption is not.
+
+Run:  python examples/crash_recovery.py
+"""
+
+import os
+import tempfile
+
+from repro.db import DB
+from repro.devices import OSStorage
+from repro.lsm import Options
+
+
+def options() -> Options:
+    return Options(
+        memtable_bytes=32 * 1024,
+        sstable_bytes=16 * 1024,
+        block_bytes=2 * 1024,
+        level1_bytes=64 * 1024,
+        level_multiplier=4,
+        compression="lz77",
+    )
+
+
+def main() -> None:
+    root = tempfile.mkdtemp(prefix="repro-recovery-")
+    print(f"database directory: {root}")
+
+    # -- phase 1: load some data, then 'crash' -------------------------
+    db = DB(OSStorage(root), options())
+    for i in range(3000):
+        db.put(b"stable-%06d" % i, b"value-%d" % i)
+    db.flush()
+    db.put(b"tail-1", b"only-in-wal")
+    db.put(b"tail-2", b"also-only-in-wal")
+    shape_before = db.describe()
+    print("\ntree before crash:")
+    print(shape_before)
+    # No db.close(): simulate the process dying here.
+    del db
+
+    files = sorted(os.listdir(root))
+    print(f"\non disk after crash: {len(files)} files "
+          f"({sum(1 for f in files if f.endswith('.sst'))} SSTables, "
+          f"CURRENT + MANIFEST + WAL)")
+
+    # -- phase 2: reopen and verify ------------------------------------
+    db = DB(OSStorage(root), options())
+    assert db.get(b"stable-001234") == b"value-1234"
+    assert db.get(b"tail-1") == b"only-in-wal"
+    assert db.get(b"tail-2") == b"also-only-in-wal"
+    n = sum(1 for _ in db.items())
+    print(f"\nreopened: all {n} keys present "
+          "(flushed data via MANIFEST, tail writes via WAL replay)")
+    db.close()
+
+    # -- phase 3: torn final record is tolerated ------------------------
+    db = DB(OSStorage(root), options())
+    db.put(b"torn-write", b"acknowledged-but-torn")
+    wal_name = db._wal_name(db._wal_number)
+    del db  # crash again
+    wal_path = os.path.join(root, wal_name)
+    with open(wal_path, "rb") as f:
+        data = f.read()
+    with open(wal_path, "wb") as f:
+        f.write(data[:-3])  # tear the last record mid-payload
+    db = DB(OSStorage(root), options())
+    assert db.get(b"torn-write") is None  # torn tail dropped cleanly
+    assert db.get(b"stable-000001") == b"value-1"
+    print("torn final WAL record dropped; all earlier data intact")
+    db.close()
+    print("\ncrash-recovery demo OK")
+
+
+if __name__ == "__main__":
+    main()

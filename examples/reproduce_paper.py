@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Regenerate every figure of the paper in one run.
+
+Prints the text version of Figures 5, 8, 9, 10, 11, 12, the headline
+comparison, and the Eq 1-7 validation, exactly as the benchmark suite
+asserts them.  This is the full evaluation; expect a few minutes.
+
+Run:  python examples/reproduce_paper.py [--quick]
+"""
+
+import sys
+import time
+
+from repro.bench.experiments import (
+    ablations,
+    fig05,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    headline,
+    model_validation,
+)
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    t0 = time.perf_counter()
+
+    sections = [
+        lambda: fig05.run(),
+        lambda: fig08.run(device="hdd"),
+        lambda: fig08.run(device="ssd"),
+        lambda: fig09.run(device="hdd"),
+        lambda: fig09.run(device="ssd"),
+        lambda: fig11.run_subtask_sweep(),
+        lambda: fig11.run_compaction_sweep(),
+        lambda: fig12.run_sppcp(),
+        lambda: fig12.run_cppcp(),
+        lambda: model_validation.run(),
+        lambda: ablations.run_depth_ablation(),
+        lambda: ablations.run_queue_ablation(),
+        lambda: ablations.run_codec_ablation(),
+        lambda: ablations.run_shared_io_ablation(),
+    ]
+    if not quick:
+        sets = (10_000, 20_000) if quick else (10_000, 20_000, 40_000)
+        sections += [
+            lambda: fig10.run(device="hdd", working_sets=sets),
+            lambda: fig10.run(device="ssd", working_sets=sets),
+            lambda: headline.run(),
+        ]
+
+    for section in sections:
+        print(section().render())
+        print()
+
+    print(f"regenerated {len(sections)} figures/tables "
+          f"in {time.perf_counter() - t0:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

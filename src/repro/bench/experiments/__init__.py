@@ -1,0 +1,29 @@
+"""Experiment drivers, one module per paper figure/table."""
+
+from . import (
+    ablations,
+    fig05,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    headline,
+    model_validation,
+    write_pauses,
+)
+from .base import ExperimentResult
+
+__all__ = [
+    "ExperimentResult",
+    "ablations",
+    "fig05",
+    "fig08",
+    "fig09",
+    "fig10",
+    "fig11",
+    "fig12",
+    "headline",
+    "model_validation",
+    "write_pauses",
+]

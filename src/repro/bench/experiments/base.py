@@ -1,0 +1,40 @@
+"""Common shape for experiment drivers.
+
+Each ``figNN`` module exposes ``run(...) -> ExperimentResult``; the
+benchmarks call it, print ``render()``, and assert the paper's
+qualitative claims against ``rows``.  EXPERIMENTS.md records the
+paper-reported vs measured values per experiment id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from ..report import format_table
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """Rows of one regenerated table/figure."""
+
+    name: str
+    headers: Sequence[str]
+    rows: list[Sequence[Any]]
+    notes: str = ""
+
+    def render(self) -> str:
+        out = format_table(self.headers, self.rows, title=f"== {self.name} ==")
+        if self.notes:
+            out += f"\n{self.notes}"
+        return out
+
+    def column(self, header: str) -> list[Any]:
+        idx = list(self.headers).index(header)
+        return [row[idx] for row in self.rows]
+
+    def row_map(self, key_header: str) -> dict[Any, Sequence[Any]]:
+        idx = list(self.headers).index(key_header)
+        return {row[idx]: row for row in self.rows}

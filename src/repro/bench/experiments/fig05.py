@@ -1,0 +1,43 @@
+"""Figure 5: SCP execution-time breakdown into read/compute/write.
+
+Paper claims: on HDD, step read takes >40 % and read+write >60 % of
+compaction time (disk-bound); on SSD, the computation steps take >60 %
+and write costs more than read (CPU-bound).
+"""
+
+from __future__ import annotations
+
+from ...core.costmodel import DEFAULT_KV_BYTES, CostModel
+from ..profiling import breakdown3, profile_steps_model
+from .base import ExperimentResult
+
+__all__ = ["run"]
+
+
+def run(
+    subtask_bytes: int = 1 << 20,
+    kv_bytes: int = DEFAULT_KV_BYTES,
+    cost_model: CostModel | None = None,
+) -> ExperimentResult:
+    rows = []
+    for device in ("hdd", "ssd"):
+        times = profile_steps_model(subtask_bytes, kv_bytes, device, cost_model)
+        frac = breakdown3(times)
+        rows.append(
+            [
+                device,
+                frac["read"] * 100,
+                frac["compute"] * 100,
+                frac["write"] * 100,
+                (frac["read"] + frac["write"]) * 100,
+            ]
+        )
+    return ExperimentResult(
+        name="Fig 5: SCP time breakdown (percent of sub-task time)",
+        headers=["device", "read%", "compute%", "write%", "io%"],
+        rows=rows,
+        notes=(
+            "paper: HDD read>40, io>60 (disk-bound); "
+            "SSD compute>60, write>read (CPU-bound)"
+        ),
+    )

@@ -1,0 +1,78 @@
+"""Figure 10: system throughput (IOPS), compaction bandwidth, and
+PCP/SCP speedups vs working-set size, on HDD and SSD.
+
+Paper claims (scaled working sets here; 10M-80M entries there):
+
+* IOPS decreases as the working set grows (deeper trees, more
+  compaction work per byte) — both procedures, both devices.
+* Compaction bandwidth sags slightly with size on HDD (seek aging) but
+  stays flat on SSD.
+* PCP improves IOPS by >=25 % (HDD) / >=45 % (SSD) and compaction
+  bandwidth by >=45 % (HDD) / >=65 % (SSD).
+
+Device-sharing model: on HDD the read and write stages contend for the
+single arm (``shared_io=True``); on SSD channel parallelism lets reads
+and writes overlap (``shared_io=False``).  See DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from ...core.procedures import ProcedureSpec
+from ..runner import run_insert_workload, scaled_options
+from .base import ExperimentResult
+
+__all__ = ["run", "WORKING_SETS", "pcp_spec_for"]
+
+WORKING_SETS = (10_000, 20_000, 40_000, 80_000)
+SUBTASK_BYTES = 32 * 1024  # the paper's ~1 MB sub-task at 1/32 scale
+
+
+def pcp_spec_for(device: str, **kw) -> ProcedureSpec:
+    """PCP configured for the device's I/O concurrency semantics."""
+    kw.setdefault("subtask_bytes", SUBTASK_BYTES)
+    return ProcedureSpec.pcp(shared_io=(device == "hdd"), **kw)
+
+
+def run(
+    device: str = "ssd",
+    working_sets: tuple[int, ...] = WORKING_SETS,
+    distribution: str = "uniform",
+) -> ExperimentResult:
+    rows = []
+    for n in working_sets:
+        scp = run_insert_workload(
+            n, ProcedureSpec.scp(subtask_bytes=SUBTASK_BYTES),
+            device=device, options=scaled_options(), distribution=distribution,
+        )
+        pcp = run_insert_workload(
+            n, pcp_spec_for(device),
+            device=device, options=scaled_options(), distribution=distribution,
+        )
+        rows.append(
+            [
+                n,
+                scp.iops,
+                pcp.iops,
+                pcp.iops / scp.iops if scp.iops else 0.0,
+                scp.compaction_bandwidth / 1e6,
+                pcp.compaction_bandwidth / 1e6,
+                (
+                    pcp.compaction_bandwidth / scp.compaction_bandwidth
+                    if scp.compaction_bandwidth
+                    else 0.0
+                ),
+            ]
+        )
+    return ExperimentResult(
+        name=f"Fig 10 ({device}): IOPS / compaction bandwidth vs working set",
+        headers=[
+            "entries", "iops scp", "iops pcp", "iops x",
+            "bw scp MB/s", "bw pcp MB/s", "bw x",
+        ],
+        rows=rows,
+        notes=(
+            "paper: iops falls with size; pcp/scp iops >= 1.25 (hdd) / 1.45 "
+            "(ssd); bw >= 1.45 (hdd) / 1.65 (ssd); hdd bw sags with size, "
+            "ssd bw flat"
+        ),
+    )

@@ -1,0 +1,63 @@
+"""ASCII Gantt rendering of simulated compaction schedules.
+
+The paper explains PCP with timeline drawings (Figs 3, 4, 6, 7: which
+sub-task occupies which resource when).  :func:`render_gantt` produces
+the same picture from a :class:`~repro.core.backends.simbackend.ScheduleResult`
+timeline, one row per (stage, worker), sub-tasks labelled 0-9a-z::
+
+    read  |000111222333
+    cpu   |...000111222333
+    write |......000111222333
+
+Useful in examples and docs; also a debugging aid for the scheduler.
+"""
+
+from __future__ import annotations
+
+from ..core.backends.simbackend import ScheduleResult, TimelineEvent
+
+__all__ = ["render_gantt"]
+
+_STAGE_ORDER = {"read": 0, "compute": 1, "write": 2}
+_LABELS = "0123456789abcdefghijklmnopqrstuvwxyz"
+
+
+def _label(index: int) -> str:
+    return _LABELS[index % len(_LABELS)]
+
+
+def render_gantt(result: ScheduleResult, width: int = 72) -> str:
+    """Render the schedule's timeline as fixed-width ASCII rows."""
+    if not result.timeline or result.makespan <= 0:
+        return "(empty schedule)"
+    scale = (width - 1) / result.makespan
+
+    # Rows keyed by (stage order, stage, worker).
+    rows: dict[tuple[int, str, int], list[str]] = {}
+    for ev in result.timeline:
+        key = (_STAGE_ORDER.get(ev.stage, 9), ev.stage, ev.worker)
+        rows.setdefault(key, [" "] * width)
+
+    for ev in result.timeline:
+        key = (_STAGE_ORDER.get(ev.stage, 9), ev.stage, ev.worker)
+        row = rows[key]
+        start = int(ev.start * scale)
+        end = max(start + 1, int(ev.end * scale))
+        for i in range(start, min(end, width)):
+            row[i] = _label(ev.index)
+
+    lines = []
+    label_width = max(len(f"{stage}[{worker}]") for _, stage, worker in rows)
+    for (_, stage, worker), cells in sorted(rows.items()):
+        multi = sum(1 for k in rows if k[1] == stage) > 1
+        name = f"{stage}[{worker}]" if multi else stage
+        lines.append(f"{name:<{label_width}} |{''.join(cells)}")
+    lines.append(
+        f"{'':<{label_width}}  0{'-' * (width - 12)}{result.makespan * 1e3:.1f} ms"
+    )
+    util = result.breakdown_fractions()
+    lines.append(
+        f"{'':<{label_width}}  busy: "
+        + ", ".join(f"{k} {v * 100:.0f}%" for k, v in util.items())
+    )
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Plain-text rendering of experiment results.
+
+Every experiment produces rows of (label, numeric columns); this module
+prints them as aligned monospace tables matching the figure/table ids
+in EXPERIMENTS.md, so `pytest benchmarks/ -s` regenerates the paper's
+series as readable text.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table", "format_fractions", "render_series"]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = ""
+) -> str:
+    """Align columns; first column left, the rest right."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(
+        h.ljust(widths[i]) if i == 0 else h.rjust(widths[i])
+        for i, h in enumerate(headers)
+    )
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(
+            "  ".join(
+                c.ljust(widths[i]) if i == 0 else c.rjust(widths[i])
+                for i, c in enumerate(row)
+            )
+        )
+    return "\n".join(lines)
+
+
+def format_fractions(fractions: dict[str, float]) -> str:
+    """'read 41% | compute 40% | write 19%' style one-liner."""
+    return " | ".join(f"{k} {v * 100:.1f}%" for k, v in fractions.items())
+
+
+def render_series(name: str, xs: Sequence[Any], ys: Sequence[float]) -> str:
+    """One figure series as 'name: x=..., y=...' pairs."""
+    pairs = ", ".join(f"{x}:{_fmt(y)}" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"

@@ -1,0 +1,55 @@
+"""Wire-format primitives: varints, checksums, and block compression."""
+
+from .checksum import (
+    CHECKSUMMERS,
+    Checksummer,
+    crc32,
+    crc32c,
+    get_checksummer,
+    mask_crc,
+    unmask_crc,
+)
+from .compress import (
+    CODECS,
+    Codec,
+    CompressionError,
+    get_codec,
+    lz77_compress,
+    lz77_decompress,
+)
+from .varint import (
+    decode_varint32,
+    decode_varint64,
+    encode_varint32,
+    encode_varint64,
+    get_fixed32,
+    get_fixed64,
+    put_fixed32,
+    put_fixed64,
+    varint_length,
+)
+
+__all__ = [
+    "CHECKSUMMERS",
+    "CODECS",
+    "Checksummer",
+    "Codec",
+    "CompressionError",
+    "crc32",
+    "crc32c",
+    "decode_varint32",
+    "decode_varint64",
+    "encode_varint32",
+    "encode_varint64",
+    "get_checksummer",
+    "get_codec",
+    "get_fixed32",
+    "get_fixed64",
+    "lz77_compress",
+    "lz77_decompress",
+    "mask_crc",
+    "put_fixed32",
+    "put_fixed64",
+    "unmask_crc",
+    "varint_length",
+]

@@ -1,0 +1,29 @@
+"""Execution backends: virtual-time (DES) and real threads."""
+
+from .simbackend import (
+    PipelineConfig,
+    ScheduleResult,
+    SimJob,
+    TimelineEvent,
+    simulate_pipeline,
+    simulate_scp,
+)
+from .threadbackend import (
+    ExecutionStats,
+    ReorderBuffer,
+    execute_pipelined,
+    execute_scp,
+)
+
+__all__ = [
+    "ExecutionStats",
+    "PipelineConfig",
+    "ReorderBuffer",
+    "ScheduleResult",
+    "SimJob",
+    "TimelineEvent",
+    "execute_pipelined",
+    "execute_scp",
+    "simulate_pipeline",
+    "simulate_scp",
+]

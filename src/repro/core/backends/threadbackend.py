@@ -1,0 +1,261 @@
+"""Real-thread execution of the compaction procedures.
+
+This backend actually runs the seven steps on real data with real
+``threading`` workers and bounded queues — the implementation a C++
+port would mirror, and the functional engine the DB uses.  It measures
+wall-clock stage times, but NOTE: under CPython's GIL the compute
+stages of concurrent sub-tasks serialize, so measured speedups are a
+*lower bound* on what the schedule allows; quantitative experiments
+use :mod:`repro.core.backends.simbackend` instead (see DESIGN.md).
+
+Write ordering: sub-tasks finish compute in any order when
+``compute_workers > 1``, but output tables must be key-ordered, so the
+write stage runs through :class:`ReorderBuffer`, releasing sub-task
+results strictly by index.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ...codec.checksum import Checksummer
+from ...codec.compress import Codec
+from ...lsm.table_sink import EncodedBlock, TableSink
+from ..steps import (
+    step_checksum,
+    step_compress,
+    step_decompress,
+    step_merge,
+    step_read,
+    step_rechecksum,
+    step_write,
+)
+from ..subtask import SubTask
+
+__all__ = ["ExecutionStats", "ReorderBuffer", "run_subtask_compute",
+           "execute_scp", "execute_pipelined"]
+
+_SENTINEL = object()
+
+
+@dataclass
+class ExecutionStats:
+    """Wall-clock accounting of a functional compaction run."""
+
+    wall_seconds: float = 0.0
+    n_subtasks: int = 0
+    input_bytes: int = 0
+    output_bytes: int = 0
+    entries_out: int = 0
+    stage_seconds: dict[str, float] = field(
+        default_factory=lambda: {"read": 0.0, "compute": 0.0, "write": 0.0}
+    )
+
+    def bandwidth(self) -> float:
+        return self.input_bytes / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+
+class ReorderBuffer:
+    """Release out-of-order results strictly by sub-task index."""
+
+    def __init__(self) -> None:
+        self._pending: dict[int, object] = {}
+        self._next = 0
+
+    def push(self, index: int, item: object) -> list[object]:
+        """Insert a result; return the (possibly empty) ready run."""
+        if index < self._next or index in self._pending:
+            raise ValueError(f"duplicate or stale sub-task index {index}")
+        self._pending[index] = item
+        ready = []
+        while self._next in self._pending:
+            ready.append(self._pending.pop(self._next))
+            self._next += 1
+        return ready
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+
+def run_subtask_read(subtask: SubTask) -> list:
+    """S1 for one sub-task: fetch every input block."""
+    files = [run.table.file for run in subtask.runs]
+    handles = [run.handles for run in subtask.runs]
+    return step_read(files, handles)
+
+
+def run_subtask_compute(
+    subtask: SubTask,
+    stored_blocks: list,
+    codec: Codec,
+    checksummer: Checksummer,
+    block_bytes: int,
+    restart_interval: int,
+    drop_deletes: bool,
+    smallest_snapshot=None,
+) -> list[EncodedBlock]:
+    """S2-S6 for one sub-task: verify, decompress, merge, re-encode."""
+    step_checksum(stored_blocks, checksummer)
+    raw = step_decompress(stored_blocks)
+    merged = step_merge(
+        raw,
+        subtask.lower,
+        subtask.upper,
+        block_bytes,
+        restart_interval,
+        drop_deletes,
+        n_sources=len(subtask.runs),
+        smallest_snapshot=smallest_snapshot,
+    )
+    compressed = step_compress(merged, codec)
+    return step_rechecksum(compressed, checksummer)
+
+
+def execute_scp(
+    subtasks: Sequence[SubTask],
+    sink: TableSink,
+    codec: Codec,
+    checksummer: Checksummer,
+    block_bytes: int,
+    restart_interval: int = 16,
+    drop_deletes: bool = False,
+    smallest_snapshot=None,
+) -> ExecutionStats:
+    """Sequential Compaction Procedure: one sub-task at a time."""
+    stats = ExecutionStats()
+    t_start = time.perf_counter()
+    for subtask in subtasks:
+        t0 = time.perf_counter()
+        stored = run_subtask_read(subtask)
+        t1 = time.perf_counter()
+        encoded = run_subtask_compute(
+            subtask, stored, codec, checksummer, block_bytes,
+            restart_interval, drop_deletes, smallest_snapshot,
+        )
+        t2 = time.perf_counter()
+        written = step_write(encoded, sink)
+        t3 = time.perf_counter()
+        stats.stage_seconds["read"] += t1 - t0
+        stats.stage_seconds["compute"] += t2 - t1
+        stats.stage_seconds["write"] += t3 - t2
+        stats.n_subtasks += 1
+        stats.input_bytes += subtask.input_bytes()
+        stats.output_bytes += written
+        stats.entries_out += sum(b.num_entries for b in encoded)
+    stats.wall_seconds = time.perf_counter() - t_start
+    return stats
+
+
+def execute_pipelined(
+    subtasks: Sequence[SubTask],
+    sink: TableSink,
+    codec: Codec,
+    checksummer: Checksummer,
+    block_bytes: int,
+    restart_interval: int = 16,
+    drop_deletes: bool = False,
+    compute_workers: int = 1,
+    queue_capacity: int = 2,
+    smallest_snapshot=None,
+) -> ExecutionStats:
+    """PCP / C-PPCP with real threads.
+
+    Three stages — read thread, ``compute_workers`` compute threads,
+    write thread — connected by bounded queues.  The write thread
+    reorders results by sub-task index before appending to ``sink``.
+    Any stage exception cancels the run and re-raises.
+    """
+    if compute_workers < 1:
+        raise ValueError("compute_workers must be >= 1")
+    stats = ExecutionStats()
+    q1: queue.Queue = queue.Queue(maxsize=queue_capacity)
+    q2: queue.Queue = queue.Queue(maxsize=queue_capacity)
+    errors: list[BaseException] = []
+    error_lock = threading.Lock()
+    stage_lock = threading.Lock()
+
+    def fail(exc: BaseException) -> None:
+        with error_lock:
+            errors.append(exc)
+
+    def reader() -> None:
+        try:
+            for subtask in subtasks:
+                if errors:
+                    break
+                t0 = time.perf_counter()
+                stored = run_subtask_read(subtask)
+                with stage_lock:
+                    stats.stage_seconds["read"] += time.perf_counter() - t0
+                q1.put((subtask, stored))
+        except BaseException as exc:  # pragma: no cover - defensive
+            fail(exc)
+        finally:
+            for _ in range(compute_workers):
+                q1.put(_SENTINEL)
+
+    def computer() -> None:
+        try:
+            while True:
+                item = q1.get()
+                if item is _SENTINEL:
+                    break
+                if errors:
+                    continue
+                subtask, stored = item
+                t0 = time.perf_counter()
+                encoded = run_subtask_compute(
+                    subtask, stored, codec, checksummer, block_bytes,
+                    restart_interval, drop_deletes, smallest_snapshot,
+                )
+                with stage_lock:
+                    stats.stage_seconds["compute"] += time.perf_counter() - t0
+                q2.put((subtask.index, subtask, encoded))
+        except BaseException as exc:
+            fail(exc)
+
+    def writer() -> None:
+        reorder = ReorderBuffer()
+        expected = len(subtasks)
+        done = 0
+        try:
+            while done < expected and not errors:
+                index, subtask, encoded = q2.get()
+                for sub, enc in reorder.push(index, (subtask, encoded)):
+                    t0 = time.perf_counter()
+                    written = step_write(enc, sink)
+                    with stage_lock:
+                        stats.stage_seconds["write"] += time.perf_counter() - t0
+                        stats.n_subtasks += 1
+                        stats.input_bytes += sub.input_bytes()
+                        stats.output_bytes += written
+                        stats.entries_out += sum(b.num_entries for b in enc)
+                    done += 1
+        except BaseException as exc:  # pragma: no cover - defensive
+            fail(exc)
+
+    t_start = time.perf_counter()
+    threads = [threading.Thread(target=reader, name="pcp-read")]
+    threads += [
+        threading.Thread(target=computer, name=f"pcp-compute{i}")
+        for i in range(compute_workers)
+    ]
+    write_thread = threading.Thread(target=writer, name="pcp-write")
+
+    for t in threads:
+        t.start()
+    write_thread.start()
+    for t in threads:
+        t.join()
+    # Unblock the writer if an error starved it.
+    if errors:
+        q2.put((10**9, None, None))
+    write_thread.join()
+    stats.wall_seconds = time.perf_counter() - t_start
+    if errors:
+        raise errors[0]
+    return stats

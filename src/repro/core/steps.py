@@ -1,0 +1,282 @@
+"""The seven compaction steps (paper §II-A, Figure 2).
+
+Each function is one step of the per-data-block compaction procedure:
+
+=====  ===========  ==============================================
+step   resource     function
+=====  ===========  ==============================================
+S1     I/O          :func:`step_read` — fetch stored blocks
+S2     CPU          :func:`step_checksum` — verify block integrity
+S3     CPU          :func:`step_decompress` — restore raw blocks
+S4     CPU          :func:`step_merge` — merge-sort the key range,
+                    build new data blocks
+S5     CPU          :func:`step_compress` — compress new blocks
+S6     CPU          :func:`step_rechecksum` — checksum new blocks
+S7     I/O          :func:`step_write` — append to output tables
+=====  ===========  ==============================================
+
+They are *functional*: every procedure variant (SCP, PCP, S-PPCP,
+C-PPCP) composes exactly these functions, so the merged output is
+bit-identical regardless of scheduling — the property the paper relies
+on ("there is no data dependency among the data blocks") and that our
+equivalence tests assert.
+
+S2+S3 and S5+S6 are fused into the on-disk framing helpers of
+:mod:`repro.lsm.table_format` at the byte level, but are exposed here
+as distinct steps so profiling can attribute time per step (Figs 5,
+8, 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+from ..codec.checksum import Checksummer
+from ..codec.compress import Codec
+from ..codec.varint import get_fixed32
+from ..devices.vfs import ReadableFile
+from ..lsm.blockfmt import Block, BlockBuilder
+from ..lsm.bloom import bloom_hash
+from ..lsm.ikey import KIND_DELETE, decode_internal_key, internal_compare
+from ..lsm.iterators import merge_iterators
+from ..lsm.table_format import (
+    BLOCK_TRAILER_SIZE,
+    COMPRESSION_TAGS,
+    TAG_TO_CODEC,
+    TableCorruption,
+)
+from ..lsm.table_sink import EncodedBlock
+
+__all__ = [
+    "StoredBlock",
+    "RawBlock",
+    "MergedBlock",
+    "step_read",
+    "step_checksum",
+    "step_decompress",
+    "step_merge",
+    "step_compress",
+    "step_rechecksum",
+    "step_write",
+]
+
+
+@dataclass(frozen=True)
+class StoredBlock:
+    """S1 output: a block exactly as stored (payload + trailer)."""
+
+    source: int  # which input run this came from
+    data: bytes
+
+
+@dataclass(frozen=True)
+class RawBlock:
+    """S3 output: a decompressed, parseable block."""
+
+    source: int
+    raw: bytes
+
+
+@dataclass(frozen=True)
+class MergedBlock:
+    """S4 output: a rebuilt (uncompressed) data block with metadata."""
+
+    raw: bytes
+    first_key: bytes
+    last_key: bytes
+    num_entries: int
+    key_hashes: tuple[int, ...]
+
+
+def step_read(
+    files: Sequence[ReadableFile],
+    handles_per_source: Sequence[Sequence["object"]],
+) -> list[StoredBlock]:
+    """S1 READ: fetch each input block (with its trailer) from disk."""
+    out: list[StoredBlock] = []
+    for source, (file, handles) in enumerate(zip(files, handles_per_source)):
+        for handle in handles:
+            stored = file.pread(handle.offset, handle.size + BLOCK_TRAILER_SIZE)
+            if len(stored) != handle.size + BLOCK_TRAILER_SIZE:
+                raise TableCorruption(
+                    f"short read: offset {handle.offset} in source {source}"
+                )
+            out.append(StoredBlock(source, stored))
+    return out
+
+
+def step_checksum(blocks: Sequence[StoredBlock], checksummer: Checksummer) -> None:
+    """S2 CHECKSUM: verify each block against its stored trailer CRC."""
+    for block in blocks:
+        payload_and_tag = block.data[:-4]
+        crc = get_fixed32(block.data, len(block.data) - 4)
+        if not checksummer.verify(payload_and_tag, crc):
+            raise TableCorruption(
+                f"compaction input checksum mismatch (source {block.source})"
+            )
+
+
+def step_decompress(blocks: Sequence[StoredBlock]) -> list[RawBlock]:
+    """S3 DECOMPRESS: restore the original block contents."""
+    from ..codec.compress import get_codec
+
+    out: list[RawBlock] = []
+    for block in blocks:
+        tag = block.data[-BLOCK_TRAILER_SIZE]
+        try:
+            codec_name = TAG_TO_CODEC[tag]
+        except KeyError:
+            raise TableCorruption(f"unknown compression tag {tag}") from None
+        payload = block.data[:-BLOCK_TRAILER_SIZE]
+        out.append(RawBlock(block.source, get_codec(codec_name).decompress(payload)))
+    return out
+
+
+def step_merge(
+    blocks: Sequence[RawBlock],
+    lower_bound: Optional[bytes],
+    upper_bound: Optional[bytes],
+    block_bytes: int,
+    restart_interval: int = 16,
+    drop_deletes: bool = False,
+    n_sources: Optional[int] = None,
+    smallest_snapshot: Optional[int] = None,
+) -> list[MergedBlock]:
+    """S4 SORT: merge entries in [lower, upper) user-key range.
+
+    * Sources are merged newest-first: blocks from source 0 shadow
+      blocks from source 1, etc. (callers pass the upper component
+      before the lower component).
+    * A version is dropped when a newer version of the same user key
+      has sequence <= ``smallest_snapshot`` (LevelDB's rule: nothing
+      can ever observe the older one).  With no live snapshots
+      (``smallest_snapshot=None``) only the newest version survives.
+    * Tombstones are dropped only when ``drop_deletes`` (no older data
+      below the output level) *and* no snapshot can still see them.
+    * Output is re-blocked into ``block_bytes``-sized data blocks.
+    """
+    n_sources = n_sources if n_sources is not None else (
+        max((b.source for b in blocks), default=-1) + 1
+    )
+    streams: list[Iterator[tuple[bytes, bytes]]] = []
+    for source in range(n_sources):
+        source_blocks = [b for b in blocks if b.source == source]
+        streams.append(_entries_of(source_blocks))
+    merged = merge_iterators(streams)
+
+    from ..lsm.ikey import MAX_SEQUENCE
+
+    if smallest_snapshot is None:
+        smallest_snapshot = MAX_SEQUENCE
+    out: list[MergedBlock] = []
+    builder = BlockBuilder(restart_interval, compare=internal_compare)
+    first_key: Optional[bytes] = None
+    last_key: Optional[bytes] = None
+    hashes: list[int] = []
+    prev_user: Optional[bytes] = None
+    last_seq_for_key = MAX_SEQUENCE + 1
+
+    def _flush() -> None:
+        nonlocal builder, first_key, last_key, hashes
+        if builder.empty:
+            return
+        out.append(
+            MergedBlock(
+                raw=builder.finish(),
+                first_key=first_key,
+                last_key=last_key,
+                num_entries=builder.num_entries,
+                key_hashes=tuple(hashes),
+            )
+        )
+        builder = BlockBuilder(restart_interval, compare=internal_compare)
+        first_key = None
+        last_key = None
+        hashes = []
+
+    for ikey, value in merged:
+        user, seq, kind = decode_internal_key(ikey)
+        if lower_bound is not None and user < lower_bound:
+            continue
+        if upper_bound is not None and user >= upper_bound:
+            continue
+        if user != prev_user:
+            prev_user = user
+            last_seq_for_key = MAX_SEQUENCE + 1
+        drop = False
+        if last_seq_for_key <= smallest_snapshot:
+            # A newer version visible to every snapshot shadows this one.
+            drop = True
+        elif kind == KIND_DELETE and seq <= smallest_snapshot and drop_deletes:
+            drop = True
+        last_seq_for_key = seq
+        if drop:
+            continue
+        if first_key is None:
+            first_key = ikey
+        builder.add(ikey, value)
+        last_key = ikey
+        hashes.append(bloom_hash(user))
+        if builder.current_size_estimate() >= block_bytes:
+            _flush()
+    _flush()
+    return out
+
+
+def _entries_of(blocks: Sequence[RawBlock]) -> Iterator[tuple[bytes, bytes]]:
+    for block in blocks:
+        yield from Block(block.raw, compare=internal_compare)
+
+
+def step_compress(blocks: Sequence[MergedBlock], codec: Codec) -> list[tuple[MergedBlock, bytes, int]]:
+    """S5 COMPRESS: compress each rebuilt block.
+
+    Returns ``(merged, payload, tag)`` triples; incompressible blocks
+    fall back to the ``null`` tag (same heuristic as the table
+    builder).
+    """
+    out = []
+    for block in blocks:
+        compressed = codec.compress(block.raw)
+        if codec.name != "null" and len(compressed) < len(block.raw):
+            out.append((block, compressed, COMPRESSION_TAGS[codec.name]))
+        else:
+            out.append((block, block.raw, COMPRESSION_TAGS["null"]))
+    return out
+
+
+def step_rechecksum(
+    compressed: Sequence[tuple[MergedBlock, bytes, int]],
+    checksummer: Checksummer,
+) -> list[EncodedBlock]:
+    """S6 RE-CHECKSUM: frame each compressed block with trailer CRC."""
+    from ..codec.varint import put_fixed32
+
+    out: list[EncodedBlock] = []
+    for block, payload, tag in compressed:
+        crc = checksummer.masked(payload + bytes([tag]))
+        stored = payload + bytes([tag]) + put_fixed32(crc)
+        out.append(
+            EncodedBlock(
+                stored=stored,
+                first_key=block.first_key,
+                last_key=block.last_key,
+                num_entries=block.num_entries,
+                key_hashes=block.key_hashes,
+                uncompressed_bytes=len(block.raw),
+            )
+        )
+    return out
+
+
+def step_write(blocks: Sequence[EncodedBlock], sink) -> int:
+    """S7 WRITE: append finished blocks to the output table sink.
+
+    Returns the number of stored bytes written.
+    """
+    written = 0
+    for block in blocks:
+        sink.append(block)
+        written += len(block.stored)
+    return written

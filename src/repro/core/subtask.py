@@ -1,0 +1,186 @@
+"""Sub-task partitioning of a compaction key range (paper §III-B).
+
+"PCP partitions the compaction key range into multiple sub-key ranges.
+Each sub-key range consists of one or more data blocks."  A
+:class:`SubTask` is the pipeline's unit of work: the data blocks of
+every input run that overlap one sub-key range, plus the user-key
+bounds ``[lower, upper)`` that make sub-tasks disjoint.
+
+Boundaries are drawn from the *upper component's* block separators so
+each sub-task covers whole upper-level blocks; lower-level blocks that
+straddle a boundary are read by both neighbouring sub-tasks and
+filtered by the bounds (a small, documented I/O duplication — the
+price of unaligned block grids, which the paper's LevelDB
+implementation pays the same way).
+
+Because sub-key ranges are disjoint *user-key* ranges, every version of
+a user key lands in exactly one sub-task, so newest-wins deduplication
+and tombstone dropping are local decisions and sub-tasks are fully
+independent — the no-data-dependency property that legalises
+pipelining.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..lsm.table_format import BLOCK_TRAILER_SIZE, BlockHandle
+from ..lsm.table_reader import Table
+
+__all__ = ["InputRun", "SubTask", "partition_subtasks", "SubTaskSizes"]
+
+
+@dataclass(frozen=True)
+class InputRun:
+    """One input table's contribution to a sub-task."""
+
+    source: int  # merge priority (0 = newest component)
+    table: Table
+    handles: tuple[BlockHandle, ...]
+
+    def stored_bytes(self) -> int:
+        return sum(h.size + BLOCK_TRAILER_SIZE for h in self.handles)
+
+
+@dataclass(frozen=True)
+class SubTask:
+    """One pipeline work unit: a sub-key range and its input blocks."""
+
+    index: int
+    lower: Optional[bytes]  # user-key bounds, [lower, upper)
+    upper: Optional[bytes]
+    runs: tuple[InputRun, ...]
+
+    def input_bytes(self) -> int:
+        """On-disk bytes this sub-task reads (S1 size)."""
+        return sum(run.stored_bytes() for run in self.runs)
+
+    def num_blocks(self) -> int:
+        return sum(len(run.handles) for run in self.runs)
+
+
+@dataclass(frozen=True)
+class SubTaskSizes:
+    """Aggregate shape of a partition (for reporting/experiments)."""
+
+    count: int
+    total_bytes: int
+    max_bytes: int
+    min_bytes: int
+
+
+def partition_subtasks(
+    tables: Sequence[Table],
+    subtask_bytes: int,
+    lower: Optional[bytes] = None,
+    upper: Optional[bytes] = None,
+) -> list[SubTask]:
+    """Split a compaction over ``tables`` into ~``subtask_bytes`` units.
+
+    ``tables`` are ordered newest-first (upper component first); the
+    first table drives boundary selection.  ``lower``/``upper`` clamp
+    the whole compaction to a user-key window (None = unbounded).
+    """
+    if subtask_bytes < 1:
+        raise ValueError(f"subtask_bytes must be >= 1, got {subtask_bytes}")
+    if not tables:
+        return []
+
+    # ``subtask_bytes`` budgets the *total* input of a sub-task, but
+    # boundaries can only sit on the driver's block grid; scale the
+    # driver-side target by the driver's share of the total input so
+    # each sub-task carries ~subtask_bytes across all runs.
+    def _table_bytes(t: Table) -> int:
+        return sum(h.size + BLOCK_TRAILER_SIZE for h in t.block_handles())
+
+    driver_bytes = _table_bytes(tables[0])
+    total_bytes = sum(_table_bytes(t) for t in tables)
+    if total_bytes > 0 and driver_bytes > 0:
+        driver_target = max(1, subtask_bytes * driver_bytes // total_bytes)
+    else:
+        driver_target = subtask_bytes
+    boundaries = _choose_boundaries(tables[0], driver_target, lower, upper)
+    # boundaries = [lower, b1, b2, ..., upper]; len >= 2
+    subtasks: list[SubTask] = []
+    for i, (lo, hi) in enumerate(zip(boundaries, boundaries[1:])):
+        runs = []
+        for source, table in enumerate(tables):
+            handles = _overlapping_handles(table, lo, hi)
+            runs.append(InputRun(source, table, tuple(handles)))
+        if any(run.handles for run in runs):
+            subtasks.append(
+                SubTask(index=len(subtasks), lower=lo, upper=hi, runs=tuple(runs))
+            )
+    return subtasks
+
+
+def _choose_boundaries(
+    driver: Table,
+    subtask_bytes: int,
+    lower: Optional[bytes],
+    upper: Optional[bytes],
+) -> list[Optional[bytes]]:
+    """Cut points: user keys of the driver's block separators."""
+    boundaries: list[Optional[bytes]] = [lower]
+    acc = 0
+    handles = driver.block_handles()
+    separators = driver.block_separators()
+    # Never cut after the final block: its separator is a successor of
+    # the whole table and would leave an empty (or driverless) tail.
+    handles = handles[:-1]
+    separators = separators[:-1]
+    for handle, sep in zip(handles, separators):
+        acc += handle.size + BLOCK_TRAILER_SIZE
+        if acc >= subtask_bytes:
+            # The separator bounds this block's largest user key from
+            # above; cutting at its immediate successor keeps the whole
+            # block (including entries whose user key equals the
+            # separator's) in the left sub-task.
+            user = sep[:-8] + b"\x00"
+            if _in_window(user, lower, upper) and user != boundaries[-1]:
+                boundaries.append(user)
+                acc = 0
+    if len(boundaries) > 1 and boundaries[-1] == upper:
+        boundaries.pop()
+    boundaries.append(upper)
+    return boundaries
+
+
+def _in_window(
+    user: bytes, lower: Optional[bytes], upper: Optional[bytes]
+) -> bool:
+    if lower is not None and user <= lower:
+        return False
+    if upper is not None and user >= upper:
+        return False
+    return True
+
+
+def _overlapping_handles(
+    table: Table, lo: Optional[bytes], hi: Optional[bytes]
+) -> list[BlockHandle]:
+    """Data blocks of ``table`` that may hold user keys in [lo, hi)."""
+    out = []
+    separators = table.block_separators()
+    handles = table.block_handles()
+    prev_sep_user: Optional[bytes] = None
+    for sep, handle in zip(separators, handles):
+        sep_user = sep[:-8]
+        # Block key span is (prev_sep_user, sep_user].
+        if lo is not None and sep_user < lo:
+            prev_sep_user = sep_user
+            continue
+        if (
+            hi is not None
+            and prev_sep_user is not None
+            and prev_sep_user + b"\x00" >= hi
+        ):
+            # Every user key in this block is >= prev separator; the only
+            # candidate inside [lo, hi) would be prev_sep_user itself, and
+            # any of its versions here are shadowed by the newer version
+            # in the preceding (included) block, so skipping is lossless.
+            break
+        out.append(handle)
+        prev_sep_user = sep_user
+    return out

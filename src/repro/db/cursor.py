@@ -1,0 +1,186 @@
+"""Streaming DB cursor.
+
+``DB.scan`` needs merged, visibility-filtered iteration over the
+memtable, every L0 table, and the deeper levels.  A :class:`Cursor`
+captures the tree shape once (the file set of the current version) and
+then streams lazily — no materialisation of the memtable, supports
+``seek`` — while remaining valid even if a background compaction
+deletes the underlying files mid-scan (open tables keep their handles;
+the skiplist tolerates concurrent readers).
+
+Visibility: the cursor pins a sequence number at creation (or uses the
+caller's snapshot) so a long scan sees a consistent point-in-time view
+regardless of concurrent writes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..lsm.ikey import (
+    KIND_DELETE,
+    KIND_VALUE,
+    decode_internal_key,
+    encode_internal_key,
+)
+from ..lsm.iterators import merge_iterators
+from ..lsm.memtable import MemTable
+from ..lsm.table_reader import Table
+
+__all__ = ["Cursor"]
+
+
+class Cursor:
+    """Ordered, snapshot-consistent iteration over live user keys."""
+
+    def __init__(
+        self,
+        memtables: list[MemTable],
+        l0_tables: list[Table],  # newest first
+        leveled_tables: list[list[Table]],  # per level >= 1, key order
+        sequence: int,
+    ) -> None:
+        self._memtables = memtables
+        self._l0 = l0_tables
+        self._levels = leveled_tables
+        self.sequence = sequence
+
+    # ---------------------------------------------------------- sources
+    def _sources_from(self, start: Optional[bytes]) -> list[Iterator]:
+        if start is None:
+            sources: list[Iterator] = [iter(mt) for mt in self._memtables]
+            sources += [iter(t) for t in self._l0]
+            for tables in self._levels:
+                sources.append(self._level_stream(tables, None))
+            return sources
+        # Seek each source to the first entry of `start` at any
+        # sequence: the newest version sorts first in internal order.
+        probe = encode_internal_key(start, (1 << 56) - 1, KIND_VALUE)
+        sources = [mt.iter_from(probe) for mt in self._memtables]
+        sources += [t.iter_from(probe) for t in self._l0]
+        for tables in self._levels:
+            sources.append(self._level_stream(tables, probe))
+        return sources
+
+    @staticmethod
+    def _level_stream(tables: list[Table], probe: Optional[bytes]) -> Iterator:
+        # Files within a level hold disjoint, ordered ranges: seek with
+        # the probe until some file yields (files entirely before the
+        # probe yield nothing), then stream the rest fully.
+        emitted = probe is None
+        for table in tables:
+            if emitted:
+                yield from table
+            else:
+                for kv in table.iter_from(probe):
+                    emitted = True
+                    yield kv
+
+    # -------------------------------------------------------- iteration
+    def items(
+        self,
+        start: Optional[bytes] = None,
+        end: Optional[bytes] = None,
+    ) -> Iterator[tuple[bytes, bytes]]:
+        """Live ``(user_key, value)`` pairs in ``[start, end)``."""
+        merged = merge_iterators(self._sources_from(start))
+        prev_user: Optional[bytes] = None
+        for ikey, value in merged:
+            user, seq, kind = decode_internal_key(ikey)
+            if seq > self.sequence:
+                continue  # newer than this cursor's view
+            if user == prev_user:
+                continue  # shadowed version
+            prev_user = user
+            if end is not None and user >= end:
+                return
+            if start is not None and user < start:
+                continue
+            if kind == KIND_DELETE:
+                continue
+            yield user, value
+
+    def __iter__(self) -> Iterator[tuple[bytes, bytes]]:
+        return self.items()
+
+    def seek(self, start: bytes) -> Iterator[tuple[bytes, bytes]]:
+        """Iterate live pairs with user key >= ``start``."""
+        return self.items(start=start)
+
+    # ------------------------------------------------------- descending
+    def _reverse_sources_from(self, below: Optional[bytes]) -> list[Iterator]:
+        if below is None:
+            sources: list[Iterator] = [mt.iter_reverse() for mt in self._memtables]
+            sources += [t.iter_reverse() for t in self._l0]
+            for tables in self._levels:
+                sources.append(self._level_stream_reverse(tables, None))
+            return sources
+        # Probe at (below, seq=0): the last internal key of user
+        # `below`, so every version of every user <= below streams; the
+        # caller filters out `below` itself (the window is half-open).
+        probe = encode_internal_key(below, 0, 0)
+        sources = [mt.iter_reverse_from(probe) for mt in self._memtables]
+        sources += [t.iter_reverse_from(probe) for t in self._l0]
+        for tables in self._levels:
+            sources.append(self._level_stream_reverse(tables, probe))
+        return sources
+
+    @staticmethod
+    def _level_stream_reverse(tables: list[Table], probe: Optional[bytes]):
+        emitted = probe is None
+        for table in reversed(tables):
+            if emitted:
+                yield from table.iter_reverse()
+            else:
+                for kv in table.iter_reverse_from(probe):
+                    emitted = True
+                    yield kv
+
+    def items_reverse(
+        self,
+        start: Optional[bytes] = None,
+        end: Optional[bytes] = None,
+    ) -> Iterator[tuple[bytes, bytes]]:
+        """Live pairs of the window [start, end) in *descending* order.
+
+        Same window semantics as :meth:`items`, reversed traversal.
+        """
+        from ..lsm.iterators import merge_iterators_reverse
+
+        # Reverse streams yield (user desc, seq asc): for each user key
+        # the newest qualifying version is the *last* one seen before
+        # the user changes.
+        merged = merge_iterators_reverse(self._reverse_sources_from(end))
+        cur_user: Optional[bytes] = None
+        best: Optional[tuple[bytes, bytes, int]] = None
+
+        def emit(entry):
+            user, value, kind = entry
+            if kind == KIND_DELETE:
+                return None
+            return (user, value)
+
+        for ikey, value in merged:
+            user, seq, kind = decode_internal_key(ikey)
+            if end is not None and user >= end:
+                continue
+            if start is not None and user < start:
+                break
+            if seq > self.sequence:
+                continue
+            if user != cur_user:
+                if best is not None:
+                    out = emit(best)
+                    if out is not None:
+                        yield out
+                cur_user = user
+                best = None
+            best = (user, value, kind)
+        if best is not None:
+            out = emit(best)
+            if out is not None:
+                yield out
+
+    def count(self, start: Optional[bytes] = None, end: Optional[bytes] = None) -> int:
+        """Number of live keys in the range (consumes a pass)."""
+        return sum(1 for _ in self.items(start, end))

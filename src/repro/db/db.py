@@ -1,0 +1,747 @@
+"""The key-value store facade: LevelDB-shaped, pipelined-compaction-capable.
+
+``DB`` composes the substrates — memtable + WAL (C0), leveled SSTables
+(C1..Ck), version/manifest metadata — with the compaction procedures of
+:mod:`repro.core`.  The compaction procedure is pluggable per §III of
+the paper: pass ``compaction_spec=ProcedureSpec.pcp()`` (or ``sppcp``/
+``cppcp``) to run background compactions through the pipelined
+executor; the default is classic sequential LevelDB behaviour (SCP).
+
+Concurrency model: a single writer lock serialises writes and metadata
+changes.  Compaction runs either synchronously inside the writing
+thread (``background=False``, deterministic — used by experiments) or
+on a background thread (``background=True``) with the paper's
+write-pause behaviour: the foreground stalls only when L0 backs up.
+
+Durability: every write batch is appended to the WAL before touching
+the memtable; ``sync_every`` batches force an fsync.  Recovery replays
+MANIFEST then the live WAL.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from ..core.procedures import ProcedureSpec, compact_tables
+from ..devices.vfs import Storage
+from ..lsm.cache import LRUCache
+from ..lsm.ikey import (
+    KIND_DELETE,
+    KIND_VALUE,
+    MAX_SEQUENCE,
+    decode_internal_key,
+    encode_internal_key,
+    lookup_key,
+)
+from ..lsm.memtable import MemTable
+from ..lsm.options import Options
+from ..lsm.picker import CompactionPicker, CompactionTask
+from ..lsm.table_builder import TableBuilder
+from ..lsm.table_reader import Table
+from ..lsm.version import FileMetaData, Version, sstable_name
+from ..lsm.wal import LogReader, LogWriter, WriteBatch
+from .manifest import ManifestWriter, VersionEdit, recover_version, set_current
+
+__all__ = ["DB", "DBStats", "Snapshot"]
+
+
+@dataclass
+class DBStats:
+    """Operational counters."""
+
+    writes: int = 0
+    gets: int = 0
+    flushes: int = 0
+    compactions: int = 0
+    trivial_moves: int = 0
+    compaction_input_bytes: int = 0
+    compaction_output_bytes: int = 0
+    compaction_seconds: float = 0.0
+    write_stalls: int = 0
+    per_level_compactions: dict[int, int] = field(default_factory=dict)
+
+    def compaction_bandwidth(self) -> float:
+        """Bytes of compaction input processed per second of compaction."""
+        if self.compaction_seconds <= 0:
+            return 0.0
+        return self.compaction_input_bytes / self.compaction_seconds
+
+
+class Snapshot:
+    """A consistent read point; release via DB.release_snapshot or `with`."""
+
+    __slots__ = ("sequence", "_db", "_released")
+
+    def __init__(self, sequence: int, db: "DB") -> None:
+        self.sequence = sequence
+        self._db = db
+        self._released = False
+
+    def release(self) -> None:
+        if not self._released:
+            self._db.release_snapshot(self)
+            self._released = True
+
+    def __enter__(self) -> "Snapshot":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+class DB:
+    """An LSM-tree key-value store with pluggable compaction procedure."""
+
+    def __init__(
+        self,
+        storage: Storage,
+        options: Optional[Options] = None,
+        compaction_spec: Optional[ProcedureSpec] = None,
+        background: bool = False,
+        sync_every: Optional[int] = None,
+        observer=None,
+    ) -> None:
+        """``observer`` (optional) receives engine events for accounting:
+        ``on_write(batch, wal_bytes)``, ``on_flush(meta)``,
+        ``on_trivial_move(task)``, ``on_compaction(task, subtasks,
+        stats)``.  Used by the bench harness to attribute virtual time
+        (see :mod:`repro.bench.observer`)."""
+        self.storage = storage
+        self.options = options or Options()
+        self.options.validate()
+        self.compaction_spec = compaction_spec or ProcedureSpec.scp()
+        self.observer = observer
+        self.stats = DBStats()
+        #: ring of recent compaction records (dicts); see _record_compaction.
+        self.compaction_log: list[dict] = []
+        self._compaction_log_cap = 64
+        self._lock = threading.RLock()
+        self._file_number_lock = threading.Lock()
+        self._cache = LRUCache(self.options.block_cache_entries)
+        self._tables: dict[int, Table] = {}
+        self._snapshots: list[Snapshot] = []
+        self._closed = False
+        self._sync_every = (
+            sync_every if sync_every is not None else self.options.wal_sync_interval
+        )
+        self._batches_since_sync = 0
+
+        # -- recovery --------------------------------------------------
+        version, next_file, last_seq, log_number, _ = recover_version(
+            self.storage, self.options
+        )
+        self.version = version
+        self._next_file = next_file
+        self._sequence = last_seq
+        self.picker = CompactionPicker(self.options)
+        self.memtable = MemTable(seed=0)
+        old_wal = self._replay_wal(log_number)
+        if len(self.memtable):
+            # Recovered writes must become durable *now*: a second
+            # crash before any flush would otherwise lose them (the old
+            # WAL is retired below once the new manifest commits).
+            meta = self._build_table_from_memtable()
+            self.version.add_file(0, meta)
+            self.memtable = MemTable(seed=meta.number)
+
+        # Fresh manifest describing the recovered state.
+        manifest_name = f"MANIFEST-{self._new_file_number():06d}"
+        self._manifest = ManifestWriter(self.storage, manifest_name)
+        self._wal_number = self._new_file_number()
+        self._wal = LogWriter(self.storage.create(self._wal_name(self._wal_number)))
+        boot = VersionEdit(
+            log_number=self._wal_number,
+            next_file_number=self._next_file,
+            last_sequence=self._sequence,
+        )
+        for level, meta in self.version.all_files():
+            boot.add_file(level, meta)
+        self._manifest.append(boot, sync=True)
+        set_current(self.storage, manifest_name)
+        if old_wal is not None:
+            self.storage.delete(old_wal)
+
+        # -- background compaction --------------------------------------
+        self._background = background
+        self._bg_wake = threading.Condition(self._lock)
+        self._bg_thread: Optional[threading.Thread] = None
+        self._bg_error: Optional[BaseException] = None
+        self._compacting = False
+        if background:
+            self._bg_thread = threading.Thread(
+                target=self._background_loop, name="db-compaction", daemon=True
+            )
+            self._bg_thread.start()
+
+    # ------------------------------------------------------------ util
+    def _wal_name(self, number: int) -> str:
+        return f"{number:06d}.log"
+
+    def _new_file_number(self) -> int:
+        # Own tiny lock: called from the compaction merge while the DB
+        # lock is released in background mode.
+        with self._file_number_lock:
+            n = self._next_file
+            self._next_file += 1
+            return n
+
+    def _replay_wal(self, log_number: Optional[int]) -> Optional[str]:
+        """Replay the recovered WAL into the memtable.
+
+        Returns the WAL's file name (for deferred deletion after the
+        recovered state is durable elsewhere), or None.
+        """
+        if log_number is None:
+            return None
+        name = self._wal_name(log_number)
+        if not self.storage.exists(name):
+            return None
+        for record in LogReader(self.storage.open(name)):
+            batch, base_seq = WriteBatch.decode(record)
+            for offset, (kind, key, value) in enumerate(batch):
+                self.memtable.add(base_seq + offset, kind, key, value)
+            self._sequence = max(self._sequence, base_seq + len(batch) - 1)
+        return name
+
+    def _open_table(self, meta: FileMetaData) -> Table:
+        table = self._tables.get(meta.number)
+        if table is None:
+            table = Table(
+                self.storage.open(meta.name),
+                self.options,
+                cache=self._cache,
+                table_id=meta.number,
+            )
+            self._tables[meta.number] = table
+        return table
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("DB is closed")
+        if self._bg_error is not None:
+            raise RuntimeError("background compaction failed") from self._bg_error
+
+    # ---------------------------------------------------------- writes
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or overwrite one key."""
+        self.write(WriteBatch().put(key, value))
+
+    def delete(self, key: bytes) -> None:
+        """Delete one key (writes a tombstone)."""
+        self.write(WriteBatch().delete(key))
+
+    def write(self, batch: WriteBatch) -> None:
+        """Apply a batch atomically: WAL first, then memtable."""
+        if len(batch) == 0:
+            return
+        with self._lock:
+            self._check_open()
+            self._maybe_stall()
+            base_seq = self._sequence + 1
+            self._sequence += len(batch)
+            encoded = batch.encode(base_seq)
+            self._wal.add_record(encoded)
+            self._batches_since_sync += 1
+            if self._sync_every and self._batches_since_sync >= self._sync_every:
+                self._wal.sync()
+                self._batches_since_sync = 0
+            for offset, (kind, key, value) in enumerate(batch):
+                self.memtable.add(base_seq + offset, kind, key, value)
+            self.stats.writes += len(batch)
+            if self.observer is not None:
+                self.observer.on_write(batch, len(encoded))
+            if self.memtable.approximate_bytes >= self.options.memtable_bytes:
+                self._flush_memtable()
+                self._after_shape_change()
+
+    def _maybe_stall(self) -> None:
+        """Paper §I: slow compaction causes write pauses."""
+        if self.picker.write_stall(self.version):
+            self.stats.write_stalls += 1
+            if self._background:
+                while self.picker.write_stall(self.version) and not self._closed:
+                    self._bg_wake.notify_all()
+                    self._bg_wake.wait(timeout=0.05)
+                    if self._bg_error is not None:
+                        raise RuntimeError(
+                            "background compaction failed"
+                        ) from self._bg_error
+            else:
+                self._compact_until_quiet()
+
+    # ---------------------------------------------------------- flush
+    def _build_table_from_memtable(self) -> FileMetaData:
+        """Write the current memtable as a new SSTable file."""
+        number = self._new_file_number()
+        name = sstable_name(number)
+        with self.storage.create(name) as f:
+            builder = TableBuilder(f, self.options)
+            for ikey, value in self.memtable:
+                builder.add(ikey, value)
+            builder.finish()
+            f.sync()
+            return FileMetaData(
+                number=number,
+                file_size=builder.file_size,
+                smallest=builder.smallest,
+                largest=builder.largest,
+            )
+
+    def _flush_memtable(self) -> None:
+        """Dump C0 into a new L0 SSTable (the paper's 'dump')."""
+        if len(self.memtable) == 0:
+            return
+        meta = self._build_table_from_memtable()
+        number = meta.number
+        # Switch WAL before publishing the flush.
+        old_wal_number = self._wal_number
+        self._wal.close()
+        self._wal_number = self._new_file_number()
+        self._wal = LogWriter(self.storage.create(self._wal_name(self._wal_number)))
+        edit = VersionEdit(
+            log_number=self._wal_number,
+            next_file_number=self._next_file,
+            last_sequence=self._sequence,
+        ).add_file(0, meta)
+        self._apply_edit(edit)
+        self.storage.delete(self._wal_name(old_wal_number))
+        self.memtable = MemTable(seed=number)
+        self.stats.flushes += 1
+        if self.observer is not None:
+            self.observer.on_flush(meta)
+
+    def flush(self) -> None:
+        """Force the memtable to disk (mainly for tests/benchmarks)."""
+        with self._lock:
+            self._check_open()
+            self._flush_memtable()
+            self._after_shape_change()
+
+    def _apply_edit(self, edit: VersionEdit) -> None:
+        self._manifest.append(edit)
+        edit.apply(self.version)
+
+    def _after_shape_change(self) -> None:
+        if self._background:
+            self._bg_wake.notify_all()
+        else:
+            self._compact_until_quiet()
+
+    # ------------------------------------------------------ compaction
+    def _compact_until_quiet(self) -> None:
+        while True:
+            task = self.picker.pick(self.version)
+            if task is None:
+                return
+            self._run_compaction(task)
+
+    def compact_once(self) -> bool:
+        """Run at most one due compaction; True if one ran.
+
+        Only meaningful in synchronous mode; with a background thread
+        use :meth:`wait_for_compactions` instead.
+        """
+        if self._background:
+            raise RuntimeError(
+                "compact_once() is for synchronous mode; "
+                "use wait_for_compactions() with background=True"
+            )
+        with self._lock:
+            self._check_open()
+            task = self.picker.pick(self.version)
+            if task is None:
+                return False
+            self._run_compaction(task)
+            return True
+
+    def compact_all(self) -> int:
+        """Run compactions until the tree is quiescent; returns count."""
+        n = 0
+        while self.compact_once():
+            n += 1
+        return n
+
+    def _smallest_snapshot(self) -> int:
+        if self._snapshots:
+            return min(s.sequence for s in self._snapshots)
+        return self._sequence
+
+    def _can_drop_deletes(self, task: CompactionTask) -> bool:
+        """Tombstones may be dropped only when no older data can exist
+        below the output level for the compacted range."""
+        if task.output_level >= self.options.num_levels - 1:
+            return True
+        lo, hi = task.key_range_user()
+        for level in range(task.output_level + 1, self.options.num_levels):
+            if self.version.overlapping_files(level, lo, hi):
+                return False
+        return True
+
+    def _run_compaction(self, task: CompactionTask, unlock: bool = False) -> None:
+        """Execute one compaction task.  Caller holds the DB lock.
+
+        With ``unlock=True`` (background mode, single compactor) the
+        lock is released during the merge so foreground writes proceed;
+        version edits are applied under the lock afterwards.
+        """
+        import time
+
+        self.stats.compactions += 1
+        self.stats.per_level_compactions[task.level] = (
+            self.stats.per_level_compactions.get(task.level, 0) + 1
+        )
+        if task.is_trivial_move():
+            meta = task.inputs_upper[0]
+            edit = VersionEdit()
+            edit.delete_file(task.level, meta.number)
+            edit.add_file(task.output_level, meta)
+            self._apply_edit(edit)
+            self.stats.trivial_moves += 1
+            if self.observer is not None:
+                self.observer.on_trivial_move(task)
+            return
+
+        # Inputs newest-first: upper level files (for L0, newest file
+        # first), then lower level files in key order.
+        upper = list(task.inputs_upper)
+        if task.level == 0:
+            upper.sort(key=lambda m: m.number, reverse=True)
+        tables = [self._open_table(m) for m in upper]
+        tables += [self._open_table(m) for m in task.inputs_lower]
+        drop_deletes = self._can_drop_deletes(task)
+        smallest_snapshot = self._smallest_snapshot()
+
+        if unlock:
+            self._lock.release()
+        try:
+            t0 = time.perf_counter()
+            outputs, stats, subtasks = compact_tables(
+                tables,
+                self.storage,
+                self.options,
+                file_namer=lambda: sstable_name(self._new_file_number()),
+                spec=self.compaction_spec,
+                drop_deletes=drop_deletes,
+                smallest_snapshot=smallest_snapshot,
+            )
+            elapsed = time.perf_counter() - t0
+        finally:
+            if unlock:
+                self._lock.acquire()
+
+        edit = VersionEdit(
+            next_file_number=self._next_file, last_sequence=self._sequence
+        )
+        for meta in task.inputs_upper:
+            edit.delete_file(task.level, meta.number)
+        for meta in task.inputs_lower:
+            edit.delete_file(task.output_level, meta.number)
+        for meta in outputs:
+            edit.add_file(task.output_level, meta)
+        self._apply_edit(edit)
+        for meta in task.all_inputs():
+            # Drop from the table cache but do NOT close: a concurrent
+            # scan may still be streaming from the old file (POSIX
+            # semantics: the open handle stays valid after deletion).
+            self._tables.pop(meta.number, None)
+            self.storage.delete(meta.name)
+        self.stats.compaction_input_bytes += stats.input_bytes
+        self.stats.compaction_output_bytes += stats.output_bytes
+        self.stats.compaction_seconds += elapsed
+        self._record_compaction(
+            {
+                "level": task.level,
+                "inputs": len(task.all_inputs()),
+                "outputs": len(outputs),
+                "subtasks": stats.n_subtasks,
+                "input_bytes": stats.input_bytes,
+                "output_bytes": stats.output_bytes,
+                "seconds": elapsed,
+                "procedure": self.compaction_spec.kind,
+            }
+        )
+        if self.observer is not None:
+            self.observer.on_compaction(task, subtasks, stats)
+
+    def _background_loop(self) -> None:
+        while True:
+            with self._lock:
+                while (
+                    not self._closed
+                    and not self.picker.needs_compaction(self.version)
+                ):
+                    self._bg_wake.wait(timeout=0.1)
+                if self._closed:
+                    return
+                task = self.picker.pick(self.version)
+                if task is None:
+                    continue
+                self._compacting = True
+                try:
+                    self._run_compaction(task, unlock=True)
+                except BaseException as exc:  # pragma: no cover - defensive
+                    self._bg_error = exc
+                    return
+                finally:
+                    self._compacting = False
+                    self._bg_wake.notify_all()
+
+    def wait_for_compactions(self) -> None:
+        """Block until no compaction is due (background mode helper)."""
+        with self._lock:
+            while (
+                self.picker.needs_compaction(self.version)
+                and self._bg_error is None
+                and not self._closed
+            ):
+                self._bg_wake.notify_all()
+                self._bg_wake.wait(timeout=0.05)
+            self._check_open()
+
+    # ------------------------------------------------------------ reads
+    def get(self, key: bytes, snapshot: Optional[Snapshot] = None) -> Optional[bytes]:
+        """Newest visible value for ``key``, or None."""
+        seq = snapshot.sequence if snapshot is not None else MAX_SEQUENCE
+        with self._lock:
+            self._check_open()
+            self.stats.gets += 1
+            result = self.memtable.get(key, seq)
+            if result.found:
+                return None if result.deleted else result.value
+            candidates = self.version.files_for_get(key)
+            tables = [self._open_table(meta) for _, meta in candidates]
+        probe = lookup_key(key, seq)
+        for table in tables:
+            hit = table.get(probe)
+            if hit is None:
+                continue
+            ikey, value = hit
+            user, _s, kind = decode_internal_key(ikey)
+            if user != key:
+                continue
+            return None if kind == KIND_DELETE else value
+        return None
+
+    def multi_get(
+        self, keys, snapshot: Optional[Snapshot] = None
+    ) -> list[Optional[bytes]]:
+        """Batched point lookups (order-preserving)."""
+        return [self.get(key, snapshot=snapshot) for key in keys]
+
+    def approximate_size(
+        self, start: Optional[bytes] = None, end: Optional[bytes] = None
+    ) -> int:
+        """Approximate on-disk bytes holding user keys in [start, end).
+
+        Uses file metadata only (no I/O beyond already-open indexes):
+        files fully inside the range count whole; files straddling a
+        bound count half.  The memtable is excluded (use the
+        ``approximate-memory-usage`` property).
+        """
+        total = 0.0
+        with self._lock:
+            self._check_open()
+            for _level, meta in self.version.all_files():
+                lo = meta.smallest[:-8]
+                hi = meta.largest[:-8]
+                if end is not None and lo >= end:
+                    continue
+                if start is not None and hi < start:
+                    continue
+                inside_lo = start is None or lo >= start
+                inside_hi = end is None or hi < end
+                if inside_lo and inside_hi:
+                    total += meta.file_size
+                else:
+                    total += meta.file_size / 2.0
+        return int(total)
+
+    def snapshot(self) -> Snapshot:
+        """Pin the current sequence for consistent reads."""
+        with self._lock:
+            self._check_open()
+            snap = Snapshot(self._sequence, self)
+            self._snapshots.append(snap)
+            return snap
+
+    def release_snapshot(self, snap: Snapshot) -> None:
+        with self._lock:
+            if snap in self._snapshots:
+                self._snapshots.remove(snap)
+
+    def cursor(self, snapshot: Optional[Snapshot] = None) -> "Cursor":
+        """A streaming, snapshot-consistent cursor over live keys.
+
+        Captures the tree shape once; remains valid across concurrent
+        writes and background compactions (it pins its view's sequence
+        and keeps the handles of the tables it covers).
+        """
+        from .cursor import Cursor
+
+        with self._lock:
+            self._check_open()
+            seq = snapshot.sequence if snapshot is not None else self._sequence
+            memtables = [self.memtable]
+            l0 = [self._open_table(m) for m in reversed(self.version.files[0])]
+            levels = [
+                [self._open_table(m) for m in self.version.files[level]]
+                for level in range(1, self.options.num_levels)
+                if self.version.files[level]
+            ]
+        return Cursor(memtables, l0, levels, seq)
+
+    def scan(
+        self,
+        start: Optional[bytes] = None,
+        end: Optional[bytes] = None,
+        snapshot: Optional[Snapshot] = None,
+    ) -> Iterator[tuple[bytes, bytes]]:
+        """Ordered iteration over live user keys in [start, end)."""
+        return self.cursor(snapshot).items(start, end)
+
+    def scan_reverse(
+        self,
+        start: Optional[bytes] = None,
+        end: Optional[bytes] = None,
+        snapshot: Optional[Snapshot] = None,
+    ) -> Iterator[tuple[bytes, bytes]]:
+        """The [start, end) window in *descending* key order."""
+        return self.cursor(snapshot).items_reverse(start, end)
+
+    def items(self) -> Iterator[tuple[bytes, bytes]]:
+        """All live (key, value) pairs in key order."""
+        return self.scan()
+
+    # ------------------------------------------------------------ admin
+    def num_files(self, level: int) -> int:
+        with self._lock:
+            return self.version.num_files(level)
+
+    def level_bytes(self, level: int) -> int:
+        with self._lock:
+            return self.version.level_bytes(level)
+
+    def total_bytes(self) -> int:
+        with self._lock:
+            return self.version.total_bytes()
+
+    def describe(self) -> str:
+        with self._lock:
+            return self.version.describe()
+
+    def compact_range(
+        self, start: Optional[bytes] = None, end: Optional[bytes] = None
+    ) -> int:
+        """Manually compact every level holding data in [start, end].
+
+        Flushes the memtable, then pushes overlapping files level by
+        level until everything in the range sits at its deepest
+        occupied level.  Returns the number of compactions executed.
+        Synchronous regardless of background mode (waits for the
+        background thread's slot by holding the lock between tasks).
+        """
+        n = 0
+        with self._lock:
+            self._check_open()
+            self._flush_memtable()
+        for level in range(0, self.options.num_levels - 1):
+            while True:
+                with self._lock:
+                    self._check_open()
+                    # Never race the background compactor over one task.
+                    while self._compacting:
+                        self._bg_wake.wait(timeout=0.05)
+                    files = self.version.overlapping_files(level, start, end)
+                    if not files:
+                        break
+                    if level == 0:
+                        task = self.picker._pick_l0(self.version)
+                    else:
+                        pick = files[0]
+                        lower = self.version.overlapping_files(
+                            level + 1, pick.smallest[:-8], pick.largest[:-8]
+                        )
+                        task = CompactionTask(level, [pick], lower)
+                    if task is None:
+                        break
+                    self._run_compaction(task)
+                    n += 1
+        return n
+
+    def _record_compaction(self, record: dict) -> None:
+        self.compaction_log.append(record)
+        if len(self.compaction_log) > self._compaction_log_cap:
+            del self.compaction_log[0]
+
+    def get_property(self, name: str) -> Optional[str]:
+        """LevelDB-style introspection properties.
+
+        Supported: ``num-files-at-level<N>``, ``stats``, ``sstables``,
+        ``approximate-memory-usage``, ``total-bytes``.  Returns None
+        for unknown names.
+        """
+        with self._lock:
+            if name.startswith("num-files-at-level"):
+                try:
+                    level = int(name[len("num-files-at-level"):])
+                except ValueError:
+                    return None
+                if not 0 <= level < self.options.num_levels:
+                    return None
+                return str(self.version.num_files(level))
+            if name == "stats":
+                s = self.stats
+                return (
+                    f"writes={s.writes} gets={s.gets} flushes={s.flushes} "
+                    f"compactions={s.compactions} "
+                    f"trivial_moves={s.trivial_moves} "
+                    f"stalls={s.write_stalls} "
+                    f"compacted_mb={s.compaction_input_bytes / 1e6:.2f}"
+                )
+            if name == "sstables":
+                return self.version.describe()
+            if name == "approximate-memory-usage":
+                return str(self.memtable.approximate_bytes)
+            if name == "total-bytes":
+                return str(self.version.total_bytes())
+            if name == "compaction-log":
+                lines = [
+                    f"L{r['level']}->L{r['level'] + 1} "
+                    f"{r['procedure']} inputs={r['inputs']} "
+                    f"subtasks={r['subtasks']} "
+                    f"in={r['input_bytes']} out={r['output_bytes']} "
+                    f"{r['seconds'] * 1e3:.1f}ms"
+                    for r in self.compaction_log
+                ]
+                return "\n".join(lines) if lines else "(no compactions yet)"
+            return None
+
+    def close(self) -> None:
+        """Flush WAL state and stop background work (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._bg_wake.notify_all()
+        if self._bg_thread is not None:
+            self._bg_thread.join(timeout=5)
+        with self._lock:
+            self._wal.sync()
+            self._wal.close()
+            self._manifest.append(
+                VersionEdit(
+                    next_file_number=self._next_file,
+                    last_sequence=self._sequence,
+                    log_number=self._wal_number,
+                ),
+                sync=True,
+            )
+            self._manifest.close()
+
+    def __enter__(self) -> "DB":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,192 @@
+"""Version edits and the MANIFEST log.
+
+The tree shape (which SSTables at which levels) must survive restarts.
+As in LevelDB, every mutation — memtable flush, compaction — is
+recorded as a :class:`VersionEdit` appended to a MANIFEST file (using
+the same record framing as the WAL), and a tiny ``CURRENT`` file names
+the live manifest.  Recovery replays the edit sequence into a
+:class:`repro.lsm.version.Version`.
+
+Edit wire format: a sequence of varint-tagged fields::
+
+    1 log_number          varint
+    2 next_file_number    varint
+    3 last_sequence       varint
+    4 new file            level, number, size, len+smallest, len+largest
+    5 deleted file        level, number
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..codec.varint import decode_varint64, encode_varint64
+from ..devices.vfs import Storage
+from ..lsm.options import Options
+from ..lsm.version import FileMetaData, Version
+from ..lsm.wal import LogReader, LogWriter
+
+__all__ = ["VersionEdit", "ManifestWriter", "recover_version", "CURRENT_NAME"]
+
+CURRENT_NAME = "CURRENT"
+
+_TAG_LOG_NUMBER = 1
+_TAG_NEXT_FILE = 2
+_TAG_LAST_SEQUENCE = 3
+_TAG_NEW_FILE = 4
+_TAG_DELETED_FILE = 5
+
+
+@dataclass
+class VersionEdit:
+    """One atomic change to the tree shape."""
+
+    log_number: Optional[int] = None
+    next_file_number: Optional[int] = None
+    last_sequence: Optional[int] = None
+    new_files: list[tuple[int, FileMetaData]] = field(default_factory=list)
+    deleted_files: list[tuple[int, int]] = field(default_factory=list)
+
+    def add_file(self, level: int, meta: FileMetaData) -> "VersionEdit":
+        self.new_files.append((level, meta))
+        return self
+
+    def delete_file(self, level: int, number: int) -> "VersionEdit":
+        self.deleted_files.append((level, number))
+        return self
+
+    def encode(self) -> bytes:
+        out = bytearray()
+        if self.log_number is not None:
+            out += encode_varint64(_TAG_LOG_NUMBER)
+            out += encode_varint64(self.log_number)
+        if self.next_file_number is not None:
+            out += encode_varint64(_TAG_NEXT_FILE)
+            out += encode_varint64(self.next_file_number)
+        if self.last_sequence is not None:
+            out += encode_varint64(_TAG_LAST_SEQUENCE)
+            out += encode_varint64(self.last_sequence)
+        for level, meta in self.new_files:
+            out += encode_varint64(_TAG_NEW_FILE)
+            out += encode_varint64(level)
+            out += encode_varint64(meta.number)
+            out += encode_varint64(meta.file_size)
+            out += encode_varint64(len(meta.smallest))
+            out += meta.smallest
+            out += encode_varint64(len(meta.largest))
+            out += meta.largest
+        for level, number in self.deleted_files:
+            out += encode_varint64(_TAG_DELETED_FILE)
+            out += encode_varint64(level)
+            out += encode_varint64(number)
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, blob: bytes) -> "VersionEdit":
+        edit = cls()
+        pos = 0
+        n = len(blob)
+        while pos < n:
+            tag, pos = decode_varint64(blob, pos)
+            if tag == _TAG_LOG_NUMBER:
+                edit.log_number, pos = decode_varint64(blob, pos)
+            elif tag == _TAG_NEXT_FILE:
+                edit.next_file_number, pos = decode_varint64(blob, pos)
+            elif tag == _TAG_LAST_SEQUENCE:
+                edit.last_sequence, pos = decode_varint64(blob, pos)
+            elif tag == _TAG_NEW_FILE:
+                level, pos = decode_varint64(blob, pos)
+                number, pos = decode_varint64(blob, pos)
+                size, pos = decode_varint64(blob, pos)
+                slen, pos = decode_varint64(blob, pos)
+                smallest = blob[pos : pos + slen]
+                pos += slen
+                llen, pos = decode_varint64(blob, pos)
+                largest = blob[pos : pos + llen]
+                pos += llen
+                if len(smallest) != slen or len(largest) != llen:
+                    raise ValueError("truncated file keys in version edit")
+                edit.new_files.append(
+                    (level, FileMetaData(number, size, smallest, largest))
+                )
+            elif tag == _TAG_DELETED_FILE:
+                level, pos = decode_varint64(blob, pos)
+                number, pos = decode_varint64(blob, pos)
+                edit.deleted_files.append((level, number))
+            else:
+                raise ValueError(f"unknown version-edit tag {tag}")
+        return edit
+
+    def apply(self, version: Version) -> None:
+        """Mutate ``version`` per this edit (deletes first, then adds)."""
+        for level, number in self.deleted_files:
+            version.remove_file(level, number)
+        for level, meta in self.new_files:
+            version.add_file(level, meta)
+
+
+class ManifestWriter:
+    """Appends version edits to the live MANIFEST."""
+
+    def __init__(self, storage: Storage, name: str, create: bool = True) -> None:
+        self.storage = storage
+        self.name = name
+        if create:
+            self._log = LogWriter(storage.create(name))
+        else:  # pragma: no cover - reserved for reopen-append support
+            raise NotImplementedError("manifest reopen not supported; create new")
+
+    def append(self, edit: VersionEdit, sync: bool = False) -> None:
+        self._log.add_record(edit.encode())
+        if sync:
+            self._log.sync()
+
+    def close(self) -> None:
+        self._log.close()
+
+
+def set_current(storage: Storage, manifest_name: str) -> None:
+    """Atomically point CURRENT at ``manifest_name``."""
+    tmp = CURRENT_NAME + ".tmp"
+    with storage.create(tmp) as f:
+        f.append(manifest_name.encode() + b"\n")
+        f.sync()
+    storage.rename(tmp, CURRENT_NAME)
+
+
+def read_current(storage: Storage) -> Optional[str]:
+    """The live manifest's name, or None for a fresh directory."""
+    if not storage.exists(CURRENT_NAME):
+        return None
+    data = storage.open(CURRENT_NAME).read_all()
+    return data.decode().strip() or None
+
+
+def recover_version(
+    storage: Storage, options: Options
+) -> tuple[Version, int, int, Optional[int], Optional[str]]:
+    """Replay the MANIFEST.
+
+    Returns ``(version, next_file_number, last_sequence, log_number,
+    manifest_name)``; for a fresh directory the version is empty and
+    the manifest name is None.
+    """
+    version = Version(options)
+    next_file = 1
+    last_seq = 0
+    log_number: Optional[int] = None
+    manifest_name = read_current(storage)
+    if manifest_name is None:
+        return version, next_file, last_seq, log_number, None
+    reader = LogReader(storage.open(manifest_name))
+    for record in reader:
+        edit = VersionEdit.decode(record)
+        edit.apply(version)
+        if edit.next_file_number is not None:
+            next_file = edit.next_file_number
+        if edit.last_sequence is not None:
+            last_seq = edit.last_sequence
+        if edit.log_number is not None:
+            log_number = edit.log_number
+    return version, next_file, last_seq, log_number, manifest_name

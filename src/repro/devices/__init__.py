@@ -1,0 +1,39 @@
+"""Storage-device service-time models and the virtual filesystem."""
+
+from .base import AccessKind, Device, DeviceStats
+from .hdd import HDD, HDDSpec
+from .presets import DEVICE_PRESETS, PAPER_HDD, PAPER_SSD, make_device
+from .raid import RAID0, DiskArray
+from .ssd import SSD, SSDSpec
+from .vfs import (
+    MemStorage,
+    OSStorage,
+    ReadableFile,
+    Storage,
+    StorageError,
+    TimedStorage,
+    WritableFile,
+)
+
+__all__ = [
+    "AccessKind",
+    "DEVICE_PRESETS",
+    "Device",
+    "DeviceStats",
+    "DiskArray",
+    "HDD",
+    "HDDSpec",
+    "MemStorage",
+    "OSStorage",
+    "PAPER_HDD",
+    "PAPER_SSD",
+    "RAID0",
+    "ReadableFile",
+    "SSD",
+    "SSDSpec",
+    "Storage",
+    "StorageError",
+    "TimedStorage",
+    "WritableFile",
+    "make_device",
+]

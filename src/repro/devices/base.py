@@ -1,0 +1,149 @@
+"""Storage-device service-time models.
+
+A :class:`Device` answers one question: *how long does this I/O take?*
+Devices are deterministic oracles — given the same sequence of
+accesses they return the same times — so every experiment is exactly
+reproducible.  They also keep byte/op counters and remember the last
+access (stream id, kind, end offset) so models can distinguish
+sequential from random access, which is what makes the HDD's
+compaction profile seek-dominated (paper §IV-B: SSTables are
+dynamically allocated and read/write requests interleave, so the disk
+arm seeks between sub-tasks).
+
+Times are in **seconds**, sizes in **bytes**.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["AccessKind", "DeviceStats", "Device"]
+
+
+class AccessKind:
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass
+class DeviceStats:
+    """Cumulative counters for one device."""
+
+    bytes_read: int = 0
+    bytes_written: int = 0
+    reads: int = 0
+    writes: int = 0
+    read_time: float = 0.0
+    write_time: float = 0.0
+    seeks: int = 0
+
+    def total_bytes(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+    def total_time(self) -> float:
+        return self.read_time + self.write_time
+
+
+@dataclass
+class _LastAccess:
+    kind: Optional[str] = None
+    stream: Optional[object] = None
+    end_offset: Optional[int] = None
+
+
+class Device(ABC):
+    """Base class for service-time models.
+
+    ``stream`` identifies a logically contiguous access sequence (an
+    open file / SSTable being scanned).  An access is *sequential* when
+    it continues the previous access on this device: same stream, same
+    kind, and — when offsets are given — picking up exactly where the
+    last one ended.  Anything else counts as random and pays the
+    model's positioning cost.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.stats = DeviceStats()
+        self._last = _LastAccess()
+
+    # -- model hooks -------------------------------------------------
+    @abstractmethod
+    def _service_time(self, kind: str, size: int, sequential: bool) -> float:
+        """Service time for one access; implemented by models."""
+
+    # -- public API --------------------------------------------------
+    def read_time(
+        self,
+        size: int,
+        stream: Optional[object] = None,
+        offset: Optional[int] = None,
+    ) -> float:
+        """Charge a read of ``size`` bytes and return its service time."""
+        return self._access(AccessKind.READ, size, stream, offset)
+
+    def write_time(
+        self,
+        size: int,
+        stream: Optional[object] = None,
+        offset: Optional[int] = None,
+    ) -> float:
+        """Charge a write of ``size`` bytes and return its service time."""
+        return self._access(AccessKind.WRITE, size, stream, offset)
+
+    def estimate(self, kind: str, size: int, sequential: bool = False) -> float:
+        """Stateless service-time estimate (no counters, no positioning).
+
+        Used by cost models that need a deterministic per-sub-task time
+        independent of access history.
+        """
+        if size < 0:
+            raise ValueError(f"negative I/O size: {size}")
+        if kind not in (AccessKind.READ, AccessKind.WRITE):
+            raise ValueError(f"bad access kind: {kind!r}")
+        return self._service_time(kind, size, sequential)
+
+    def _access(
+        self, kind: str, size: int, stream: Optional[object], offset: Optional[int]
+    ) -> float:
+        if size < 0:
+            raise ValueError(f"negative I/O size: {size}")
+        sequential = self._is_sequential(kind, stream, offset)
+        t = self._service_time(kind, size, sequential)
+        if not sequential:
+            self.stats.seeks += 1
+        if kind == AccessKind.READ:
+            self.stats.bytes_read += size
+            self.stats.reads += 1
+            self.stats.read_time += t
+        else:
+            self.stats.bytes_written += size
+            self.stats.writes += 1
+            self.stats.write_time += t
+        last = self._last
+        last.kind = kind
+        last.stream = stream
+        last.end_offset = None if offset is None else offset + size
+        return t
+
+    def _is_sequential(
+        self, kind: str, stream: Optional[object], offset: Optional[int]
+    ) -> bool:
+        last = self._last
+        if last.kind is None:
+            return False
+        if last.kind != kind or last.stream != stream or stream is None:
+            return False
+        if offset is None or last.end_offset is None:
+            return True  # same stream+kind, no offsets given: assume continuation
+        return offset == last.end_offset
+
+    def reset(self) -> None:
+        """Clear counters and positioning state."""
+        self.stats = DeviceStats()
+        self._last = _LastAccess()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name!r}>"

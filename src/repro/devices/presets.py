@@ -1,0 +1,57 @@
+"""Named device presets calibrated against the paper's profiles.
+
+The calibration targets are the Fig 5 breakdown shapes at the default
+configuration (1 MB sub-tasks, 116 B key-value entries, lz77-class
+compression costs):
+
+* ``hdd``: read >40 % of sub-task time, read+write >60 %, compute ≈40 %
+  (7200 RPM SATA III data disk).
+* ``ssd``: compute >60 %, write time > read time, I/O <40 % total
+  (Intel X25-M-class SATA flash).
+
+See :mod:`repro.core.costmodel` for the matching compute-side numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .base import Device
+from .hdd import HDD, HDDSpec
+from .ssd import SSD, SSDSpec
+
+__all__ = ["make_device", "DEVICE_PRESETS", "PAPER_HDD", "PAPER_SSD"]
+
+PAPER_HDD = HDDSpec(
+    seek_s=0.012,
+    rotation_s=0.00417,
+    read_bandwidth=100e6,
+    write_bandwidth=85e6,
+    write_overhead_s=0.0,
+    seek_scale_per_gb=0.004,
+)
+
+PAPER_SSD = SSDSpec(
+    channels=8,
+    channel_chunk=128 * 1024,
+    read_bandwidth=250e6,
+    write_bandwidth=90e6,
+    read_latency_s=0.0001,
+    write_latency_s=0.0002,
+)
+
+DEVICE_PRESETS: dict[str, Callable[[str], Device]] = {
+    "hdd": lambda name: HDD(PAPER_HDD, name=name),
+    "ssd": lambda name: SSD(PAPER_SSD, name=name),
+}
+
+
+def make_device(kind: str, name: str | None = None) -> Device:
+    """Build a preset device: ``hdd`` or ``ssd``."""
+    try:
+        factory = DEVICE_PRESETS[kind]
+    except KeyError:
+        raise KeyError(
+            f"unknown device preset {kind!r}; available: {sorted(DEVICE_PRESETS)}"
+        ) from None
+    return factory(name or kind)

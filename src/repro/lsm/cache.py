@@ -1,0 +1,80 @@
+"""LRU block cache.
+
+Caches *decoded* data blocks keyed by ``(table_id, block_offset)`` so
+repeated point lookups skip S1–S3 (read, checksum, decompress).  The
+capacity is entry-counted; with the default 4 KiB blocks that makes
+sizing predictable.  Thread-safe: the DB's read path may race with the
+background compaction thread.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable, Optional
+
+__all__ = ["LRUCache", "CacheStats"]
+
+
+class CacheStats:
+    """Hit/miss counters."""
+
+    __slots__ = ("hits", "misses", "evictions")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class LRUCache:
+    """A plain LRU map with statistics."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._map: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._map)
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        with self._lock:
+            try:
+                value = self._map[key]
+            except KeyError:
+                self.stats.misses += 1
+                return None
+            self._map.move_to_end(key)
+            self.stats.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if self.capacity == 0:
+            return
+        with self._lock:
+            if key in self._map:
+                self._map.move_to_end(key)
+            self._map[key] = value
+            while len(self._map) > self.capacity:
+                self._map.popitem(last=False)
+                self.stats.evictions += 1
+
+    def invalidate(self, key: Hashable) -> None:
+        with self._lock:
+            self._map.pop(key, None)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._map.clear()

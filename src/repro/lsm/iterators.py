@@ -1,0 +1,114 @@
+"""Iterator combinators over ``(internal_key, value)`` streams.
+
+The engine's read path and compaction input both consume ordered
+streams of internal-key entries.  Sources are plain Python iterators
+(memtable, Table, Block all yield in internal order); this module
+provides:
+
+* :func:`merge_iterators` — heap-based k-way merge preserving internal
+  order across sources, with *source priority* for equal internal keys
+  (never happens for distinct sequences, but keeps ties deterministic).
+* :func:`visible_entries` — collapse a merged stream to the newest
+  entry per user key visible at a snapshot, dropping shadowed versions.
+* :func:`drop_tombstones` — additionally remove deletion markers
+  (legal only at the bottom level, where nothing older can exist).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Iterator, Optional
+
+from .ikey import KIND_DELETE, InternalKey, decode_internal_key
+
+__all__ = [
+    "drop_tombstones",
+    "merge_iterators",
+    "merge_iterators_reverse",
+    "visible_entries",
+]
+
+Entry = tuple[bytes, bytes]
+
+
+def merge_iterators(sources: Iterable[Iterator[Entry]]) -> Iterator[Entry]:
+    """K-way merge of internally-ordered entry streams.
+
+    Earlier sources win ties, so pass newer components first
+    (memtable, then L0 newest→oldest, then L1, ...).
+    """
+    heap: list[tuple[InternalKey, int, Entry, Iterator[Entry]]] = []
+    for priority, src in enumerate(sources):
+        it = iter(src)
+        first = next(it, None)
+        if first is not None:
+            heapq.heappush(heap, (InternalKey.decode(first[0]), priority, first, it))
+    while heap:
+        _, priority, entry, it = heapq.heappop(heap)
+        yield entry
+        nxt = next(it, None)
+        if nxt is not None:
+            heapq.heappush(heap, (InternalKey.decode(nxt[0]), priority, nxt, it))
+
+
+class _ReverseKey:
+    """Heap key that inverts internal-key order (for descending merges)."""
+
+    __slots__ = ("ikey",)
+
+    def __init__(self, ikey: bytes) -> None:
+        self.ikey = ikey
+
+    def __lt__(self, other: "_ReverseKey") -> bool:
+        from .ikey import internal_compare
+
+        return internal_compare(self.ikey, other.ikey) > 0
+
+
+def merge_iterators_reverse(
+    sources: Iterable[Iterator[Entry]],
+) -> Iterator[Entry]:
+    """K-way merge of *descending* entry streams, preserving descent.
+
+    Mirror of :func:`merge_iterators`: every source must already yield
+    in descending internal order (``iter_reverse`` family).
+    """
+    heap: list[tuple[_ReverseKey, int, Entry, Iterator[Entry]]] = []
+    for priority, src in enumerate(sources):
+        it = iter(src)
+        first = next(it, None)
+        if first is not None:
+            heapq.heappush(heap, (_ReverseKey(first[0]), priority, first, it))
+    while heap:
+        _, priority, entry, it = heapq.heappop(heap)
+        yield entry
+        nxt = next(it, None)
+        if nxt is not None:
+            heapq.heappush(heap, (_ReverseKey(nxt[0]), priority, nxt, it))
+
+
+def visible_entries(
+    merged: Iterator[Entry], snapshot: Optional[int] = None
+) -> Iterator[Entry]:
+    """Newest visible entry per user key (tombstones still emitted).
+
+    Entries with sequence > ``snapshot`` are invisible; among the rest,
+    only the first (newest) per user key survives.
+    """
+    current_user: Optional[bytes] = None
+    for ikey, value in merged:
+        user, seq, _kind = decode_internal_key(ikey)
+        if snapshot is not None and seq > snapshot:
+            continue
+        if user == current_user:
+            continue  # older, shadowed version
+        current_user = user
+        yield ikey, value
+
+
+def drop_tombstones(entries: Iterator[Entry]) -> Iterator[Entry]:
+    """Remove deletion markers from a visible-entries stream."""
+    for ikey, value in entries:
+        _, _, kind = decode_internal_key(ikey)
+        if kind != KIND_DELETE:
+            yield ikey, value

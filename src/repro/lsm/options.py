@@ -1,0 +1,64 @@
+"""Engine configuration.
+
+Defaults follow the paper's §IV-A experimental setup: 4 MB memtable,
+2 MB SSTables, 4 KB data blocks, snappy-class (``lz77``) compression.
+Level size thresholds grow exponentially (``level_multiplier``), which
+is what makes deeper trees as the working set grows and reproduces the
+Fig 10 throughput decline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Options"]
+
+
+@dataclass
+class Options:
+    """Tunable parameters of the LSM engine."""
+
+    memtable_bytes: int = 4 * 1024 * 1024
+    sstable_bytes: int = 2 * 1024 * 1024
+    block_bytes: int = 4 * 1024
+    block_restart_interval: int = 16
+    compression: str = "lz77"
+    checksum: str = "crc32"
+    num_levels: int = 7
+    # L0 flush files accumulate until this count triggers an L0->L1
+    # compaction; deeper levels compact on byte thresholds.
+    l0_compaction_trigger: int = 4
+    l0_stop_writes_trigger: int = 12
+    level1_bytes: int = 10 * 1024 * 1024
+    level_multiplier: int = 10
+    bloom_bits_per_key: int = 10
+    block_cache_entries: int = 1024
+    # WAL group size: the engine syncs the log every `wal_sync_interval`
+    # batches (0 = never sync; 1 = sync each batch).
+    wal_sync_interval: int = 0
+    paranoid_checks: bool = True
+
+    def max_bytes_for_level(self, level: int) -> float:
+        """Size threshold of ``level`` (level 0 is count-triggered)."""
+        if level < 1:
+            raise ValueError(f"levels >= 1 have byte thresholds, got {level}")
+        return self.level1_bytes * (self.level_multiplier ** (level - 1))
+
+    def validate(self) -> None:
+        """Raise ValueError on inconsistent settings."""
+        if self.memtable_bytes < 1024:
+            raise ValueError("memtable_bytes too small")
+        if self.block_bytes < 64:
+            raise ValueError("block_bytes too small")
+        if self.sstable_bytes < self.block_bytes:
+            raise ValueError("sstable_bytes must be >= block_bytes")
+        if self.block_restart_interval < 1:
+            raise ValueError("block_restart_interval must be >= 1")
+        if self.num_levels < 2:
+            raise ValueError("need at least 2 levels")
+        if self.level_multiplier < 2:
+            raise ValueError("level_multiplier must be >= 2")
+        if not 0 <= self.bloom_bits_per_key <= 64:
+            raise ValueError("bloom_bits_per_key out of range")
+        if self.l0_stop_writes_trigger < self.l0_compaction_trigger:
+            raise ValueError("l0 stop trigger below compaction trigger")

@@ -1,0 +1,151 @@
+"""On-disk SSTable framing shared by the builder and reader.
+
+An SSTable file is::
+
+    [data block + trailer] * N
+    [filter block + trailer]
+    [index block + trailer]
+    [footer]
+
+Each block trailer is 5 bytes: 1-byte compression type + 4-byte masked
+CRC of the stored payload *including* the type byte.  The footer is a
+fixed 48 bytes: filter handle + index handle (varint-encoded, zero
+padded to 40 bytes) followed by an 8-byte magic number.
+
+This framing is what the compaction pipeline's S1/S2/S3 (read,
+checksum, decompress) and S5/S6/S7 (compress, re-checksum, write)
+steps produce and consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..codec.checksum import Checksummer
+from ..codec.compress import Codec, get_codec
+from ..codec.varint import (
+    decode_varint64,
+    encode_varint64,
+    get_fixed32,
+    get_fixed64,
+    put_fixed32,
+    put_fixed64,
+)
+from ..devices.vfs import ReadableFile
+
+__all__ = [
+    "BLOCK_TRAILER_SIZE",
+    "FOOTER_SIZE",
+    "TABLE_MAGIC",
+    "COMPRESSION_TAGS",
+    "TAG_TO_CODEC",
+    "BlockHandle",
+    "Footer",
+    "TableCorruption",
+    "encode_block_contents",
+    "decode_block_contents",
+]
+
+BLOCK_TRAILER_SIZE = 5
+FOOTER_SIZE = 48
+TABLE_MAGIC = 0x7075_6C73_6564_6273  # "pulsedbs"
+
+COMPRESSION_TAGS = {"null": 0, "lz77": 1, "zlib": 2}
+TAG_TO_CODEC = {v: k for k, v in COMPRESSION_TAGS.items()}
+
+
+class TableCorruption(ValueError):
+    """Raised when SSTable framing fails validation."""
+
+
+@dataclass(frozen=True)
+class BlockHandle:
+    """Location of a block within the file (offset/size of payload)."""
+
+    offset: int
+    size: int
+
+    def encode(self) -> bytes:
+        return encode_varint64(self.offset) + encode_varint64(self.size)
+
+    @classmethod
+    def decode(cls, buf: bytes, pos: int = 0) -> tuple["BlockHandle", int]:
+        offset, pos = decode_varint64(buf, pos)
+        size, pos = decode_varint64(buf, pos)
+        return cls(offset, size), pos
+
+
+@dataclass(frozen=True)
+class Footer:
+    """Fixed-size table footer."""
+
+    filter_handle: BlockHandle
+    index_handle: BlockHandle
+    num_entries: int
+
+    def encode(self) -> bytes:
+        body = self.filter_handle.encode() + self.index_handle.encode()
+        if len(body) > 32:
+            raise TableCorruption("footer handles too large")
+        body += b"\x00" * (32 - len(body))
+        return body + put_fixed64(self.num_entries) + put_fixed64(TABLE_MAGIC)
+
+    @classmethod
+    def decode(cls, buf: bytes) -> "Footer":
+        if len(buf) != FOOTER_SIZE:
+            raise TableCorruption(f"footer must be {FOOTER_SIZE} bytes")
+        if get_fixed64(buf, 40) != TABLE_MAGIC:
+            raise TableCorruption("bad table magic (not an SSTable?)")
+        filter_handle, pos = BlockHandle.decode(buf, 0)
+        index_handle, _ = BlockHandle.decode(buf, pos)
+        num_entries = get_fixed64(buf, 32)
+        return cls(filter_handle, index_handle, num_entries)
+
+
+def encode_block_contents(
+    raw: bytes, codec: Codec, checksummer: Checksummer
+) -> bytes:
+    """Compress ``raw`` and attach the 5-byte trailer.
+
+    Compression is skipped (tag ``null``) when it does not shrink the
+    payload, mirroring LevelDB's 12.5 %-savings heuristic simplified to
+    "must strictly shrink".
+    """
+    compressed = codec.compress(raw)
+    if codec.name != "null" and len(compressed) < len(raw):
+        payload, tag = compressed, COMPRESSION_TAGS[codec.name]
+    else:
+        payload, tag = raw, COMPRESSION_TAGS["null"]
+    crc = checksummer.masked(payload + bytes([tag]))
+    return payload + bytes([tag]) + put_fixed32(crc)
+
+
+def decode_block_contents(
+    stored: bytes, checksummer: Checksummer, verify: bool = True
+) -> bytes:
+    """Verify trailer checksum, strip it, and decompress (S2 + S3)."""
+    if len(stored) < BLOCK_TRAILER_SIZE:
+        raise TableCorruption("block shorter than trailer")
+    payload = stored[:-BLOCK_TRAILER_SIZE]
+    tag = stored[-BLOCK_TRAILER_SIZE]
+    crc = get_fixed32(stored, len(stored) - 4)
+    if verify and not checksummer.verify(payload + bytes([tag]), crc):
+        raise TableCorruption("block checksum mismatch")
+    try:
+        codec_name = TAG_TO_CODEC[tag]
+    except KeyError:
+        raise TableCorruption(f"unknown compression tag {tag}") from None
+    return get_codec(codec_name).decompress(payload)
+
+
+def read_block(
+    file: ReadableFile, handle: BlockHandle
+) -> bytes:
+    """Read a block's stored bytes (payload + trailer) from a file (S1)."""
+    stored = file.pread(handle.offset, handle.size + BLOCK_TRAILER_SIZE)
+    if len(stored) != handle.size + BLOCK_TRAILER_SIZE:
+        raise TableCorruption(
+            f"short block read at offset {handle.offset}: "
+            f"wanted {handle.size + BLOCK_TRAILER_SIZE}, got {len(stored)}"
+        )
+    return stored

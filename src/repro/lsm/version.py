@@ -1,0 +1,166 @@
+"""Level metadata: which SSTables live where.
+
+A :class:`Version` is the immutable-ish snapshot of the tree shape —
+per level, the list of :class:`FileMetaData` in key order.  Level 0
+files may overlap (each is a dumped memtable); levels >= 1 hold
+disjoint key ranges, the invariant that makes the paper's sub-task
+partitioning legal ("the key ranges of different data blocks in the
+same component do not overlap, there is no data dependency among
+them").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .ikey import internal_compare
+from .options import Options
+
+__all__ = ["FileMetaData", "Version"]
+
+
+@dataclass
+class FileMetaData:
+    """One SSTable's bookkeeping entry."""
+
+    number: int
+    file_size: int
+    smallest: bytes  # internal keys
+    largest: bytes
+    file_name: Optional[str] = None  # defaults to the standard pattern
+
+    @property
+    def name(self) -> str:
+        return self.file_name if self.file_name is not None else sstable_name(
+            self.number
+        )
+
+    def overlaps(self, smallest_user: Optional[bytes], largest_user: Optional[bytes]) -> bool:
+        """Does this file's user-key range intersect [smallest, largest]?
+
+        ``None`` bounds are infinite.
+        """
+        file_small = self.smallest[:-8]
+        file_large = self.largest[:-8]
+        if largest_user is not None and file_small > largest_user:
+            return False
+        if smallest_user is not None and file_large < smallest_user:
+            return False
+        return True
+
+
+def sstable_name(number: int) -> str:
+    return f"{number:06d}.sst"
+
+
+class Version:
+    """Tree shape: files per level plus invariant checking."""
+
+    def __init__(self, options: Options) -> None:
+        self.options = options
+        self.files: list[list[FileMetaData]] = [
+            [] for _ in range(options.num_levels)
+        ]
+
+    # -- mutation (the DB applies edits under its own lock) ----------
+    def add_file(self, level: int, meta: FileMetaData) -> None:
+        if not 0 <= level < self.options.num_levels:
+            raise ValueError(f"level {level} out of range")
+        lst = self.files[level]
+        if level == 0:
+            lst.append(meta)  # L0 kept in arrival order (newest last)
+        else:
+            # Insert preserving key order; overlap is an invariant error.
+            idx = 0
+            while idx < len(lst) and internal_compare(
+                lst[idx].smallest, meta.smallest
+            ) < 0:
+                idx += 1
+            lst.insert(idx, meta)
+
+    def remove_file(self, level: int, number: int) -> FileMetaData:
+        lst = self.files[level]
+        for i, meta in enumerate(lst):
+            if meta.number == number:
+                return lst.pop(i)
+        raise KeyError(f"file {number} not at level {level}")
+
+    # -- queries ------------------------------------------------------
+    def num_files(self, level: int) -> int:
+        return len(self.files[level])
+
+    def level_bytes(self, level: int) -> int:
+        return sum(f.file_size for f in self.files[level])
+
+    def total_bytes(self) -> int:
+        return sum(self.level_bytes(lv) for lv in range(self.options.num_levels))
+
+    def all_files(self) -> list[tuple[int, FileMetaData]]:
+        return [
+            (level, meta)
+            for level in range(self.options.num_levels)
+            for meta in self.files[level]
+        ]
+
+    def files_for_get(self, user_key: bytes) -> list[tuple[int, FileMetaData]]:
+        """Files that may hold ``user_key``, newest-first search order.
+
+        L0 newest→oldest (all overlapping candidates), then at most one
+        file per deeper level.
+        """
+        out: list[tuple[int, FileMetaData]] = []
+        for meta in reversed(self.files[0]):
+            if meta.overlaps(user_key, user_key):
+                out.append((0, meta))
+        for level in range(1, self.options.num_levels):
+            meta = self._find_in_level(level, user_key)
+            if meta is not None:
+                out.append((level, meta))
+        return out
+
+    def _find_in_level(self, level: int, user_key: bytes) -> Optional[FileMetaData]:
+        lst = self.files[level]
+        lo, hi = 0, len(lst)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if lst[mid].largest[:-8] < user_key:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < len(lst) and lst[lo].overlaps(user_key, user_key):
+            return lst[lo]
+        return None
+
+    def overlapping_files(
+        self,
+        level: int,
+        smallest_user: Optional[bytes],
+        largest_user: Optional[bytes],
+    ) -> list[FileMetaData]:
+        """Files at ``level`` intersecting a user-key range."""
+        return [
+            meta
+            for meta in self.files[level]
+            if meta.overlaps(smallest_user, largest_user)
+        ]
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if level ordering invariants are broken."""
+        for level in range(1, self.options.num_levels):
+            lst = self.files[level]
+            for a, b in zip(lst, lst[1:]):
+                assert internal_compare(a.largest, b.smallest) < 0, (
+                    f"level {level}: {a.number} overlaps {b.number}"
+                )
+
+    def describe(self) -> str:
+        """Human-readable tree shape (for logs and debugging)."""
+        lines = []
+        for level in range(self.options.num_levels):
+            if self.files[level]:
+                sizes = ", ".join(
+                    f"#{m.number}:{m.file_size // 1024}K" for m in self.files[level]
+                )
+                lines.append(f"L{level}({len(self.files[level])}): {sizes}")
+        return "\n".join(lines) or "(empty)"

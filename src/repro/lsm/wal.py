@@ -1,0 +1,237 @@
+"""Write-ahead log: LevelDB's record-oriented log format.
+
+The log is a sequence of 32 KiB blocks.  A record is split into
+fragments, each with a 7-byte header: masked CRC-32 (4), payload
+length (2), fragment type (1) — FULL, FIRST, MIDDLE, or LAST.  A block
+tail shorter than a header is zero-padded.  The reader tolerates a
+truncated final record (a crash mid-append) but reports corruption in
+the interior.
+
+What goes *into* records is the engine's write-batch encoding
+(:class:`WriteBatch`): a 8-byte sequence, 4-byte count, then per-op
+``kind`` byte and length-prefixed key/value.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, Optional
+
+from ..codec.checksum import crc32, mask_crc, unmask_crc
+from ..codec.varint import (
+    decode_varint32,
+    encode_varint32,
+    get_fixed32,
+    get_fixed64,
+    put_fixed32,
+    put_fixed64,
+)
+from ..devices.vfs import ReadableFile, WritableFile
+from .ikey import KIND_DELETE, KIND_VALUE
+
+__all__ = [
+    "BLOCK_SIZE",
+    "HEADER_SIZE",
+    "LogWriter",
+    "LogReader",
+    "LogCorruption",
+    "WriteBatch",
+]
+
+BLOCK_SIZE = 32 * 1024
+HEADER_SIZE = 7
+
+_FULL, _FIRST, _MIDDLE, _LAST = 1, 2, 3, 4
+_HEADER = struct.Struct("<IHB")
+
+
+class LogCorruption(ValueError):
+    """Raised on interior log corruption (bad CRC, bad fragment type)."""
+
+
+class LogWriter:
+    """Appends records to a log file."""
+
+    def __init__(self, file: WritableFile) -> None:
+        self._file = file
+        self._block_offset = 0
+
+    def add_record(self, payload: bytes) -> None:
+        """Append one record, fragmenting across block boundaries."""
+        left = memoryview(payload)
+        begin = True
+        while True:
+            leftover = BLOCK_SIZE - self._block_offset
+            if leftover < HEADER_SIZE:
+                # Pad the block tail with zeros and start a new block.
+                if leftover > 0:
+                    self._file.append(b"\x00" * leftover)
+                self._block_offset = 0
+                leftover = BLOCK_SIZE
+            avail = leftover - HEADER_SIZE
+            fragment = left[:avail]
+            left = left[avail:]
+            end = len(left) == 0
+            if begin and end:
+                ftype = _FULL
+            elif begin:
+                ftype = _FIRST
+            elif end:
+                ftype = _LAST
+            else:
+                ftype = _MIDDLE
+            self._emit(ftype, bytes(fragment))
+            begin = False
+            if end:
+                return
+
+    def _emit(self, ftype: int, data: bytes) -> None:
+        crc = mask_crc(crc32(bytes([ftype]) + data))
+        self._file.append(_HEADER.pack(crc, len(data), ftype))
+        self._file.append(data)
+        self._block_offset += HEADER_SIZE + len(data)
+
+    def sync(self) -> None:
+        self._file.sync()
+
+    def close(self) -> None:
+        self._file.close()
+
+
+class LogReader:
+    """Iterates records from a log file."""
+
+    def __init__(self, file: ReadableFile, verify_checksums: bool = True) -> None:
+        self._data = file.read_all()
+        self._verify = verify_checksums
+
+    def __iter__(self) -> Iterator[bytes]:
+        data = self._data
+        size = len(data)
+        pos = 0
+        pending: list[bytes] = []
+        in_record = False
+        while pos + HEADER_SIZE <= size:
+            block_left = BLOCK_SIZE - (pos % BLOCK_SIZE)
+            if block_left < HEADER_SIZE:
+                pos += block_left  # skip zero padding
+                continue
+            crc, length, ftype = _HEADER.unpack_from(data, pos)
+            if ftype == 0 and length == 0 and crc == 0:
+                # Zero fill (preallocated tail); skip to next block.
+                pos += block_left
+                continue
+            frag_end = pos + HEADER_SIZE + length
+            if frag_end > size:
+                break  # truncated tail: tolerated (crash mid-append)
+            payload = data[pos + HEADER_SIZE : frag_end]
+            if self._verify and crc32(bytes([ftype]) + payload) != unmask_crc(crc):
+                raise LogCorruption(f"bad fragment checksum at offset {pos}")
+            pos = frag_end
+            if ftype == _FULL:
+                if in_record:
+                    raise LogCorruption("FULL fragment inside open record")
+                yield payload
+            elif ftype == _FIRST:
+                if in_record:
+                    raise LogCorruption("FIRST fragment inside open record")
+                pending = [payload]
+                in_record = True
+            elif ftype == _MIDDLE:
+                if not in_record:
+                    raise LogCorruption("MIDDLE fragment without FIRST")
+                pending.append(payload)
+            elif ftype == _LAST:
+                if not in_record:
+                    raise LogCorruption("LAST fragment without FIRST")
+                pending.append(payload)
+                in_record = False
+                yield b"".join(pending)
+                pending = []
+            else:
+                raise LogCorruption(f"unknown fragment type {ftype}")
+        # A dangling FIRST/MIDDLE at EOF is a torn write: tolerated.
+
+
+class WriteBatch:
+    """An atomic group of puts/deletes with one starting sequence."""
+
+    _BATCH_HEADER = 12  # 8-byte sequence + 4-byte count
+
+    def __init__(self) -> None:
+        self._ops: list[tuple[int, bytes, bytes]] = []
+
+    def put(self, key: bytes, value: bytes) -> "WriteBatch":
+        if not isinstance(key, bytes) or not isinstance(value, bytes):
+            raise TypeError("keys and values must be bytes")
+        if not key:
+            raise ValueError("empty keys are not allowed")
+        self._ops.append((KIND_VALUE, key, value))
+        return self
+
+    def delete(self, key: bytes) -> "WriteBatch":
+        if not isinstance(key, bytes):
+            raise TypeError("keys must be bytes")
+        if not key:
+            raise ValueError("empty keys are not allowed")
+        self._ops.append((KIND_DELETE, key, b""))
+        return self
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __iter__(self) -> Iterator[tuple[int, bytes, bytes]]:
+        return iter(self._ops)
+
+    def byte_size(self) -> int:
+        """Approximate encoded size (for memtable accounting)."""
+        return self._BATCH_HEADER + sum(
+            1 + 10 + len(k) + len(v) for _, k, v in self._ops
+        )
+
+    def encode(self, sequence: int) -> bytes:
+        """Serialize with the batch's starting sequence number."""
+        out = bytearray(put_fixed64(sequence))
+        out += put_fixed32(len(self._ops))
+        for kind, key, value in self._ops:
+            out.append(kind)
+            out += encode_varint32(len(key))
+            out += key
+            if kind == KIND_VALUE:
+                out += encode_varint32(len(value))
+                out += value
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, blob: bytes) -> tuple["WriteBatch", int]:
+        """Parse an encoded batch → ``(batch, starting_sequence)``."""
+        if len(blob) < cls._BATCH_HEADER:
+            raise ValueError("batch blob too short")
+        sequence = get_fixed64(blob, 0)
+        count = get_fixed32(blob, 8)
+        batch = cls()
+        pos = cls._BATCH_HEADER
+        for _ in range(count):
+            if pos >= len(blob):
+                raise ValueError("truncated batch: missing op kind")
+            kind = blob[pos]
+            pos += 1
+            klen, pos = decode_varint32(blob, pos)
+            key = blob[pos : pos + klen]
+            if len(key) != klen:
+                raise ValueError("truncated batch key")
+            pos += klen
+            if kind == KIND_VALUE:
+                vlen, pos = decode_varint32(blob, pos)
+                value = blob[pos : pos + vlen]
+                if len(value) != vlen:
+                    raise ValueError("truncated batch value")
+                pos += vlen
+                batch.put(bytes(key), bytes(value))
+            elif kind == KIND_DELETE:
+                batch.delete(bytes(key))
+            else:
+                raise ValueError(f"unknown batch op kind {kind}")
+        if pos != len(blob):
+            raise ValueError("trailing bytes after batch ops")
+        return batch, sequence

@@ -1,0 +1,20 @@
+"""Minimal discrete-event simulation kernel (virtual-time substrate)."""
+
+from .core import AllOf, AnyOf, Event, Process, SimulationError, Simulator, Timeout
+from .resources import Request, Resource, Utilization
+from .store import Store, StoreClosed
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Process",
+    "Request",
+    "Resource",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "StoreClosed",
+    "Timeout",
+    "Utilization",
+]

@@ -1,0 +1,309 @@
+"""A minimal discrete-event simulation kernel.
+
+This is the virtual-time substrate the compaction executors run on when
+quantitative, deterministic timing is wanted (CPython's GIL prevents a
+pure-Python threaded build from actually overlapping compute with I/O,
+so wall-clock measurements cannot reproduce the paper's figures — see
+DESIGN.md).  The kernel is SimPy-flavoured but deliberately small:
+
+* :class:`Event` — one-shot occurrence with callbacks and a value.
+* :class:`Process` — a generator that yields events; it is resumed with
+  the event's value when the event fires, and is itself an event that
+  fires when the generator returns.
+* :class:`Simulator` — the event calendar and virtual clock.
+
+Everything is deterministic: ties in time are broken by schedule order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = ["AllOf", "AnyOf", "Event", "Process", "SimulationError", "Simulator", "Timeout"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for illegal kernel operations (e.g. double-trigger)."""
+
+
+_PENDING = object()
+
+
+class Event:
+    """A one-shot event on a :class:`Simulator`.
+
+    Processes wait on events by ``yield``-ing them.  An event succeeds
+    with a value (:meth:`succeed`) or fails with an exception
+    (:meth:`fail`); either transition is final.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "name")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[[Event], None]]] = []
+        self._value: Any = _PENDING
+        self._ok = True
+        self.name = name
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True when the event succeeded (valid after triggering)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError(f"event {self!r} has no value yet")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully at the current time."""
+        if self.triggered:
+            raise SimulationError(f"event {self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event with an exception at the current time."""
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() needs an exception instance")
+        if self.triggered:
+            raise SimulationError(f"event {self!r} already triggered")
+        self._ok = False
+        self._value = exc
+        self.sim._schedule(self)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "pending" if not self.triggered else ("ok" if self._ok else "failed")
+        label = f" {self.name}" if self.name else ""
+        return f"<{type(self).__name__}{label} {state}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        super().__init__(sim, name=f"timeout({delay})")
+        self._ok = True
+        self._value = value
+        sim._schedule(self, delay)
+
+
+class AllOf(Event):
+    """Fires when every event in ``events`` has succeeded.
+
+    Its value is the list of the constituent events' values, in input
+    order.  If any constituent fails, this event fails with the same
+    exception (first failure wins).
+    """
+
+    __slots__ = ("_events", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim, name="all_of")
+        self._events = list(events)
+        self._remaining = 0
+        for ev in self._events:
+            if ev.processed:
+                continue
+            self._remaining += 1
+            ev.callbacks.append(self._on_child)
+        if self._remaining == 0 and not self.triggered:
+            self.succeed([ev.value for ev in self._events])
+
+    def _on_child(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev.ok:
+            self.fail(ev.value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([e.value for e in self._events])
+
+
+class AnyOf(Event):
+    """Fires as soon as the first of ``events`` succeeds.
+
+    Its value is ``(index, value)`` of the winner.  A constituent
+    failure fails this event too (fail-fast).  Later completions are
+    ignored (this event is one-shot).
+    """
+
+    __slots__ = ("_events",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim, name="any_of")
+        self._events = list(events)
+        if not self._events:
+            raise ValueError("any_of needs at least one event")
+        done = False
+        for index, ev in enumerate(self._events):
+            if ev.processed:
+                if not done:
+                    if ev.ok:
+                        self.succeed((index, ev.value))
+                    else:
+                        self.fail(ev.value)
+                    done = True
+                continue
+            ev.callbacks.append(self._make_callback(index))
+
+    def _make_callback(self, index: int):
+        def _on_child(ev: Event) -> None:
+            if self.triggered:
+                return
+            if ev.ok:
+                self.succeed((index, ev.value))
+            else:
+                self.fail(ev.value)
+
+        return _on_child
+
+
+class Process(Event):
+    """Wrap a generator as a process; also an event (fires on return)."""
+
+    __slots__ = ("_gen",)
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = "") -> None:
+        if not hasattr(gen, "send"):
+            raise TypeError(f"process target must be a generator, got {gen!r}")
+        super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
+        self._gen = gen
+        # Bootstrap: resume the generator at the current simulation time.
+        boot = Event(sim, name=f"init:{self.name}")
+        boot._ok = True
+        boot._value = None
+        boot.callbacks.append(self._resume)
+        sim._schedule(boot)
+
+    def _resume(self, trigger: Event) -> None:
+        sim = self.sim
+        event = trigger
+        while True:
+            try:
+                if event._ok:
+                    target = self._gen.send(event._value)
+                else:
+                    target = self._gen.throw(event._value)
+            except StopIteration as stop:
+                if not self.triggered:
+                    self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                if not self.triggered:
+                    self.fail(exc)
+                    return
+                raise
+            if not isinstance(target, Event):
+                raise SimulationError(
+                    f"process {self.name!r} yielded {target!r}, not an Event"
+                )
+            if target.sim is not sim:
+                raise SimulationError("yielded event belongs to another simulator")
+            if target.processed:
+                # Already fired and processed: resume immediately.
+                event = target
+                continue
+            target.callbacks.append(self._resume)
+            return
+
+
+class Simulator:
+    """Virtual clock plus event calendar.
+
+    Typical use::
+
+        sim = Simulator()
+
+        def worker(sim):
+            yield sim.timeout(5.0)
+            return "done"
+
+        proc = sim.process(worker(sim))
+        sim.run()
+        assert sim.now == 5.0 and proc.value == "done"
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: list[tuple[float, int, Event]] = []
+        self._seq = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+
+    def event(self, name: str = "") -> Event:
+        """Create an untriggered event."""
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires after ``delay`` virtual time units."""
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        """Register a generator as a process; returns its Process event."""
+        return Process(self, gen, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires once every input event has succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires with the first completed input event."""
+        return AnyOf(self, events)
+
+    def step(self) -> None:
+        """Process the single next event in the calendar."""
+        when, _, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for cb in callbacks:
+            cb(event)
+        if not event._ok and not callbacks:
+            # A failed event nobody waited on: surface the error.
+            raise event._value
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the calendar drains or ``until`` time is reached.
+
+        Returns the final virtual time.
+        """
+        if until is not None and until < self._now:
+            raise ValueError(f"until={until} is in the past (now={self._now})")
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self._now = until
+                return self._now
+            self.step()
+        return self._now
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` when drained."""
+        return self._queue[0][0] if self._queue else float("inf")

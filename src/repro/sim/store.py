@@ -1,0 +1,110 @@
+"""Bounded FIFO channel between simulated processes.
+
+:class:`Store` is the inter-stage queue of the pipelined compaction
+procedure: the *read* stage ``put``s decoded blocks, the *compute*
+stage ``get``s them, and the bound models the finite buffering between
+pipeline stages (which produces the fill/drain overhead the paper
+measures as the ~10 % gap between ideal and practical speedup).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+from .core import Event, Simulator
+
+__all__ = ["Store", "StoreClosed"]
+
+
+class StoreClosed(RuntimeError):
+    """Raised at getters when the store is closed and drained."""
+
+
+class Store:
+    """Bounded FIFO with blocking ``put``/``get`` events.
+
+    ``capacity=None`` means unbounded.  :meth:`close` signals
+    end-of-stream: pending and future ``get``s fail with
+    :class:`StoreClosed` once the buffer drains, which lets pipeline
+    consumers terminate cleanly.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: Optional[int] = None,
+        name: str = "store",
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+        self._closed = False
+        self.max_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def put(self, item: Any) -> Event:
+        """Insert ``item``; the event fires when space was available."""
+        if self._closed:
+            raise StoreClosed(f"put on closed store {self.name!r}")
+        ev = Event(self.sim, name=f"put({self.name})")
+        if self._getters:
+            # Hand the item straight to a waiting consumer.
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            ev.succeed(None)
+        elif self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            self.max_occupancy = max(self.max_occupancy, len(self._items))
+            ev.succeed(None)
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> Event:
+        """Remove the oldest item; fires with the item as value.
+
+        Fails with :class:`StoreClosed` when the store is closed and
+        empty.
+        """
+        ev = Event(self.sim, name=f"get({self.name})")
+        if self._items:
+            item = self._items.popleft()
+            self._admit_putter()
+            ev.succeed(item)
+        elif self._closed:
+            ev.fail(StoreClosed(f"store {self.name!r} closed"))
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def _admit_putter(self) -> None:
+        if self._putters:
+            pev, pitem = self._putters.popleft()
+            self._items.append(pitem)
+            self.max_occupancy = max(self.max_occupancy, len(self._items))
+            pev.succeed(None)
+
+    def close(self) -> None:
+        """Mark end-of-stream; wake blocked getters with StoreClosed."""
+        if self._closed:
+            return
+        self._closed = True
+        # Items still buffered will be drained by future get()s; only
+        # getters that can never be satisfied fail now.
+        if not self._items:
+            while self._getters:
+                self._getters.popleft().fail(
+                    StoreClosed(f"store {self.name!r} closed")
+                )

@@ -1,0 +1,5 @@
+"""Command-line administration tools."""
+
+from .dbtool import main as dbtool_main
+
+__all__ = ["dbtool_main"]

@@ -1,0 +1,179 @@
+"""``python -m repro.tools.dbtool`` — database administration CLI.
+
+Commands (all take a database directory):
+
+* ``stats <dir>``    — tree shape, per-level sizes, entry counts.
+* ``verify <dir>``   — full integrity check (exit code 1 on corruption).
+* ``repair <dir>``   — rebuild CURRENT/MANIFEST from salvageable tables.
+* ``dump <dir>``     — print live key/value pairs (optionally a range).
+* ``compact <dir>``  — run compactions until the tree is quiescent.
+
+Engine options that affect on-disk interpretation (block checksum kind,
+compression) are format-self-describing, so the defaults work for any
+database written by this library.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..db.db import DB
+from ..db.verify import repair_db, verify_db
+from ..devices.vfs import OSStorage
+from ..lsm.options import Options
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dbtool",
+        description="Administer a repro LSM database directory.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, help_ in [
+        ("stats", "show tree shape and counters"),
+        ("verify", "check checksums, ordering, and level invariants"),
+        ("repair", "rebuild the manifest from salvageable SSTables"),
+        ("dump", "print live key/value pairs"),
+        ("compact", "compact until quiescent"),
+    ]:
+        cmd = sub.add_parser(name, help=help_)
+        cmd.add_argument("directory", help="database directory")
+        if name == "dump":
+            cmd.add_argument("--start", type=_bytes_arg, default=None)
+            cmd.add_argument("--end", type=_bytes_arg, default=None)
+            cmd.add_argument("--limit", type=int, default=None)
+            cmd.add_argument(
+                "--keys-only", action="store_true", help="omit values"
+            )
+
+    sst = sub.add_parser("sst", help="inspect one SSTable file")
+    sst.add_argument("directory", help="database directory")
+    sst.add_argument("file", help="table file name, e.g. 000004.sst")
+    return parser
+
+
+def _bytes_arg(text: str) -> bytes:
+    return text.encode()
+
+
+def _open_db(directory: str) -> DB:
+    return DB(OSStorage(directory), Options())
+
+
+def cmd_stats(args) -> int:
+    db = _open_db(args.directory)
+    try:
+        print(db.get_property("sstables"))
+        total = db.total_bytes()
+        print(f"total table bytes: {total} ({total / 1e6:.2f} MB)")
+        levels = [
+            f"L{lv}={db.num_files(lv)}"
+            for lv in range(db.options.num_levels)
+            if db.num_files(lv)
+        ]
+        print("files per level:", " ".join(levels) or "(none)")
+        print("live entries:", db.cursor().count())
+    finally:
+        db.close()
+    return 0
+
+
+def cmd_verify(args) -> int:
+    report = verify_db(OSStorage(args.directory), Options())
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def cmd_repair(args) -> int:
+    result = repair_db(OSStorage(args.directory), Options())
+    print(f"salvaged {len(result['salvaged'])} tables")
+    for name in result["salvaged"]:
+        print(f"  + {name}")
+    if result["dropped"]:
+        print(f"dropped {len(result['dropped'])} corrupt tables")
+        for name in result["dropped"]:
+            print(f"  - {name}")
+    return 0
+
+
+def cmd_dump(args) -> int:
+    db = _open_db(args.directory)
+    try:
+        count = 0
+        for key, value in db.scan(args.start, args.end):
+            if args.limit is not None and count >= args.limit:
+                break
+            if args.keys_only:
+                print(key.decode(errors="backslashreplace"))
+            else:
+                print(
+                    key.decode(errors="backslashreplace"),
+                    "=",
+                    value.decode(errors="backslashreplace"),
+                )
+            count += 1
+        print(f"({count} entries)", file=sys.stderr)
+    finally:
+        db.close()
+    return 0
+
+
+def cmd_compact(args) -> int:
+    db = _open_db(args.directory)
+    try:
+        n = db.compact_range()
+        print(f"ran {n} compactions")
+        print(db.get_property("sstables"))
+    finally:
+        db.close()
+    return 0
+
+
+def cmd_sst(args) -> int:
+    from ..lsm.ikey import decode_internal_key
+    from ..lsm.table_reader import Table
+
+    storage = OSStorage(args.directory)
+    table = Table(storage.open(args.file), Options())
+    handles = table.block_handles()
+    stored = sum(h.size + 5 for h in handles)
+    entries = list(table)
+    raw = sum(len(k) + len(v) for k, v in entries)
+    first_user = decode_internal_key(entries[0][0])[0] if entries else b""
+    last_user = decode_internal_key(entries[-1][0])[0] if entries else b""
+    print(f"file:          {args.file}")
+    print(f"size:          {storage.file_size(args.file)} bytes")
+    print(f"data blocks:   {len(handles)}")
+    print(f"entries:       {len(entries)} (footer: {table.num_entries})")
+    print(f"key range:     {first_user!r} .. {last_user!r}")
+    if raw:
+        print(f"block payload: {stored} bytes "
+              f"({stored / raw:.2f}x of {raw} raw key+value bytes)")
+    seqs = [decode_internal_key(k)[1] for k, _ in entries]
+    if seqs:
+        print(f"sequences:     {min(seqs)} .. {max(seqs)}")
+    table.close()
+    return 0
+
+
+_COMMANDS = {
+    "stats": cmd_stats,
+    "verify": cmd_verify,
+    "repair": cmd_repair,
+    "dump": cmd_dump,
+    "compact": cmd_compact,
+    "sst": cmd_sst,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,34 @@
+"""Workload generation: key distributions, insert streams, YCSB mixes."""
+
+from .generators import DEFAULT_VALUE_BYTES, InsertWorkload, ValueGenerator, make_workload
+from .keys import (
+    KEY_WIDTH,
+    ZipfGenerator,
+    format_key,
+    sequential_keys,
+    uniform_keys,
+    zipfian_keys,
+)
+from .trace import TraceError, TraceWriter, read_trace, record_workload, replay_trace
+from .ycsb import YCSB_MIXES, Op, YCSBWorkload
+
+__all__ = [
+    "DEFAULT_VALUE_BYTES",
+    "InsertWorkload",
+    "KEY_WIDTH",
+    "Op",
+    "ValueGenerator",
+    "YCSBWorkload",
+    "YCSB_MIXES",
+    "TraceError",
+    "TraceWriter",
+    "ZipfGenerator",
+    "format_key",
+    "make_workload",
+    "sequential_keys",
+    "uniform_keys",
+    "read_trace",
+    "record_workload",
+    "replay_trace",
+    "zipfian_keys",
+]

@@ -1,0 +1,101 @@
+"""Workload streams: insert-only loads and value synthesis.
+
+Values are synthesised with a tunable compressibility so the lz77
+codec behaves like snappy does on real key-value payloads (structured,
+partially repetitive).  The paper's default entry is a 16 B key +
+100 B value.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from .keys import KEY_WIDTH, sequential_keys, uniform_keys, zipfian_keys
+
+__all__ = ["ValueGenerator", "InsertWorkload", "make_workload"]
+
+DEFAULT_VALUE_BYTES = 100  # paper §IV-A
+
+
+class ValueGenerator:
+    """Deterministic values of fixed size and tunable compressibility.
+
+    ``redundancy`` in [0, 1): fraction of each value that is a
+    repeated template (compressible); the rest is pseudo-random.
+    """
+
+    def __init__(
+        self, value_bytes: int = DEFAULT_VALUE_BYTES,
+        redundancy: float = 0.5, seed: int = 0,
+    ) -> None:
+        if value_bytes < 0:
+            raise ValueError("value_bytes must be >= 0")
+        if not 0 <= redundancy < 1:
+            raise ValueError("redundancy must be in [0, 1)")
+        self.value_bytes = value_bytes
+        self.redundancy = redundancy
+        self.seed = seed
+        self._template = b"field-value-template-0123456789-" * (
+            value_bytes // 16 + 2
+        )
+
+    def value_for(self, index: int) -> bytes:
+        n_template = int(self.value_bytes * self.redundancy)
+        n_noise = self.value_bytes - n_template
+        # Per-value noise stream: unique across values so the
+        # incompressible fraction really is incompressible.
+        noise = random.Random((self.seed << 32) ^ index).randbytes(n_noise)
+        return (self._template[:n_template] + noise)[: self.value_bytes]
+
+
+@dataclass(frozen=True)
+class InsertWorkload:
+    """A deterministic stream of (key, value) inserts."""
+
+    n: int
+    distribution: str = "uniform"  # sequential | uniform | zipfian
+    key_bytes: int = KEY_WIDTH
+    value_bytes: int = DEFAULT_VALUE_BYTES
+    redundancy: float = 0.5
+    seed: int = 0
+    keyspace: int | None = None
+
+    @property
+    def entry_bytes(self) -> int:
+        return self.key_bytes + self.value_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.n * self.entry_bytes
+
+    def __iter__(self) -> Iterator[tuple[bytes, bytes]]:
+        values = ValueGenerator(self.value_bytes, self.redundancy, self.seed)
+        if self.distribution == "sequential":
+            keys = sequential_keys(self.n, self.key_bytes)
+        elif self.distribution == "uniform":
+            keys = uniform_keys(self.n, self.keyspace, self.seed, self.key_bytes)
+        elif self.distribution == "zipfian":
+            keys = zipfian_keys(
+                self.n, self.keyspace, seed=self.seed, width=self.key_bytes
+            )
+        else:
+            raise ValueError(f"unknown distribution {self.distribution!r}")
+        for i, key in enumerate(keys):
+            yield key, values.value_for(i)
+
+    def apply_to(self, db) -> int:
+        """Insert the whole stream into a DB; returns ops performed."""
+        n = 0
+        for key, value in self:
+            db.put(key, value)
+            n += 1
+        return n
+
+
+def make_workload(
+    n: int, distribution: str = "uniform", **kw
+) -> InsertWorkload:
+    """Convenience constructor mirroring the paper's defaults."""
+    return InsertWorkload(n=n, distribution=distribution, **kw)

@@ -1,0 +1,108 @@
+"""Key-sequence generators.
+
+The paper's evaluation uses insert-only workloads with 16 B keys; the
+order of arrival controls how much *real* merge work compactions do
+(strictly sequential inserts produce non-overlapping runs that LevelDB
+trivially moves).  Distributions:
+
+* ``sequential`` — monotonically increasing (bulk-load pattern).
+* ``uniform`` — uniformly random over the keyspace.
+* ``zipfian`` — YCSB-style scrambled Zipf: a small hot set receives
+  most writes, spread over the keyspace by hashing.
+
+All generators are deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+__all__ = [
+    "format_key",
+    "sequential_keys",
+    "uniform_keys",
+    "zipfian_keys",
+    "KEY_WIDTH",
+]
+
+KEY_WIDTH = 16  # paper §IV-A: 16-byte keys
+
+
+def format_key(index: int, width: int = KEY_WIDTH) -> bytes:
+    """Fixed-width decimal key (zero padded, sorts numerically)."""
+    key = b"%0*d" % (width, index)
+    if len(key) > width:
+        raise ValueError(f"index {index} does not fit in {width} bytes")
+    return key
+
+
+def sequential_keys(n: int, width: int = KEY_WIDTH) -> Iterator[bytes]:
+    """0, 1, 2, ... n-1."""
+    for i in range(n):
+        yield format_key(i, width)
+
+
+def uniform_keys(
+    n: int, keyspace: int | None = None, seed: int = 0, width: int = KEY_WIDTH
+) -> Iterator[bytes]:
+    """n draws, uniform over ``keyspace`` distinct keys (default n*4)."""
+    rng = random.Random(seed)
+    space = keyspace if keyspace is not None else max(1, n * 4)
+    for _ in range(n):
+        yield format_key(rng.randrange(space), width)
+
+
+class ZipfGenerator:
+    """Approximate Zipf(theta) over [0, items) via the YCSB algorithm
+    (Gray et al.'s rejection-free inverse transform)."""
+
+    def __init__(self, items: int, theta: float = 0.99, seed: int = 0) -> None:
+        if items < 1:
+            raise ValueError("items must be >= 1")
+        if not 0 < theta < 1:
+            raise ValueError("theta must be in (0, 1)")
+        self.items = items
+        self.theta = theta
+        self._rng = random.Random(seed)
+        self._alpha = 1.0 / (1.0 - theta)
+        self._zetan = self._zeta(items, theta)
+        self._zeta2 = self._zeta(2, theta)
+        self._eta = (1 - (2.0 / items) ** (1 - theta)) / (
+            1 - self._zeta2 / self._zetan
+        )
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+
+    def next(self) -> int:
+        u = self._rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        return int(
+            self.items * (self._eta * u - self._eta + 1) ** self._alpha
+        )
+
+
+def zipfian_keys(
+    n: int,
+    keyspace: int | None = None,
+    theta: float = 0.99,
+    seed: int = 0,
+    width: int = KEY_WIDTH,
+) -> Iterator[bytes]:
+    """n Zipf-distributed draws, scrambled across the keyspace.
+
+    Ranks are hashed (as YCSB's ScrambledZipfian does) so the hot keys
+    are not clustered in one key range.
+    """
+    space = keyspace if keyspace is not None else max(1, n * 4)
+    gen = ZipfGenerator(space, theta, seed)
+    for _ in range(n):
+        rank = gen.next()
+        scrambled = (rank * 0x9E3779B97F4A7C15 + 0x123456789) % space
+        yield format_key(scrambled, width)

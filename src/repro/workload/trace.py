@@ -1,0 +1,107 @@
+"""Operation-trace recording and replay.
+
+Production storage evaluations replay captured traces; this module
+provides the closest offline equivalent: a line-oriented, durable text
+format for operation streams, a recorder that tees a workload into a
+trace while applying it, and a replayer.  Any generator in this package
+(insert streams, YCSB mixes) can be captured once and replayed
+bit-identically against different engine configurations — the right
+way to A/B SCP vs PCP on *identical* inputs.
+
+Format (one op per line, latin-1-safe hex for binary payloads)::
+
+    put <hex key> <hex value | '-' for empty>
+    del <hex key>
+    get <hex key>
+
+Lines starting with ``#`` are comments; blank lines are ignored.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, TextIO
+
+__all__ = ["TraceWriter", "read_trace", "record_workload", "replay_trace",
+           "TraceError"]
+
+
+class TraceError(ValueError):
+    """Raised on malformed trace lines."""
+
+
+class TraceWriter:
+    """Append operations to a trace stream."""
+
+    def __init__(self, out: TextIO) -> None:
+        self._out = out
+        self.ops = 0
+
+    def put(self, key: bytes, value: bytes) -> None:
+        payload = value.hex() if value else "-"
+        self._out.write(f"put {key.hex()} {payload}\n")
+        self.ops += 1
+
+    def delete(self, key: bytes) -> None:
+        self._out.write(f"del {key.hex()}\n")
+        self.ops += 1
+
+    def get(self, key: bytes) -> None:
+        self._out.write(f"get {key.hex()}\n")
+        self.ops += 1
+
+    def comment(self, text: str) -> None:
+        self._out.write(f"# {text}\n")
+
+
+def read_trace(lines: Iterable[str]) -> Iterator[tuple[str, bytes, bytes]]:
+    """Parse a trace into ``(op, key, value)`` triples."""
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        op = parts[0]
+        try:
+            if op == "put":
+                if len(parts) != 3:
+                    raise TraceError(f"line {lineno}: put needs key and value")
+                value = b"" if parts[2] == "-" else bytes.fromhex(parts[2])
+                yield op, bytes.fromhex(parts[1]), value
+            elif op in ("del", "get"):
+                if len(parts) != 2:
+                    raise TraceError(f"line {lineno}: {op} needs exactly a key")
+                yield op, bytes.fromhex(parts[1]), b""
+            else:
+                raise TraceError(f"line {lineno}: unknown op {op!r}")
+        except ValueError as exc:
+            if isinstance(exc, TraceError):
+                raise
+            raise TraceError(f"line {lineno}: bad hex payload") from None
+
+
+def record_workload(workload, db, trace: TraceWriter) -> int:
+    """Apply an insert workload to ``db`` while capturing it."""
+    n = 0
+    for key, value in workload:
+        trace.put(key, value)
+        db.put(key, value)
+        n += 1
+    return n
+
+
+def replay_trace(
+    lines: Iterable[str], db, limit: Optional[int] = None
+) -> dict[str, int]:
+    """Apply a parsed trace to a DB; returns op counts."""
+    counts: dict[str, int] = {"put": 0, "del": 0, "get": 0}
+    for i, (op, key, value) in enumerate(read_trace(lines)):
+        if limit is not None and i >= limit:
+            break
+        if op == "put":
+            db.put(key, value)
+        elif op == "del":
+            db.delete(key)
+        else:
+            db.get(key)
+        counts[op] += 1
+    return counts

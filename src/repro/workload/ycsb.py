@@ -1,0 +1,124 @@
+"""YCSB-style operation mixes.
+
+The paper evaluates insert-only workloads, but a storage engine release
+needs the standard read/write mixes for its examples and extension
+experiments.  Core YCSB workloads, simplified:
+
+========  =======================  =================
+workload  mix                      distribution
+========  =======================  =================
+A         50 % read / 50 % update  zipfian
+B         95 % read / 5 % update   zipfian
+C         100 % read               zipfian
+D         95 % read / 5 % insert   latest
+F         50 % read / 50 % RMW     zipfian
+load      100 % insert             sequential
+========  =======================  =================
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from .generators import ValueGenerator
+from .keys import KEY_WIDTH, ZipfGenerator, format_key
+
+__all__ = ["Op", "YCSBWorkload", "YCSB_MIXES"]
+
+READ = "read"
+UPDATE = "update"
+INSERT = "insert"
+RMW = "rmw"
+
+YCSB_MIXES: dict[str, dict[str, float]] = {
+    "a": {READ: 0.5, UPDATE: 0.5},
+    "b": {READ: 0.95, UPDATE: 0.05},
+    "c": {READ: 1.0},
+    "d": {READ: 0.95, INSERT: 0.05},
+    "f": {READ: 0.5, RMW: 0.5},
+}
+
+
+@dataclass(frozen=True)
+class Op:
+    """One operation of a YCSB stream."""
+
+    kind: str
+    key: bytes
+    value: bytes = b""
+
+
+class YCSBWorkload:
+    """Generate a YCSB-like operation stream over a loaded keyspace."""
+
+    def __init__(
+        self,
+        mix: str,
+        n_ops: int,
+        record_count: int,
+        value_bytes: int = 100,
+        seed: int = 0,
+    ) -> None:
+        if mix not in YCSB_MIXES:
+            raise ValueError(f"unknown mix {mix!r}; one of {sorted(YCSB_MIXES)}")
+        if record_count < 1:
+            raise ValueError("record_count must be >= 1")
+        self.mix = mix
+        self.n_ops = n_ops
+        self.record_count = record_count
+        self.value_bytes = value_bytes
+        self.seed = seed
+
+    def load_phase(self) -> Iterator[tuple[bytes, bytes]]:
+        """Sequential bulk-load of record_count entries."""
+        values = ValueGenerator(self.value_bytes, seed=self.seed)
+        for i in range(self.record_count):
+            yield format_key(i), values.value_for(i)
+
+    def __iter__(self) -> Iterator[Op]:
+        rng = random.Random(self.seed + 1)
+        zipf = ZipfGenerator(self.record_count, seed=self.seed + 2)
+        values = ValueGenerator(self.value_bytes, seed=self.seed + 3)
+        weights = YCSB_MIXES[self.mix]
+        kinds = list(weights)
+        cum = []
+        acc = 0.0
+        for kind in kinds:
+            acc += weights[kind]
+            cum.append(acc)
+        next_insert = self.record_count
+        for i in range(self.n_ops):
+            u = rng.random()
+            kind = kinds[-1]
+            for k, threshold in zip(kinds, cum):
+                if u <= threshold:
+                    kind = k
+                    break
+            if kind == INSERT:
+                key = format_key(next_insert)
+                next_insert += 1
+                yield Op(INSERT, key, values.value_for(i))
+            else:
+                key = format_key(zipf.next() % max(1, next_insert))
+                if kind == READ:
+                    yield Op(READ, key)
+                elif kind == UPDATE:
+                    yield Op(UPDATE, key, values.value_for(i))
+                else:  # RMW: read then write back
+                    yield Op(RMW, key, values.value_for(i))
+
+    def apply_to(self, db) -> dict[str, int]:
+        """Run the stream against a DB; returns op counts."""
+        counts: dict[str, int] = {}
+        for op in self:
+            counts[op.kind] = counts.get(op.kind, 0) + 1
+            if op.kind == READ:
+                db.get(op.key)
+            elif op.kind in (UPDATE, INSERT):
+                db.put(op.key, op.value)
+            else:  # RMW
+                db.get(op.key)
+                db.put(op.key, op.value)
+        return counts

@@ -1,0 +1,83 @@
+"""Tests for CRC-32/CRC-32C and LevelDB-style masking."""
+
+import zlib
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.codec.checksum import (
+    CHECKSUMMERS,
+    crc32,
+    crc32c_py,
+    get_checksummer,
+    mask_crc,
+    unmask_crc,
+)
+
+
+class TestCRC32C:
+    def test_empty(self):
+        assert crc32c_py(b"") == 0
+
+    def test_known_vector_123456789(self):
+        # RFC 3720 / standard CRC-32C check value.
+        assert crc32c_py(b"123456789") == 0xE3069283
+
+    def test_known_vector_32_zeros(self):
+        # iSCSI test vector: 32 bytes of zero.
+        assert crc32c_py(b"\x00" * 32) == 0x8A9136AA
+
+    def test_known_vector_32_ff(self):
+        assert crc32c_py(b"\xff" * 32) == 0x62A8AB43
+
+    def test_incremental_matches_oneshot(self):
+        data = b"hello, compaction world" * 10
+        split = len(data) // 3
+        partial = crc32c_py(data[:split])
+        assert crc32c_py(data[split:], partial) == crc32c_py(data)
+
+    @given(st.binary(max_size=512))
+    def test_in_32bit_range(self, data):
+        assert 0 <= crc32c_py(data) <= 0xFFFFFFFF
+
+
+class TestCRC32:
+    @given(st.binary(max_size=512))
+    def test_matches_zlib(self, data):
+        assert crc32(data) == zlib.crc32(data) & 0xFFFFFFFF
+
+
+class TestMasking:
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_mask_roundtrip(self, crc):
+        assert unmask_crc(mask_crc(crc)) == crc
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_mask_changes_value(self, crc):
+        # Masking must not be the identity (that's its whole point).
+        assert mask_crc(crc) != crc or crc == unmask_crc(crc)
+
+    def test_leveldb_mask_constant_behaviour(self):
+        # mask(0) = rot17(0) + delta = delta
+        assert mask_crc(0) == 0xA282EAD8
+
+
+class TestChecksummer:
+    @pytest.mark.parametrize("name", sorted(CHECKSUMMERS))
+    def test_verify_accepts_valid(self, name):
+        cs = get_checksummer(name)
+        data = b"block payload"
+        assert cs.verify(data, cs.masked(data))
+
+    @pytest.mark.parametrize("name", sorted(CHECKSUMMERS))
+    def test_verify_rejects_corruption(self, name):
+        cs = get_checksummer(name)
+        data = bytearray(b"block payload")
+        masked = cs.masked(bytes(data))
+        data[3] ^= 0x40
+        assert not cs.verify(bytes(data), masked)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_checksummer("md5")

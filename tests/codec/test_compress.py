@@ -1,0 +1,133 @@
+"""Tests for the LZ77, zlib, and null block codecs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codec.compress import (
+    CODECS,
+    CompressionError,
+    get_codec,
+    lz77_compress,
+    lz77_decompress,
+)
+
+
+class TestLZ77Basics:
+    def test_empty(self):
+        assert lz77_decompress(lz77_compress(b"")) == b""
+
+    def test_tiny_input_stays_literal(self):
+        data = b"abc"
+        assert lz77_decompress(lz77_compress(data)) == data
+
+    def test_repetitive_input_compresses(self):
+        data = b"keyvalue" * 512
+        blob = lz77_compress(data)
+        assert len(blob) < len(data) // 4
+        assert lz77_decompress(blob) == data
+
+    def test_incompressible_input_roundtrips(self):
+        import random
+
+        rng = random.Random(7)
+        data = bytes(rng.randrange(256) for _ in range(4096))
+        blob = lz77_compress(data)
+        assert lz77_decompress(blob) == data
+        # Incompressible data should not blow up by more than the
+        # literal-tag overhead (~1 byte per 60).
+        assert len(blob) < len(data) * 1.1
+
+    def test_rle_overlapping_copy(self):
+        # A long run forces overlapping copies (offset < length).
+        data = b"A" * 1000
+        blob = lz77_compress(data)
+        assert lz77_decompress(blob) == data
+        assert len(blob) < 64
+
+    def test_kv_like_payload(self):
+        entries = b"".join(
+            b"user%08d=profile-field-value-%04d;" % (i, i % 100) for i in range(500)
+        )
+        blob = lz77_compress(entries)
+        assert lz77_decompress(blob) == entries
+        assert len(blob) < len(entries)
+
+    def test_long_literal_runs(self):
+        # Exercise the 1-byte and 2-byte extended literal-length forms.
+        import random
+
+        rng = random.Random(1)
+        for size in (59, 60, 61, 255, 256, 257, 5000):
+            data = bytes(rng.randrange(256) for _ in range(size))
+            assert lz77_decompress(lz77_compress(data)) == data
+
+
+class TestLZ77Errors:
+    def test_empty_blob_rejected(self):
+        with pytest.raises(CompressionError):
+            lz77_decompress(b"")
+
+    def test_truncated_literal(self):
+        blob = lz77_compress(b"hello world, hello world")
+        with pytest.raises(CompressionError):
+            lz77_decompress(blob[: len(blob) - 3])
+
+    def test_length_header_mismatch(self):
+        blob = bytearray(lz77_compress(b"abcdef"))
+        blob[0] = 50  # claim 50 bytes, decode 6
+        with pytest.raises(CompressionError):
+            lz77_decompress(bytes(blob))
+
+    def test_copy_offset_out_of_window(self):
+        # Hand-craft: header len=4, then a copy referring before start.
+        blob = bytes([4, 0x02 | (3 << 2), 10, 0])  # copy len 4 offset 10
+        with pytest.raises(CompressionError):
+            lz77_decompress(blob)
+
+    def test_bad_tag(self):
+        blob = bytes([1, 0x03])
+        with pytest.raises(CompressionError):
+            lz77_decompress(blob)
+
+
+@settings(max_examples=200)
+@given(st.binary(max_size=4096))
+def test_lz77_roundtrip_property(data):
+    assert lz77_decompress(lz77_compress(data)) == data
+
+
+@given(
+    st.lists(
+        st.sampled_from([b"alpha", b"beta", b"gamma", b"delta-key", b"\x00\xff"]),
+        max_size=300,
+    )
+)
+def test_lz77_roundtrip_structured(parts):
+    data = b"|".join(parts)
+    assert lz77_decompress(lz77_compress(data)) == data
+
+
+class TestCodecRegistry:
+    @pytest.mark.parametrize("name", sorted(CODECS))
+    @given(data=st.binary(max_size=2048))
+    @settings(max_examples=25)
+    def test_all_codecs_roundtrip(self, name, data):
+        codec = get_codec(name)
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_null_is_identity(self):
+        codec = get_codec("null")
+        assert codec.compress(b"xyz") == b"xyz"
+
+    def test_zlib_rejects_garbage(self):
+        with pytest.raises(CompressionError):
+            get_codec("zlib").decompress(b"not zlib data")
+
+    def test_unknown_codec(self):
+        with pytest.raises(KeyError):
+            get_codec("snappy-real")
+
+    def test_lz77_beats_null_on_kv_data(self):
+        data = b"".join(b"%016d" % i + b"v" * 100 for i in range(200))
+        assert len(get_codec("lz77").compress(data)) < len(data)

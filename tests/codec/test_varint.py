@@ -1,0 +1,123 @@
+"""Unit and property tests for varint/fixed-width integer coding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.codec.varint import (
+    MAX_VARINT64_LEN,
+    VarintError,
+    decode_varint32,
+    decode_varint64,
+    encode_varint32,
+    encode_varint64,
+    get_fixed32,
+    get_fixed64,
+    put_fixed32,
+    put_fixed64,
+    varint_length,
+)
+
+
+class TestVarintKnownVectors:
+    def test_zero_is_single_byte(self):
+        assert encode_varint64(0) == b"\x00"
+
+    def test_small_values_single_byte(self):
+        assert encode_varint64(1) == b"\x01"
+        assert encode_varint64(127) == b"\x7f"
+
+    def test_128_uses_two_bytes(self):
+        assert encode_varint64(128) == b"\x80\x01"
+
+    def test_300_leb128(self):
+        # Classic LEB128 example from the protobuf docs.
+        assert encode_varint64(300) == b"\xac\x02"
+
+    def test_max_uint64_is_ten_bytes(self):
+        encoded = encode_varint64((1 << 64) - 1)
+        assert len(encoded) == MAX_VARINT64_LEN
+
+    def test_decode_at_offset(self):
+        buf = b"\xffpad" + encode_varint64(300)
+        value, pos = decode_varint64(buf, 4)
+        assert value == 300
+        assert pos == len(buf)
+
+
+class TestVarintErrors:
+    def test_negative_rejected(self):
+        with pytest.raises(VarintError):
+            encode_varint64(-1)
+
+    def test_too_large_rejected(self):
+        with pytest.raises(VarintError):
+            encode_varint64(1 << 64)
+
+    def test_varint32_range(self):
+        with pytest.raises(VarintError):
+            encode_varint32(1 << 32)
+
+    def test_truncated_buffer(self):
+        with pytest.raises(VarintError):
+            decode_varint64(b"\x80\x80")
+
+    def test_overlong_encoding(self):
+        with pytest.raises(VarintError):
+            decode_varint64(b"\x80" * 10 + b"\x02")
+
+    def test_decode32_rejects_64bit_value(self):
+        with pytest.raises(VarintError):
+            decode_varint32(encode_varint64(1 << 40))
+
+    def test_varint_length_negative(self):
+        with pytest.raises(VarintError):
+            varint_length(-5)
+
+
+@given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+def test_varint64_roundtrip(value):
+    encoded = encode_varint64(value)
+    decoded, pos = decode_varint64(encoded)
+    assert decoded == value
+    assert pos == len(encoded)
+
+
+@given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+def test_varint32_roundtrip(value):
+    decoded, _ = decode_varint32(encode_varint32(value))
+    assert decoded == value
+
+
+@given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+def test_varint_length_matches_encoding(value):
+    assert varint_length(value) == len(encode_varint64(value))
+
+
+@given(st.lists(st.integers(min_value=0, max_value=(1 << 64) - 1), max_size=20))
+def test_varint_stream_roundtrip(values):
+    buf = b"".join(encode_varint64(v) for v in values)
+    pos = 0
+    out = []
+    for _ in values:
+        v, pos = decode_varint64(buf, pos)
+        out.append(v)
+    assert out == values
+    assert pos == len(buf)
+
+
+class TestFixedWidth:
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_fixed32_roundtrip(self, value):
+        assert get_fixed32(put_fixed32(value)) == value
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_fixed64_roundtrip(self, value):
+        assert get_fixed64(put_fixed64(value)) == value
+
+    def test_fixed32_little_endian(self):
+        assert put_fixed32(0x01020304) == b"\x04\x03\x02\x01"
+
+    def test_fixed_at_offset(self):
+        buf = b"xx" + put_fixed64(42)
+        assert get_fixed64(buf, 2) == 42

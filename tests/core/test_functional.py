@@ -1,0 +1,325 @@
+"""Functional compaction tests: the seven steps + procedure equivalence.
+
+The paper's central legality argument is that sub-tasks are independent,
+so any schedule produces the same merged output.  These tests compact
+real tables with SCP, PCP, and C-PPCP and assert bit-identical results.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.procedures import ProcedureSpec, compact_tables
+from repro.core.steps import step_merge
+from repro.core.subtask import partition_subtasks
+from repro.devices import MemStorage
+from repro.lsm.ikey import (
+    KIND_DELETE,
+    KIND_VALUE,
+    MAX_SEQUENCE,
+    decode_internal_key,
+    encode_internal_key,
+    lookup_key,
+)
+from repro.lsm.options import Options
+from repro.lsm.table_builder import TableBuilder
+from repro.lsm.table_reader import Table
+
+
+def _ik(user, seq=1, kind=KIND_VALUE):
+    return encode_internal_key(user, seq, kind)
+
+
+def make_table(storage, name, entries, options):
+    with storage.create(name) as f:
+        builder = TableBuilder(f, options)
+        for ikey, value in entries:
+            builder.add(ikey, value)
+        builder.finish()
+    return Table(storage.open(name), options)
+
+
+def _sorted_internal(entries):
+    from repro.lsm.iterators import merge_iterators
+
+    return list(merge_iterators([iter(sorted_run) for sorted_run in [entries]]))
+
+
+@pytest.fixture()
+def setup():
+    storage = MemStorage()
+    options = Options(
+        block_bytes=512, sstable_bytes=2 * 1024, compression="lz77"
+    )
+    upper_entries = [
+        (_ik(b"key-%05d" % i, 100 + i), b"new-value-%d" % i)
+        for i in range(0, 600, 2)
+    ]
+    lower_entries = [
+        (_ik(b"key-%05d" % i, 10), b"old-value-%d" % i) for i in range(0, 600, 3)
+    ]
+    upper = make_table(storage, "u.sst", upper_entries, options)
+    lower = make_table(storage, "l.sst", lower_entries, options)
+    return storage, options, upper, lower, upper_entries, lower_entries
+
+
+def _expected_merge(upper_entries, lower_entries):
+    """Model: newest version per user key."""
+    best = {}
+    for ikey, value in itertools.chain(upper_entries, lower_entries):
+        user, seq, kind = decode_internal_key(ikey)
+        if user not in best or best[user][0] < seq:
+            best[user] = (seq, kind, value)
+    out = []
+    for user in sorted(best):
+        seq, kind, value = best[user]
+        out.append((encode_internal_key(user, seq, kind), value))
+    return out
+
+
+def _read_outputs(storage, options, outputs):
+    entries = []
+    for meta in outputs:
+        table = Table(storage.open(meta.name), options)
+        entries.extend(table)
+    return entries
+
+
+class TestSCPFunctional:
+    def test_merged_output_matches_model(self, setup):
+        storage, options, upper, lower, ue, le = setup
+        counter = itertools.count(100)
+        outputs, stats, subtasks = compact_tables(
+            [upper, lower], storage, options,
+            file_namer=lambda: f"{next(counter):06d}.sst",
+            spec=ProcedureSpec.scp(subtask_bytes=1024),
+        )
+        assert len(subtasks) > 2
+        assert stats.n_subtasks == len(subtasks)
+        got = _read_outputs(storage, options, outputs)
+        assert got == _expected_merge(ue, le)
+
+    def test_outputs_size_limited(self, setup):
+        storage, options, upper, lower, *_ = setup
+        counter = itertools.count(100)
+        outputs, _, _ = compact_tables(
+            [upper, lower], storage, options,
+            file_namer=lambda: f"{next(counter):06d}.sst",
+            spec=ProcedureSpec.scp(subtask_bytes=2048),
+        )
+        assert len(outputs) > 1  # paper: "multiple size-limited SSTables"
+        for meta in outputs:
+            # A file may exceed the limit by at most one block + metadata.
+            assert meta.file_size < options.sstable_bytes + 4 * options.block_bytes
+
+    def test_output_metadata_consistent(self, setup):
+        storage, options, upper, lower, *_ = setup
+        counter = itertools.count(100)
+        outputs, _, _ = compact_tables(
+            [upper, lower], storage, options,
+            file_namer=lambda: f"{next(counter):06d}.sst",
+            spec=ProcedureSpec.scp(subtask_bytes=2048),
+        )
+        from repro.lsm.ikey import internal_compare
+
+        for meta in outputs:
+            table = Table(storage.open(meta.name), options)
+            entries = list(table)
+            assert entries[0][0] == meta.smallest
+            assert entries[-1][0] == meta.largest
+        for a, b in zip(outputs, outputs[1:]):
+            assert internal_compare(a.largest, b.smallest) < 0
+
+    def test_point_lookups_work_on_outputs(self, setup):
+        storage, options, upper, lower, *_ = setup
+        counter = itertools.count(100)
+        outputs, _, _ = compact_tables(
+            [upper, lower], storage, options,
+            file_namer=lambda: f"{next(counter):06d}.sst",
+            spec=ProcedureSpec.scp(subtask_bytes=2048),
+        )
+        # key 4 is in both inputs: the upper (newer) value must win.
+        for meta in outputs:
+            if meta.smallest[:-8] <= b"key-00004" <= meta.largest[:-8]:
+                table = Table(storage.open(meta.name), options)
+                hit = table.get(lookup_key(b"key-00004", MAX_SEQUENCE))
+                assert hit is not None
+                assert hit[1] == b"new-value-4"
+                return
+        pytest.fail("no output file covers key-00004")
+
+
+class TestProcedureEquivalence:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            ProcedureSpec.pcp(subtask_bytes=2048),
+            ProcedureSpec.cppcp(k=3, subtask_bytes=2048),
+            ProcedureSpec.sppcp(k=2, subtask_bytes=2048),
+            ProcedureSpec.pcp(subtask_bytes=2048, queue_capacity=1),
+        ],
+        ids=["pcp", "cppcp3", "sppcp2", "pcp-q1"],
+    )
+    def test_pipelined_output_identical_to_scp(self, setup, spec):
+        storage, options, upper, lower, *_ = setup
+        c1 = itertools.count(100)
+        scp_out, _, _ = compact_tables(
+            [upper, lower], storage, options,
+            file_namer=lambda: f"scp-{next(c1):06d}.sst",
+            spec=ProcedureSpec.scp(subtask_bytes=2048),
+        )
+        c2 = itertools.count(100)
+        pipe_out, _, _ = compact_tables(
+            [upper, lower], storage, options,
+            file_namer=lambda: f"pipe-{next(c2):06d}.sst",
+            spec=spec,
+        )
+        scp_bytes = [storage.open(m.name).read_all() for m in scp_out]
+        pipe_bytes = [storage.open(m.name).read_all() for m in pipe_out]
+        assert scp_bytes == pipe_bytes  # bit-identical outputs
+
+    def test_stats_account_input_bytes(self, setup):
+        storage, options, upper, lower, *_ = setup
+        counter = itertools.count(100)
+        _, stats, subtasks = compact_tables(
+            [upper, lower], storage, options,
+            file_namer=lambda: f"{next(counter):06d}.sst",
+            spec=ProcedureSpec.pcp(subtask_bytes=2048),
+        )
+        assert stats.input_bytes == sum(s.input_bytes() for s in subtasks)
+        assert stats.output_bytes > 0
+        assert stats.wall_seconds > 0
+        assert stats.bandwidth() > 0
+
+
+class TestTombstones:
+    def _tables_with_deletes(self):
+        storage = MemStorage()
+        options = Options(block_bytes=256, compression="null")
+        upper = make_table(
+            storage,
+            "u.sst",
+            [
+                (_ik(b"a", 20), b"va"),
+                (_ik(b"b", 21, KIND_DELETE), b""),
+                (_ik(b"c", 22), b"vc"),
+            ],
+            options,
+        )
+        lower = make_table(
+            storage,
+            "l.sst",
+            [(_ik(b"b", 5), b"old-b"), (_ik(b"c", 6), b"old-c")],
+            options,
+        )
+        return storage, options, upper, lower
+
+    def test_tombstone_kept_at_intermediate_level(self):
+        storage, options, upper, lower = self._tables_with_deletes()
+        counter = itertools.count(500)
+        outputs, _, _ = compact_tables(
+            [upper, lower], storage, options,
+            file_namer=lambda: f"{next(counter):06d}.sst",
+            spec=ProcedureSpec.scp(), drop_deletes=False,
+        )
+        entries = _read_outputs(storage, options, outputs)
+        users = [(decode_internal_key(k)[0], decode_internal_key(k)[2]) for k, _ in entries]
+        assert (b"b", KIND_DELETE) in users  # tombstone survives
+        assert len(entries) == 3  # a, b-tombstone, c(new)
+
+    def test_tombstone_dropped_at_bottom_level(self):
+        storage, options, upper, lower = self._tables_with_deletes()
+        counter = itertools.count(500)
+        outputs, _, _ = compact_tables(
+            [upper, lower], storage, options,
+            file_namer=lambda: f"{next(counter):06d}.sst",
+            spec=ProcedureSpec.scp(), drop_deletes=True,
+        )
+        entries = _read_outputs(storage, options, outputs)
+        users = [decode_internal_key(k)[0] for k, _ in entries]
+        assert users == [b"a", b"c"]
+
+
+class TestStepMerge:
+    def test_empty_blocks(self):
+        assert step_merge([], None, None, 4096) == []
+
+    def test_bounds_filtering(self):
+        from repro.core.steps import RawBlock
+        from repro.lsm.blockfmt import BlockBuilder
+        from repro.lsm.ikey import internal_compare
+
+        builder = BlockBuilder(16, compare=internal_compare)
+        for user in (b"a", b"b", b"c", b"d"):
+            builder.add(_ik(user), user)
+        raw = RawBlock(0, builder.finish())
+        merged = step_merge([raw], b"b", b"d", 4096)
+        got = []
+        for block in merged:
+            from repro.lsm.blockfmt import Block
+
+            got.extend(
+                decode_internal_key(k)[0]
+                for k, _ in Block(block.raw, compare=internal_compare)
+            )
+        assert got == [b"b", b"c"]
+
+    def test_key_hashes_attached(self):
+        from repro.core.steps import RawBlock
+        from repro.lsm.blockfmt import BlockBuilder
+        from repro.lsm.bloom import bloom_hash
+        from repro.lsm.ikey import internal_compare
+
+        builder = BlockBuilder(16, compare=internal_compare)
+        builder.add(_ik(b"xyz"), b"v")
+        merged = step_merge([RawBlock(0, builder.finish())], None, None, 4096)
+        assert merged[0].key_hashes == (bloom_hash(b"xyz"),)
+
+
+class TestSpecValidation:
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            ProcedureSpec(kind="turbo")
+
+    def test_scp_rejects_k(self):
+        with pytest.raises(ValueError):
+            ProcedureSpec(kind="scp", k=2)
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            ProcedureSpec(kind="sppcp", k=0)
+
+    def test_pipeline_config_for_scp_rejected(self):
+        with pytest.raises(ValueError):
+            ProcedureSpec.scp().pipeline_config()
+
+    def test_config_mapping(self):
+        assert ProcedureSpec.sppcp(4).pipeline_config().n_devices == 4
+        assert ProcedureSpec.cppcp(4).pipeline_config().compute_workers == 4
+        assert ProcedureSpec.pcp().pipeline_config().n_devices == 1
+
+
+class TestReorderBuffer:
+    def test_in_order(self):
+        from repro.core.backends.threadbackend import ReorderBuffer
+
+        rb = ReorderBuffer()
+        assert rb.push(0, "a") == ["a"]
+        assert rb.push(1, "b") == ["b"]
+
+    def test_out_of_order_buffered(self):
+        from repro.core.backends.threadbackend import ReorderBuffer
+
+        rb = ReorderBuffer()
+        assert rb.push(2, "c") == []
+        assert rb.push(1, "b") == []
+        assert rb.push(0, "a") == ["a", "b", "c"]
+        assert len(rb) == 0
+
+    def test_duplicate_rejected(self):
+        from repro.core.backends.threadbackend import ReorderBuffer
+
+        rb = ReorderBuffer()
+        rb.push(0, "a")
+        with pytest.raises(ValueError):
+            rb.push(0, "again")

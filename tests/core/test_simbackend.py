@@ -1,0 +1,284 @@
+"""Tests for the virtual-time schedule backend vs the analytical model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analytical import pcp_bandwidth, scp_bandwidth
+from repro.core.backends.simbackend import (
+    PipelineConfig,
+    SimJob,
+    simulate_pipeline,
+    simulate_scp,
+)
+from repro.core.costmodel import StageTimes
+
+MB = 1 << 20
+
+
+def _jobs(n, t_read=0.004, t_compute=0.025, t_write=0.012, nbytes=MB):
+    times = StageTimes(t_read, t_compute, t_write)
+    return [SimJob(i, times, nbytes) for i in range(n)]
+
+
+class TestSCP:
+    def test_makespan_is_sum(self):
+        jobs = _jobs(10)
+        res = simulate_scp(jobs)
+        assert res.makespan == pytest.approx(10 * 0.041)
+        assert res.bandwidth() == pytest.approx(scp_bandwidth(MB, jobs[0].times))
+
+    def test_empty(self):
+        res = simulate_scp([])
+        assert res.makespan == 0.0
+        assert res.bandwidth() == 0.0
+
+    def test_timeline_sequential(self):
+        res = simulate_scp(_jobs(3))
+        for a, b in zip(res.timeline, res.timeline[1:]):
+            assert b.start == pytest.approx(a.end)
+
+    def test_stage_busy(self):
+        res = simulate_scp(_jobs(4))
+        assert res.stage_busy["compute"] == pytest.approx(4 * 0.025)
+        assert res.breakdown_fractions()["compute"] == pytest.approx(0.025 / 0.041)
+
+
+class TestPCP:
+    def test_approaches_eq2_for_many_subtasks(self):
+        jobs = _jobs(200)
+        res = simulate_pipeline(jobs, PipelineConfig(queue_capacity=4))
+        ideal = pcp_bandwidth(MB, jobs[0].times)
+        assert res.bandwidth() <= ideal + 1e-6
+        assert res.bandwidth() >= 0.95 * ideal  # fill/drain < 5% at n=200
+
+    def test_fill_drain_overhead_visible_at_small_n(self):
+        jobs = _jobs(4)
+        res = simulate_pipeline(jobs)
+        ideal = pcp_bandwidth(MB, jobs[0].times)
+        # At n=4 the pipeline spends a meaningful share filling/draining.
+        assert res.bandwidth() < 0.95 * ideal
+        assert res.bandwidth() > scp_bandwidth(MB, jobs[0].times)
+
+    def test_single_subtask_equals_scp(self):
+        jobs = _jobs(1)
+        pcp = simulate_pipeline(jobs)
+        scp = simulate_scp(jobs)
+        assert pcp.makespan == pytest.approx(scp.makespan)
+
+    def test_makespan_formula_exact(self):
+        # With ample queueing, makespan = fill + n*bottleneck… verify the
+        # canonical lower bound instead of the closed form.
+        jobs = _jobs(50)
+        res = simulate_pipeline(jobs, PipelineConfig(queue_capacity=50))
+        t = jobs[0].times
+        bottleneck = max(t.t_read, t.t_compute, t.t_write)
+        assert res.makespan >= 50 * bottleneck - 1e-9
+        assert res.makespan <= 50 * bottleneck + t.total
+
+    def test_empty(self):
+        res = simulate_pipeline([])
+        assert res.makespan == 0.0
+
+    def test_io_bound_profile(self):
+        # Read dominates: bandwidth pinned by t_read.
+        jobs = _jobs(100, t_read=0.030, t_compute=0.010, t_write=0.008)
+        res = simulate_pipeline(jobs)
+        assert res.bandwidth() == pytest.approx(MB / 0.030, rel=0.05)
+
+    def test_queue_capacity_one_still_correct(self):
+        jobs = _jobs(20)
+        res = simulate_pipeline(jobs, PipelineConfig(queue_capacity=1))
+        assert res.n_subtasks == 20
+        assert {e.index for e in res.timeline if e.stage == "write"} == set(range(20))
+
+    def test_shared_io_serialises_read_and_write(self):
+        jobs = _jobs(100, t_read=0.010, t_compute=0.001, t_write=0.010)
+        separate = simulate_pipeline(jobs, PipelineConfig(shared_io=False))
+        shared = simulate_pipeline(jobs, PipelineConfig(shared_io=True))
+        # With one device serving both stages, t1 and t7 serialize:
+        # bandwidth halves compared to independent servers.
+        assert separate.bandwidth() > 1.8 * shared.bandwidth()
+
+    def test_all_subtasks_complete_every_stage(self):
+        jobs = _jobs(13)
+        res = simulate_pipeline(jobs)
+        for stage in ("read", "compute", "write"):
+            assert {e.index for e in res.timeline if e.stage == stage} == set(
+                range(13)
+            )
+
+    def test_stage_ordering_per_subtask(self):
+        res = simulate_pipeline(_jobs(10))
+        by_index = {}
+        for ev in res.timeline:
+            by_index.setdefault(ev.index, {})[ev.stage] = ev
+        for stages in by_index.values():
+            assert stages["read"].end <= stages["compute"].start + 1e-12
+            assert stages["compute"].end <= stages["write"].start + 1e-12
+
+
+class TestSPPCP:
+    def test_k_devices_divide_io(self):
+        jobs = _jobs(100, t_read=0.030, t_compute=0.010, t_write=0.012)
+        res1 = simulate_pipeline(jobs, PipelineConfig(n_devices=1))
+        res2 = simulate_pipeline(jobs, PipelineConfig(n_devices=2))
+        assert res2.bandwidth() > 1.5 * res1.bandwidth()
+
+    def test_saturates_when_cpu_bound(self):
+        jobs = _jobs(100, t_read=0.030, t_compute=0.015, t_write=0.012)
+        # k=2: read/k = 0.015 == compute -> already CPU-bound.
+        res2 = simulate_pipeline(jobs, PipelineConfig(n_devices=2))
+        res8 = simulate_pipeline(jobs, PipelineConfig(n_devices=8))
+        assert res8.bandwidth() == pytest.approx(res2.bandwidth(), rel=0.06)
+
+    def test_round_robin_device_assignment(self):
+        jobs = _jobs(10)
+        res = simulate_pipeline(jobs, PipelineConfig(n_devices=2))
+        readers = {e.index: e.worker for e in res.timeline if e.stage == "read"}
+        assert all(readers[i] == i % 2 for i in range(10))
+
+
+class TestCPPCP:
+    def test_k_workers_divide_compute(self):
+        jobs = _jobs(100, t_read=0.004, t_compute=0.030, t_write=0.008)
+        res1 = simulate_pipeline(jobs, PipelineConfig(compute_workers=1))
+        res3 = simulate_pipeline(jobs, PipelineConfig(compute_workers=3, queue_capacity=6))
+        assert res3.bandwidth() > 2.0 * res1.bandwidth()
+
+    def test_saturates_when_io_bound(self):
+        jobs = _jobs(100, t_read=0.004, t_compute=0.025, t_write=0.012)
+        res3 = simulate_pipeline(jobs, PipelineConfig(compute_workers=3, queue_capacity=8))
+        res8 = simulate_pipeline(jobs, PipelineConfig(compute_workers=8, queue_capacity=8))
+        assert res8.bandwidth() == pytest.approx(res3.bandwidth(), rel=0.08)
+
+    def test_handoff_overhead_causes_decline(self):
+        """Paper Fig 12(d): beyond saturation, more threads hurt."""
+        jobs = _jobs(60, t_read=0.004, t_compute=0.025, t_write=0.012)
+        bw = []
+        for k in (1, 2, 4, 8):
+            res = simulate_pipeline(
+                jobs,
+                PipelineConfig(
+                    compute_workers=k,
+                    queue_capacity=8,
+                    handoff_overhead_s=0.0025,
+                ),
+            )
+            bw.append(res.bandwidth())
+        assert bw[1] > bw[0]  # adding a thread helps
+        assert bw[3] < bw[1]  # far past saturation it hurts
+
+    def test_no_overhead_when_single_worker(self):
+        jobs = _jobs(20)
+        with_oh = simulate_pipeline(
+            jobs, PipelineConfig(compute_workers=1, handoff_overhead_s=0.01)
+        )
+        without = simulate_pipeline(jobs, PipelineConfig(compute_workers=1))
+        assert with_oh.makespan == pytest.approx(without.makespan)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            dict(compute_workers=0),
+            dict(n_devices=0),
+            dict(queue_capacity=0),
+            dict(handoff_overhead_s=-1),
+        ],
+    )
+    def test_bad_config(self, kw):
+        with pytest.raises(ValueError):
+            PipelineConfig(**kw)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=40),
+    t_read=st.floats(min_value=1e-4, max_value=0.05),
+    t_compute=st.floats(min_value=1e-4, max_value=0.05),
+    t_write=st.floats(min_value=1e-4, max_value=0.05),
+    devices=st.integers(min_value=1, max_value=4),
+    workers=st.integers(min_value=1, max_value=4),
+    qcap=st.integers(min_value=1, max_value=6),
+)
+def test_pipeline_makespan_bounds_property(
+    n, t_read, t_compute, t_write, devices, workers, qcap
+):
+    """Work conservation: SCP >= any pipeline >= critical-path bound."""
+    times = StageTimes(t_read, t_compute, t_write)
+    jobs = [SimJob(i, times, MB) for i in range(n)]
+    cfg = PipelineConfig(
+        compute_workers=workers, n_devices=devices, queue_capacity=qcap
+    )
+    res = simulate_pipeline(jobs, cfg)
+    scp = simulate_scp(jobs)
+    assert res.makespan <= scp.makespan + 1e-9
+    # Lower bounds: one sub-task's latency, and each stage's aggregate
+    # demand over its server pool.
+    assert res.makespan >= times.total - 1e-9
+    assert res.makespan >= n * t_read / devices - 1e-9
+    assert res.makespan >= n * t_compute / workers - 1e-9
+    assert res.makespan >= n * t_write / devices - 1e-9
+    # Every sub-task completed every stage exactly once.
+    for stage in ("read", "compute", "write"):
+        assert sorted(e.index for e in res.timeline if e.stage == stage) == list(
+            range(n)
+        )
+
+
+class TestOverlapProperties:
+    """The mechanism behind Figs 3/4: SCP never overlaps stages across
+    sub-tasks; PCP does (that IS the contribution)."""
+
+    @staticmethod
+    def _max_concurrency(timeline):
+        # Sweep-line over all busy intervals.
+        points = []
+        for ev in timeline:
+            points.append((ev.start, 1))
+            points.append((ev.end, -1))
+        points.sort(key=lambda p: (p[0], p[1]))
+        cur = best = 0
+        for _, delta in points:
+            cur += delta
+            best = max(best, cur)
+        return best
+
+    def test_scp_is_strictly_serial(self):
+        res = simulate_scp(_jobs(12))
+        assert self._max_concurrency(res.timeline) == 1
+
+    def test_pcp_overlaps_stages(self):
+        res = simulate_pipeline(_jobs(12))
+        assert self._max_concurrency(res.timeline) >= 2
+
+    def test_pcp_never_overlaps_same_stage_single_worker(self):
+        res = simulate_pipeline(_jobs(12))
+        for stage in ("read", "compute", "write"):
+            evs = sorted(
+                (e for e in res.timeline if e.stage == stage),
+                key=lambda e: e.start,
+            )
+            for a, b in zip(evs, evs[1:]):
+                assert b.start >= a.end - 1e-12
+
+    def test_cppcp_overlaps_compute(self):
+        res = simulate_pipeline(
+            _jobs(12), PipelineConfig(compute_workers=3, queue_capacity=6)
+        )
+        compute = [e for e in res.timeline if e.stage == "compute"]
+        assert self._max_concurrency(compute) >= 2
+
+    def test_sppcp_overlaps_reads_across_devices(self):
+        res = simulate_pipeline(_jobs(12), PipelineConfig(n_devices=3))
+        reads = [e for e in res.timeline if e.stage == "read"]
+        assert self._max_concurrency(reads) >= 2
+        # ... but never on the same device.
+        for dev in range(3):
+            evs = sorted(
+                (e for e in reads if e.worker == dev), key=lambda e: e.start
+            )
+            for a, b in zip(evs, evs[1:]):
+                assert b.start >= a.end - 1e-12

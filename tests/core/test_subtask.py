@@ -1,0 +1,154 @@
+"""Tests for sub-task partitioning of a compaction key range."""
+
+import pytest
+
+from repro.core.subtask import partition_subtasks
+from repro.devices import MemStorage
+from repro.lsm.ikey import KIND_VALUE, decode_internal_key, encode_internal_key
+from repro.lsm.options import Options
+from repro.lsm.table_builder import TableBuilder
+from repro.lsm.table_reader import Table
+
+
+def _ik(user: bytes, seq: int = 1) -> bytes:
+    return encode_internal_key(user, seq, KIND_VALUE)
+
+
+def make_table(storage, name, entries, options):
+    with storage.create(name) as f:
+        builder = TableBuilder(f, options)
+        for ikey, value in entries:
+            builder.add(ikey, value)
+        builder.finish()
+    return Table(storage.open(name), options)
+
+
+@pytest.fixture()
+def tables():
+    storage = MemStorage()
+    options = Options(block_bytes=256, compression="null")
+    upper = make_table(
+        storage,
+        "upper.sst",
+        [(_ik(b"key-%05d" % i, 2), b"U" * 40) for i in range(0, 1000, 2)],
+        options,
+    )
+    lower = make_table(
+        storage,
+        "lower.sst",
+        [(_ik(b"key-%05d" % i, 1), b"L" * 40) for i in range(0, 1000, 3)],
+        options,
+    )
+    return options, upper, lower
+
+
+class TestPartition:
+    def test_covers_all_upper_blocks_exactly_once(self, tables):
+        _, upper, lower = tables
+        subtasks = partition_subtasks([upper, lower], subtask_bytes=2048)
+        seen = []
+        for sub in subtasks:
+            seen.extend(sub.runs[0].handles)
+        assert sorted(h.offset for h in seen) == sorted(
+            h.offset for h in upper.block_handles()
+        )
+        assert len(seen) == len(set(h.offset for h in seen))
+
+    def test_multiple_subtasks_created(self, tables):
+        _, upper, lower = tables
+        subtasks = partition_subtasks([upper, lower], subtask_bytes=2048)
+        assert len(subtasks) > 3
+
+    def test_bounds_are_contiguous_and_disjoint(self, tables):
+        _, upper, lower = tables
+        subtasks = partition_subtasks([upper, lower], subtask_bytes=2048)
+        assert subtasks[0].lower is None
+        assert subtasks[-1].upper is None
+        for a, b in zip(subtasks, subtasks[1:]):
+            assert a.upper == b.lower
+
+    def test_every_entry_lands_in_exactly_one_subtask(self, tables):
+        """The no-data-dependency invariant: union of [lower, upper)
+        windows assigns each user key to exactly one sub-task."""
+        _, upper, lower = tables
+        subtasks = partition_subtasks([upper, lower], subtask_bytes=2048)
+        all_users = set()
+        for table in (upper, lower):
+            for ikey, _ in table:
+                all_users.add(decode_internal_key(ikey)[0])
+        for user in all_users:
+            owners = [
+                s.index
+                for s in subtasks
+                if (s.lower is None or user >= s.lower)
+                and (s.upper is None or user < s.upper)
+            ]
+            assert len(owners) == 1, f"{user!r} owned by {owners}"
+
+    def test_subtask_blocks_cover_their_window(self, tables):
+        """Blocks selected for a window contain every entry of it."""
+        options, upper, lower = tables
+        subtasks = partition_subtasks([upper, lower], subtask_bytes=2048)
+        from repro.core.backends.threadbackend import run_subtask_read
+        from repro.core.steps import step_decompress
+        from repro.lsm.blockfmt import Block
+        from repro.lsm.ikey import internal_compare
+
+        total = 0
+        for sub in subtasks:
+            raws = step_decompress(run_subtask_read(sub))
+            users = set()
+            for raw in raws:
+                for ikey, _ in Block(raw.raw, compare=internal_compare):
+                    users.add(decode_internal_key(ikey)[0])
+            in_window = {
+                u
+                for u in users
+                if (sub.lower is None or u >= sub.lower)
+                and (sub.upper is None or u < sub.upper)
+            }
+            total += len(in_window)
+        # Every distinct user key (834 = 500 evens + 334 thirds - 167 sixths)
+        all_users = set()
+        for table in (upper, lower):
+            for ikey, _ in table:
+                all_users.add(decode_internal_key(ikey)[0])
+        assert total == len(all_users)
+
+    def test_single_giant_subtask(self, tables):
+        _, upper, lower = tables
+        subtasks = partition_subtasks([upper, lower], subtask_bytes=1 << 30)
+        assert len(subtasks) == 1
+        assert subtasks[0].lower is None and subtasks[0].upper is None
+
+    def test_input_bytes_positive(self, tables):
+        _, upper, lower = tables
+        for sub in partition_subtasks([upper, lower], subtask_bytes=2048):
+            assert sub.input_bytes() > 0
+            assert sub.num_blocks() >= 1
+
+    def test_window_clamping(self, tables):
+        _, upper, lower = tables
+        subtasks = partition_subtasks(
+            [upper, lower],
+            subtask_bytes=2048,
+            lower=b"key-00200",
+            upper=b"key-00700",
+        )
+        assert subtasks[0].lower == b"key-00200"
+        assert subtasks[-1].upper == b"key-00700"
+
+    def test_empty_inputs(self):
+        assert partition_subtasks([], 1024) == []
+
+    def test_invalid_subtask_bytes(self, tables):
+        _, upper, lower = tables
+        with pytest.raises(ValueError):
+            partition_subtasks([upper, lower], 0)
+
+    def test_single_table(self, tables):
+        _, upper, _ = tables
+        subtasks = partition_subtasks([upper], subtask_bytes=2048)
+        assert all(len(s.runs) == 1 for s in subtasks)
+        covered = sum(len(s.runs[0].handles) for s in subtasks)
+        assert covered == upper.num_blocks()

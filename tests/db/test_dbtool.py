@@ -1,0 +1,95 @@
+"""Tests for the dbtool CLI."""
+
+import pytest
+
+from repro.db import DB
+from repro.devices import OSStorage
+from repro.lsm import Options
+from repro.tools.dbtool import main
+
+
+@pytest.fixture()
+def db_dir(tmp_path):
+    path = str(tmp_path / "db")
+    db = DB(OSStorage(path), Options(memtable_bytes=8 * 1024,
+                                     sstable_bytes=8 * 1024,
+                                     level1_bytes=32 * 1024,
+                                     level_multiplier=4))
+    for i in range(500):
+        db.put(b"key-%04d" % i, b"value-%d" % i)
+    db.flush()
+    db.close()
+    return path
+
+
+def test_stats(db_dir, capsys):
+    assert main(["stats", db_dir]) == 0
+    out = capsys.readouterr().out
+    assert "live entries: 500" in out
+    assert "total table bytes" in out
+
+
+def test_verify_ok(db_dir, capsys):
+    assert main(["verify", db_dir]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_verify_detects_corruption(db_dir, capsys):
+    import os
+
+    victim = next(
+        f for f in sorted(os.listdir(db_dir)) if f.endswith(".sst")
+    )
+    path = os.path.join(db_dir, victim)
+    data = bytearray(open(path, "rb").read())
+    data[12] ^= 0xFF
+    open(path, "wb").write(bytes(data))
+    assert main(["verify", db_dir]) == 1
+    assert "CORRUPT" in capsys.readouterr().out
+
+
+def test_repair_roundtrip(db_dir, capsys):
+    import os
+
+    os.remove(os.path.join(db_dir, "CURRENT"))
+    assert main(["repair", db_dir]) == 0
+    assert "salvaged" in capsys.readouterr().out
+    assert main(["verify", db_dir]) == 0
+
+
+def test_dump_with_range_and_limit(db_dir, capsys):
+    assert main(["dump", db_dir, "--start", "key-0100",
+                 "--end", "key-0200", "--limit", "5"]) == 0
+    captured = capsys.readouterr()
+    lines = captured.out.strip().splitlines()
+    assert len(lines) == 5
+    assert lines[0].startswith("key-0100 =")
+    assert "(5 entries)" in captured.err
+
+
+def test_dump_keys_only(db_dir, capsys):
+    assert main(["dump", db_dir, "--limit", "2", "--keys-only"]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert lines == ["key-0000", "key-0001"]
+
+
+def test_compact(db_dir, capsys):
+    assert main(["compact", db_dir]) == 0
+    assert "compactions" in capsys.readouterr().out
+    assert main(["verify", db_dir]) == 0
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate", "/tmp/nope"])
+
+
+def test_sst_inspect(db_dir, capsys):
+    import os
+
+    victim = next(f for f in sorted(os.listdir(db_dir)) if f.endswith(".sst"))
+    assert main(["sst", db_dir, victim]) == 0
+    out = capsys.readouterr().out
+    assert "data blocks:" in out
+    assert "key range:" in out
+    assert "entries:" in out

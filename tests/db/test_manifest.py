@@ -1,0 +1,142 @@
+"""Unit tests for version edits and MANIFEST recovery."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.manifest import (
+    CURRENT_NAME,
+    ManifestWriter,
+    VersionEdit,
+    read_current,
+    recover_version,
+    set_current,
+)
+from repro.devices import MemStorage
+from repro.lsm.ikey import KIND_VALUE, encode_internal_key
+from repro.lsm.options import Options
+from repro.lsm.version import FileMetaData
+
+
+def _ik(user, seq=1):
+    return encode_internal_key(user, seq, KIND_VALUE)
+
+
+def _meta(number, lo=b"a", hi=b"z", size=100):
+    return FileMetaData(number, size, _ik(lo), _ik(hi))
+
+
+class TestVersionEditEncoding:
+    def test_roundtrip_all_fields(self):
+        edit = VersionEdit(log_number=7, next_file_number=12, last_sequence=99)
+        edit.add_file(0, _meta(3))
+        edit.add_file(2, _meta(4, b"m", b"q", size=555))
+        edit.delete_file(1, 2)
+        decoded = VersionEdit.decode(edit.encode())
+        assert decoded.log_number == 7
+        assert decoded.next_file_number == 12
+        assert decoded.last_sequence == 99
+        assert [(lv, m.number, m.file_size) for lv, m in decoded.new_files] == [
+            (0, 3, 100), (2, 4, 555)
+        ]
+        assert decoded.deleted_files == [(1, 2)]
+
+    def test_empty_edit(self):
+        decoded = VersionEdit.decode(VersionEdit().encode())
+        assert decoded.log_number is None
+        assert decoded.new_files == []
+
+    def test_unknown_tag_rejected(self):
+        from repro.codec.varint import encode_varint64
+
+        with pytest.raises(ValueError):
+            VersionEdit.decode(encode_varint64(99))
+
+    @settings(max_examples=50)
+    @given(
+        log=st.one_of(st.none(), st.integers(min_value=0, max_value=10**6)),
+        files=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=6),
+                st.integers(min_value=1, max_value=10**6),
+                st.binary(min_size=1, max_size=8),
+                st.binary(min_size=1, max_size=8),
+            ),
+            max_size=10,
+        ),
+    )
+    def test_roundtrip_property(self, log, files):
+        edit = VersionEdit(log_number=log)
+        for level, number, lo, hi in files:
+            if lo > hi:
+                lo, hi = hi, lo
+            edit.add_file(level, _meta(number, lo, hi or b"x"))
+        decoded = VersionEdit.decode(edit.encode())
+        assert decoded.log_number == log
+        assert len(decoded.new_files) == len(files)
+        for (lv_a, m_a), (lv_b, m_b) in zip(edit.new_files, decoded.new_files):
+            assert lv_a == lv_b
+            assert m_a.number == m_b.number
+            assert m_a.smallest == m_b.smallest
+            assert m_a.largest == m_b.largest
+
+
+class TestApply:
+    def test_apply_adds_and_removes(self):
+        from repro.lsm.version import Version
+
+        version = Version(Options())
+        VersionEdit().add_file(1, _meta(1)).apply(version)
+        assert version.num_files(1) == 1
+        edit = VersionEdit()
+        edit.delete_file(1, 1)
+        edit.add_file(2, _meta(9))
+        edit.apply(version)
+        assert version.num_files(1) == 0
+        assert version.num_files(2) == 1
+
+    def test_apply_missing_delete_raises(self):
+        from repro.lsm.version import Version
+
+        version = Version(Options())
+        with pytest.raises(KeyError):
+            VersionEdit(deleted_files=[(1, 42)]).apply(version)
+
+
+class TestCurrentAndRecovery:
+    def test_current_roundtrip(self):
+        storage = MemStorage()
+        assert read_current(storage) is None
+        set_current(storage, "MANIFEST-000001")
+        assert read_current(storage) == "MANIFEST-000001"
+        # Switch is atomic (tmp + rename): no tmp file is left.
+        assert CURRENT_NAME + ".tmp" not in storage.list()
+
+    def test_recover_fresh_directory(self):
+        version, next_file, last_seq, log, name = recover_version(
+            MemStorage(), Options()
+        )
+        assert version.total_bytes() == 0
+        assert (next_file, last_seq, log, name) == (1, 0, None, None)
+
+    def test_recover_replays_edit_sequence(self):
+        storage = MemStorage()
+        writer = ManifestWriter(storage, "MANIFEST-000001")
+        writer.append(VersionEdit(next_file_number=5, last_sequence=10)
+                      .add_file(0, _meta(2)))
+        writer.append(VersionEdit(log_number=4).add_file(1, _meta(3)))
+        edit3 = VersionEdit(next_file_number=9)
+        edit3.delete_file(0, 2)
+        writer.append(edit3, sync=True)
+        writer.close()
+        set_current(storage, "MANIFEST-000001")
+
+        version, next_file, last_seq, log, name = recover_version(
+            storage, Options()
+        )
+        assert name == "MANIFEST-000001"
+        assert next_file == 9
+        assert last_seq == 10
+        assert log == 4
+        assert version.num_files(0) == 0
+        assert version.num_files(1) == 1

@@ -1,0 +1,133 @@
+"""Stateful model-based testing of the DB (hypothesis rule machine).
+
+The machine interleaves puts, deletes, batch writes, snapshots, reads,
+scans, flushes, manual compactions, and full crash-reopen cycles, and
+checks the store against a plain dict model (plus per-snapshot frozen
+models) after every step.  This is the widest net for ordering,
+visibility, and recovery bugs across the whole stack.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.db import DB
+from repro.devices import MemStorage
+from repro.lsm import Options, WriteBatch
+
+KEYS = st.integers(min_value=0, max_value=40).map(lambda i: b"key-%03d" % i)
+VALUES = st.binary(min_size=0, max_size=24)
+
+
+def tiny_options() -> Options:
+    return Options(
+        memtable_bytes=2 * 1024,  # flush every ~20 writes
+        sstable_bytes=2 * 1024,
+        block_bytes=512,
+        level1_bytes=8 * 1024,
+        level_multiplier=4,
+        l0_compaction_trigger=2,
+        compression="lz77",
+    )
+
+
+class DBMachine(RuleBasedStateMachine):
+    snapshots = Bundle("snapshots")
+
+    @initialize()
+    def setup(self):
+        self.storage = MemStorage()
+        self.db = DB(self.storage, tiny_options())
+        self.model: dict[bytes, bytes] = {}
+        self.snapshot_models: dict[int, dict[bytes, bytes]] = {}
+
+    # ------------------------------------------------------------ rules
+    @rule(key=KEYS, value=VALUES)
+    def put(self, key, value):
+        self.db.put(key, value)
+        self.model[key] = value
+
+    @rule(key=KEYS)
+    def delete(self, key):
+        self.db.delete(key)
+        self.model.pop(key, None)
+
+    @rule(ops=st.lists(st.tuples(st.booleans(), KEYS, VALUES), min_size=1,
+                       max_size=6))
+    def write_batch(self, ops):
+        batch = WriteBatch()
+        for is_put, key, value in ops:
+            if is_put:
+                batch.put(key, value)
+                self.model[key] = value
+            else:
+                batch.delete(key)
+                self.model.pop(key, None)
+        self.db.write(batch)
+
+    @rule(key=KEYS)
+    def read(self, key):
+        assert self.db.get(key) == self.model.get(key)
+
+    @rule(target=snapshots)
+    def take_snapshot(self):
+        snap = self.db.snapshot()
+        self.snapshot_models[id(snap)] = dict(self.model)
+        return snap
+
+    @rule(snap=snapshots, key=KEYS)
+    def read_at_snapshot(self, snap, key):
+        frozen = self.snapshot_models.get(id(snap))
+        if frozen is None:
+            return  # released in a previous step
+        assert self.db.get(key, snapshot=snap) == frozen.get(key)
+
+    @rule(snap=snapshots)
+    def release_snapshot(self, snap):
+        self.snapshot_models.pop(id(snap), None)
+        snap.release()
+
+    @rule()
+    def flush(self):
+        self.db.flush()
+
+    @rule()
+    def compact(self):
+        self.db.compact_all()
+
+    @precondition(lambda self: not self.snapshot_models)
+    @rule()
+    def crash_and_reopen(self):
+        # Abandon without close: recovery must replay WAL + MANIFEST.
+        del self.db
+        self.db = DB(self.storage, tiny_options())
+
+    # -------------------------------------------------------- invariants
+    @invariant()
+    def full_scan_matches_model(self):
+        if not hasattr(self, "db"):
+            return
+        assert dict(self.db.items()) == self.model
+
+    @invariant()
+    def levels_are_sane(self):
+        if not hasattr(self, "db"):
+            return
+        self.db.version.check_invariants()
+
+    def teardown(self):
+        if hasattr(self, "db"):
+            self.db.close()
+
+
+TestDBStateful = DBMachine.TestCase
+TestDBStateful.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

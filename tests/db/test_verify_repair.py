@@ -1,0 +1,285 @@
+"""Tests for verify_db / repair_db and the streaming cursor."""
+
+import pytest
+
+from repro.db import DB, repair_db, verify_db
+from repro.db.manifest import CURRENT_NAME
+from repro.devices import MemStorage
+from repro.lsm import Options
+
+
+def small_options(**kw):
+    defaults = dict(
+        memtable_bytes=16 * 1024,
+        sstable_bytes=8 * 1024,
+        block_bytes=1024,
+        level1_bytes=32 * 1024,
+        level_multiplier=4,
+        compression="lz77",
+    )
+    defaults.update(kw)
+    return Options(**defaults)
+
+
+def _populate(storage, n=1500, options=None):
+    db = DB(storage, options or small_options())
+    for i in range(n):
+        db.put(b"key-%06d" % i, b"value-%d" % i)
+    db.flush()
+    db.close()
+
+
+class TestVerify:
+    def test_clean_db_verifies(self):
+        storage = MemStorage()
+        _populate(storage)
+        report = verify_db(storage, small_options())
+        assert report.ok, report.render()
+        assert report.tables_checked > 0
+        assert report.entries_checked >= 1500
+        assert "OK" in report.render()
+
+    def test_empty_dir_fails(self):
+        report = verify_db(MemStorage(), small_options())
+        assert not report.ok
+        assert "CURRENT" in report.errors[0]
+
+    def test_missing_table_detected(self):
+        storage = MemStorage()
+        _populate(storage)
+        victim = next(n for n in storage.list() if n.endswith(".sst"))
+        storage.delete(victim)
+        report = verify_db(storage, small_options())
+        assert not report.ok
+        assert any("missing" in e for e in report.errors)
+
+    def test_corrupt_block_detected(self):
+        storage = MemStorage()
+        _populate(storage)
+        victim = next(n for n in storage.list() if n.endswith(".sst"))
+        data = bytearray(storage.open(victim).read_all())
+        data[20] ^= 0xFF
+        storage.delete(victim)
+        with storage.create(victim) as f:
+            f.append(bytes(data))
+        report = verify_db(storage, small_options())
+        assert not report.ok
+
+    def test_orphan_is_warning_not_error(self):
+        storage = MemStorage()
+        _populate(storage)
+        with storage.create("999999.sst") as f:
+            f.append(b"not even a table")
+        report = verify_db(storage, small_options())
+        assert report.ok
+        assert any("orphan" in w for w in report.warnings)
+
+    def test_missing_manifest_detected(self):
+        storage = MemStorage()
+        _populate(storage)
+        with storage.create(CURRENT_NAME) as f:
+            f.append(b"MANIFEST-xxxxx\n")
+        report = verify_db(storage, small_options())
+        assert not report.ok
+
+
+class TestRepair:
+    def test_repair_after_lost_manifest(self):
+        storage = MemStorage()
+        _populate(storage, n=2000)
+        # Disaster: CURRENT and all manifests gone.
+        for name in list(storage.list()):
+            if name.startswith("MANIFEST") or name == CURRENT_NAME:
+                storage.delete(name)
+        result = repair_db(storage, small_options())
+        assert result["salvaged"]
+        assert verify_db(storage, small_options()).ok
+        with DB(storage, small_options()) as db:
+            assert db.get(b"key-000123") == b"value-123"
+            assert sum(1 for _ in db.items()) == 2000
+
+    def test_repair_drops_corrupt_tables(self):
+        storage = MemStorage()
+        _populate(storage, n=2000)
+        tables = [n for n in storage.list() if n.endswith(".sst")]
+        victim = tables[0]
+        data = bytearray(storage.open(victim).read_all())
+        data[15] ^= 0x01
+        storage.delete(victim)
+        with storage.create(victim) as f:
+            f.append(bytes(data))
+        result = repair_db(storage, small_options())
+        assert victim in result["dropped"]
+        assert set(result["salvaged"]) == set(tables) - {victim}
+        # DB opens; the corrupt table's keys are lost, the rest live.
+        with DB(storage, small_options()) as db:
+            total = sum(1 for _ in db.items())
+            assert 0 < total < 2000
+
+    def test_repair_preserves_newest_versions(self):
+        storage = MemStorage()
+        options = small_options()
+        db = DB(storage, options)
+        db.put(b"k", b"old")
+        db.flush()
+        db.put(b"k", b"new")
+        db.flush()
+        db.close()
+        for name in list(storage.list()):
+            if name.startswith("MANIFEST") or name == CURRENT_NAME:
+                storage.delete(name)
+        repair_db(storage, options)
+        with DB(storage, options) as db:
+            assert db.get(b"k") == b"new"
+            # New writes get sequences above everything salvaged.
+            db.put(b"k", b"newest")
+            assert db.get(b"k") == b"newest"
+
+    def test_repair_empty_dir(self):
+        storage = MemStorage()
+        result = repair_db(storage, small_options())
+        assert result == {"salvaged": [], "dropped": []}
+        with DB(storage, small_options()) as db:
+            assert db.get(b"anything") is None
+
+
+class TestCursor:
+    def test_cursor_streams_lazily(self):
+        with DB(MemStorage(), small_options()) as db:
+            for i in range(500):
+                db.put(b"k-%04d" % i, b"v%d" % i)
+            cur = db.cursor()
+            it = iter(cur)
+            first = next(it)
+            assert first == (b"k-0000", b"v0")
+            # Writes after cursor creation are invisible to it.
+            db.put(b"k-0001", b"OVERWRITTEN")
+            assert next(it) == (b"k-0001", b"v1")
+            # But a fresh cursor sees them.
+            assert dict(db.cursor().items(b"k-0001", b"k-0002")) == {
+                b"k-0001": b"OVERWRITTEN"
+            }
+
+    def test_cursor_seek(self):
+        with DB(MemStorage(), small_options()) as db:
+            for i in range(300):
+                db.put(b"k-%04d" % i, b"v")
+            db.flush()
+            got = [k for k, _ in db.cursor().seek(b"k-0290")]
+            assert got == [b"k-%04d" % i for i in range(290, 300)]
+
+    def test_cursor_spans_all_levels(self):
+        with DB(MemStorage(), small_options()) as db:
+            import random
+
+            order = list(range(2000))
+            random.Random(5).shuffle(order)
+            for i in order:
+                db.put(b"k-%05d" % i, b"v%d" % i)
+            # Data now spread across memtable, L0 and deeper levels.
+            keys = [k for k, _ in db.cursor()]
+            assert keys == [b"k-%05d" % i for i in range(2000)]
+
+    def test_cursor_count(self):
+        with DB(MemStorage(), small_options()) as db:
+            for i in range(100):
+                db.put(b"k-%03d" % i, b"v")
+            db.delete(b"k-050")
+            cur = db.cursor()
+            assert cur.count() == 99
+            assert cur.count(b"k-010", b"k-020") == 10
+
+    def test_cursor_with_snapshot(self):
+        with DB(MemStorage(), small_options()) as db:
+            db.put(b"a", b"1")
+            snap = db.snapshot()
+            db.put(b"a", b"2")
+            db.put(b"b", b"1")
+            assert dict(db.cursor(snapshot=snap)) == {b"a": b"1"}
+            assert dict(db.cursor()) == {b"a": b"2", b"b": b"1"}
+            snap.release()
+
+    def test_cursor_survives_compaction(self):
+        with DB(MemStorage(), small_options()) as db:
+            import random
+
+            order = list(range(1500))
+            random.Random(9).shuffle(order)
+            for i in order:
+                db.put(b"k-%05d" % i, b"v%d" % i)
+            cur = db.cursor()
+            it = iter(cur)
+            head = [next(it) for _ in range(10)]
+            # Force a full reshape under the open cursor.
+            db.compact_range()
+            rest = list(it)
+            keys = [k for k, _ in head + rest]
+            assert keys == [b"k-%05d" % i for i in range(1500)]
+
+
+class TestCompactRange:
+    def test_compact_range_pushes_data_down(self):
+        with DB(MemStorage(), small_options()) as db:
+            import random
+
+            order = list(range(3000))
+            random.Random(2).shuffle(order)
+            for i in order:
+                db.put(b"k-%05d" % i, b"v%d" % i)
+            n = db.compact_range()
+            assert n >= 0
+            assert db.num_files(0) == 0  # L0 fully drained
+            assert db.get(b"k-01500") == b"v1500"
+            assert sum(1 for _ in db.items()) == 3000
+
+    def test_compact_range_partial(self):
+        with DB(MemStorage(), small_options()) as db:
+            for i in range(2000):
+                db.put(b"k-%05d" % i, b"v")
+            db.compact_range(b"k-00000", b"k-00500")
+            assert db.get(b"k-00250") == b"v"
+
+    def test_get_property(self):
+        with DB(MemStorage(), small_options()) as db:
+            db.put(b"k", b"v")
+            assert db.get_property("num-files-at-level0") == "0"
+            assert db.get_property("num-files-at-level99") is None
+            assert "writes=1" in db.get_property("stats")
+            assert db.get_property("sstables") is not None
+            assert int(db.get_property("approximate-memory-usage")) > 0
+            assert db.get_property("total-bytes") == "0"
+            assert db.get_property("bogus") is None
+
+
+class TestCompactionLog:
+    def test_log_records_merges(self):
+        import random
+
+        with DB(MemStorage(), small_options()) as db:
+            order = list(range(2500))
+            random.Random(6).shuffle(order)
+            for i in order:
+                db.put(b"k-%05d" % i, b"v")
+            log = db.compaction_log
+            assert log, "expected at least one real compaction"
+            for rec in log:
+                assert rec["subtasks"] >= 1
+                assert rec["input_bytes"] > 0
+                assert rec["seconds"] > 0
+                assert rec["procedure"] == "scp"
+            text = db.get_property("compaction-log")
+            assert "L0->L1" in text
+
+    def test_log_is_bounded(self):
+        with DB(MemStorage(), small_options()) as db:
+            db._compaction_log_cap = 3
+            for i in range(10):
+                db._record_compaction({"level": 0, "inputs": 1, "outputs": 1,
+                                       "subtasks": 1, "input_bytes": 1,
+                                       "output_bytes": 1, "seconds": 0.1,
+                                       "procedure": "scp"})
+            assert len(db.compaction_log) == 3
+
+    def test_empty_log_property(self):
+        with DB(MemStorage(), small_options()) as db:
+            assert db.get_property("compaction-log") == "(no compactions yet)"

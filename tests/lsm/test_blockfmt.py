@@ -1,0 +1,135 @@
+"""Tests for the prefix-compressed block format."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lsm.blockfmt import Block, BlockBuilder, BlockCorruption
+
+
+def _build(entries, restart_interval=16):
+    builder = BlockBuilder(restart_interval)
+    for k, v in entries:
+        builder.add(k, v)
+    return builder.finish()
+
+
+class TestBuilder:
+    def test_empty_block(self):
+        data = BlockBuilder().finish()
+        block = Block(data)
+        assert list(block) == []
+        assert block.first_key() is None
+
+    def test_single_entry(self):
+        block = Block(_build([(b"key", b"value")]))
+        assert list(block) == [(b"key", b"value")]
+
+    def test_out_of_order_rejected(self):
+        builder = BlockBuilder()
+        builder.add(b"b", b"")
+        with pytest.raises(ValueError):
+            builder.add(b"a", b"")
+
+    def test_duplicate_rejected(self):
+        builder = BlockBuilder()
+        builder.add(b"a", b"")
+        with pytest.raises(ValueError):
+            builder.add(b"a", b"")
+
+    def test_invalid_restart_interval(self):
+        with pytest.raises(ValueError):
+            BlockBuilder(0)
+
+    def test_prefix_compression_shrinks(self):
+        shared = [(b"user-common-prefix-%04d" % i, b"v") for i in range(100)]
+        distinct = [(bytes([i]) * 23, b"v") for i in range(100)]
+        assert len(_build(shared)) < len(_build(distinct))
+
+    def test_reset_reuses_builder(self):
+        builder = BlockBuilder()
+        builder.add(b"z", b"1")
+        builder.reset()
+        assert builder.empty
+        builder.add(b"a", b"2")  # would be out of order without reset
+        block = Block(builder.finish())
+        assert list(block) == [(b"a", b"2")]
+
+    def test_size_estimate_matches_finish(self):
+        builder = BlockBuilder(4)
+        for i in range(50):
+            builder.add(b"key-%04d" % i, b"val-%d" % i)
+        assert builder.current_size_estimate() == len(builder.finish())
+
+    def test_restart_points_created(self):
+        block = Block(_build([(b"%04d" % i, b"") for i in range(64)], 16))
+        assert block.num_restarts() == 4
+
+
+class TestSeek:
+    ENTRIES = [(b"key-%04d" % i, b"val-%d" % i) for i in range(0, 200, 2)]
+
+    def test_seek_exact(self):
+        block = Block(_build(self.ENTRIES))
+        hits = list(block.seek(b"key-0100"))
+        assert hits[0] == (b"key-0100", b"val-100")
+        assert len(hits) == 50
+
+    def test_seek_between_keys(self):
+        block = Block(_build(self.ENTRIES))
+        hits = list(block.seek(b"key-0101"))  # odd: not present
+        assert hits[0][0] == b"key-0102"
+
+    def test_seek_before_first(self):
+        block = Block(_build(self.ENTRIES))
+        assert next(iter(block.seek(b"")))[0] == b"key-0000"
+
+    def test_seek_past_last(self):
+        block = Block(_build(self.ENTRIES))
+        assert list(block.seek(b"zzz")) == []
+
+    @settings(max_examples=50)
+    @given(st.binary(max_size=10))
+    def test_seek_matches_linear_scan(self, target):
+        block = Block(_build(self.ENTRIES))
+        expected = [(k, v) for k, v in self.ENTRIES if k >= target]
+        assert list(block.seek(target)) == expected
+
+    @given(
+        st.lists(st.binary(min_size=1, max_size=12), min_size=1, max_size=60, unique=True),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_roundtrip_property(self, keys, restart_interval):
+        entries = [(k, b"v:" + k) for k in sorted(keys)]
+        block = Block(_build(entries, restart_interval))
+        assert list(block) == entries
+
+
+class TestCorruption:
+    def test_too_short(self):
+        with pytest.raises(BlockCorruption):
+            Block(b"ab")
+
+    def test_bad_restart_count(self):
+        data = _build([(b"a", b"1")])
+        # Overwrite the restart count with an absurd value.
+        bad = data[:-4] + b"\xff\xff\xff\x7f"
+        with pytest.raises(BlockCorruption):
+            Block(bad)
+
+    def test_entry_overrun_detected(self):
+        data = bytearray(_build([(b"abcdef", b"payload")]))
+        data[2] = 200  # inflate value_len varint
+        with pytest.raises(BlockCorruption):
+            list(Block(bytes(data)))
+
+    def test_custom_comparator_ordering(self):
+        # Reverse-order comparator accepts descending keys.
+        rev = lambda a, b: (a < b) - (a > b)
+        builder = BlockBuilder(4, compare=rev)
+        keys = [b"c", b"b", b"a"]
+        for k in keys:
+            builder.add(k, b"")
+        block = Block(builder.finish(), compare=rev)
+        assert [k for k, _ in block] == keys
+        assert [k for k, _ in block.seek(b"b")] == [b"b", b"a"]

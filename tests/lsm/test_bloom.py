@@ -1,0 +1,79 @@
+"""Tests for the bloom filter."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lsm.bloom import BloomFilter, BloomFilterBuilder, bloom_hash
+
+
+class TestHash:
+    def test_deterministic(self):
+        assert bloom_hash(b"key") == bloom_hash(b"key")
+
+    def test_seed_changes_hash(self):
+        assert bloom_hash(b"key", seed=1) != bloom_hash(b"key", seed=2)
+
+    def test_distributes(self):
+        hashes = {bloom_hash(b"key-%d" % i) for i in range(1000)}
+        assert len(hashes) > 990  # essentially no collisions
+
+    @given(st.binary(max_size=64))
+    def test_32bit_range(self, key):
+        assert 0 <= bloom_hash(key) <= 0xFFFFFFFF
+
+
+class TestFilter:
+    def _filter(self, keys, bits_per_key=10):
+        builder = BloomFilterBuilder(bits_per_key)
+        for k in keys:
+            builder.add(k)
+        return BloomFilter(builder.finish())
+
+    def test_no_false_negatives(self):
+        keys = [b"user-%06d" % i for i in range(2000)]
+        bf = self._filter(keys)
+        assert all(bf.may_contain(k) for k in keys)
+
+    def test_false_positive_rate_reasonable(self):
+        keys = [b"present-%d" % i for i in range(2000)]
+        bf = self._filter(keys, bits_per_key=10)
+        fp = sum(bf.may_contain(b"absent-%d" % i) for i in range(10000))
+        assert fp / 10000 < 0.03  # ~1% expected at 10 bits/key
+
+    def test_more_bits_fewer_false_positives(self):
+        keys = [b"k%d" % i for i in range(500)]
+        rates = []
+        for bits in (4, 8, 16):
+            bf = self._filter(keys, bits_per_key=bits)
+            fp = sum(bf.may_contain(b"x%d" % i) for i in range(5000))
+            rates.append(fp)
+        assert rates[0] > rates[1] > rates[2]
+
+    def test_empty_filter_blob_matches_all(self):
+        bf = BloomFilter(b"")
+        assert bf.may_contain(b"anything")
+
+    def test_empty_builder(self):
+        blob = BloomFilterBuilder().finish()
+        bf = BloomFilter(blob)
+        # No keys added: nothing should match (all bits zero).
+        assert not bf.may_contain(b"key")
+
+    def test_invalid_bits_per_key(self):
+        with pytest.raises(ValueError):
+            BloomFilterBuilder(-1)
+
+    def test_corrupt_k_treated_as_match_all(self):
+        builder = BloomFilterBuilder()
+        builder.add(b"x")
+        blob = bytearray(builder.finish())
+        blob[-1] = 31  # reserved k value
+        assert BloomFilter(bytes(blob)).may_contain(b"never-added")
+
+    @settings(max_examples=50)
+    @given(st.sets(st.binary(min_size=1, max_size=16), max_size=100))
+    def test_membership_property(self, keys):
+        bf = self._filter(sorted(keys))
+        for k in keys:
+            assert bf.may_contain(k)

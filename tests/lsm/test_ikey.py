@@ -1,0 +1,115 @@
+"""Tests for internal key encoding and ordering."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lsm.ikey import (
+    KIND_DELETE,
+    KIND_VALUE,
+    MAX_SEQUENCE,
+    InternalKey,
+    decode_internal_key,
+    encode_internal_key,
+    internal_compare,
+    lookup_key,
+    pack_trailer,
+    unpack_trailer,
+)
+
+keys = st.binary(min_size=1, max_size=24)
+seqs = st.integers(min_value=0, max_value=MAX_SEQUENCE)
+kinds = st.sampled_from([KIND_DELETE, KIND_VALUE])
+
+
+class TestEncoding:
+    @given(keys, seqs, kinds)
+    def test_roundtrip(self, key, seq, kind):
+        assert decode_internal_key(encode_internal_key(key, seq, kind)) == (
+            key,
+            seq,
+            kind,
+        )
+
+    @given(seqs, kinds)
+    def test_trailer_roundtrip(self, seq, kind):
+        assert unpack_trailer(pack_trailer(seq, kind)) == (seq, kind)
+
+    def test_sequence_out_of_range(self):
+        with pytest.raises(ValueError):
+            pack_trailer(MAX_SEQUENCE + 1, KIND_VALUE)
+        with pytest.raises(ValueError):
+            pack_trailer(-1, KIND_VALUE)
+
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            pack_trailer(0, 7)
+
+    def test_too_short_key(self):
+        with pytest.raises(ValueError):
+            decode_internal_key(b"short")
+
+
+class TestOrdering:
+    def test_user_key_ascending(self):
+        a = encode_internal_key(b"aaa", 5, KIND_VALUE)
+        b = encode_internal_key(b"bbb", 5, KIND_VALUE)
+        assert internal_compare(a, b) < 0
+        assert internal_compare(b, a) > 0
+
+    def test_sequence_descending_within_user_key(self):
+        newer = encode_internal_key(b"k", 10, KIND_VALUE)
+        older = encode_internal_key(b"k", 3, KIND_VALUE)
+        assert internal_compare(newer, older) < 0  # newer sorts first
+
+    def test_equal_keys(self):
+        a = encode_internal_key(b"k", 7, KIND_DELETE)
+        assert internal_compare(a, a) == 0
+
+    def test_delete_sorts_after_value_same_seq(self):
+        # kind packs into the trailer's low byte: VALUE(1) > DELETE(0),
+        # and larger trailer sorts first.
+        val = encode_internal_key(b"k", 7, KIND_VALUE)
+        dele = encode_internal_key(b"k", 7, KIND_DELETE)
+        assert internal_compare(val, dele) < 0
+
+    def test_user_key_prefix_ordering(self):
+        # "ab" < "abc" as user keys regardless of trailers.
+        a = encode_internal_key(b"ab", 1, KIND_VALUE)
+        b = encode_internal_key(b"abc", 999, KIND_VALUE)
+        assert internal_compare(a, b) < 0
+
+    @given(keys, keys, seqs, seqs)
+    def test_compare_matches_decoded_semantics(self, ka, kb, sa, sb):
+        a = encode_internal_key(ka, sa, KIND_VALUE)
+        b = encode_internal_key(kb, sb, KIND_VALUE)
+        expected = -1 if (ka, -sa) < (kb, -sb) else (1 if (ka, -sa) > (kb, -sb) else 0)
+        assert internal_compare(a, b) == expected
+
+    @given(st.lists(st.tuples(keys, seqs, kinds), min_size=2, max_size=30))
+    def test_internalkey_class_sort_agrees(self, triples):
+        encoded = [encode_internal_key(*t) for t in triples]
+        by_compare = sorted(
+            encoded, key=lambda e: _CmpWrap(e)
+        )
+        by_class = [
+            ik.encode() for ik in sorted(InternalKey.decode(e) for e in encoded)
+        ]
+        assert by_compare == by_class
+
+
+class _CmpWrap:
+    def __init__(self, e):
+        self.e = e
+
+    def __lt__(self, other):
+        return internal_compare(self.e, other.e) < 0
+
+
+class TestLookupKey:
+    def test_lookup_sorts_before_older_entries(self):
+        lk = lookup_key(b"k", 100)
+        older = encode_internal_key(b"k", 50, KIND_VALUE)
+        newer = encode_internal_key(b"k", 200, KIND_VALUE)
+        assert internal_compare(lk, older) < 0  # lookup finds the ≤100 entry
+        assert internal_compare(newer, lk) < 0  # >snapshot entries sort before

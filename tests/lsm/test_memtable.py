@@ -1,0 +1,141 @@
+"""Tests for the skiplist memtable."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lsm.ikey import KIND_VALUE, decode_internal_key, encode_internal_key
+from repro.lsm.memtable import MemTable
+
+
+class TestBasics:
+    def test_empty(self):
+        mt = MemTable()
+        assert len(mt) == 0
+        assert not mt.get(b"anything").found
+        assert mt.smallest_key() is None
+        assert mt.largest_key() is None
+
+    def test_put_get(self):
+        mt = MemTable()
+        mt.put(1, b"alpha", b"1")
+        mt.put(2, b"beta", b"2")
+        assert mt.get(b"alpha").value == b"1"
+        assert mt.get(b"beta").value == b"2"
+        assert not mt.get(b"gamma").found
+
+    def test_overwrite_newest_wins(self):
+        mt = MemTable()
+        mt.put(1, b"k", b"old")
+        mt.put(2, b"k", b"new")
+        assert mt.get(b"k").value == b"new"
+
+    def test_delete_shadows_put(self):
+        mt = MemTable()
+        mt.put(1, b"k", b"v")
+        mt.delete(2, b"k")
+        result = mt.get(b"k")
+        assert result.found and result.deleted
+        assert result.value is None
+
+    def test_put_after_delete(self):
+        mt = MemTable()
+        mt.put(1, b"k", b"v1")
+        mt.delete(2, b"k")
+        mt.put(3, b"k", b"v2")
+        result = mt.get(b"k")
+        assert result.found and not result.deleted
+        assert result.value == b"v2"
+
+    def test_snapshot_reads_see_past(self):
+        mt = MemTable()
+        mt.put(1, b"k", b"v1")
+        mt.put(5, b"k", b"v5")
+        assert mt.get(b"k", snapshot=1).value == b"v1"
+        assert mt.get(b"k", snapshot=4).value == b"v1"
+        assert mt.get(b"k", snapshot=5).value == b"v5"
+        assert not mt.get(b"k", snapshot=0).found
+
+    def test_approximate_bytes_grows(self):
+        mt = MemTable()
+        before = mt.approximate_bytes
+        mt.put(1, b"key", b"x" * 1000)
+        assert mt.approximate_bytes > before + 1000
+
+
+class TestIteration:
+    def test_iteration_in_internal_order(self):
+        mt = MemTable()
+        mt.put(3, b"b", b"3")
+        mt.put(1, b"a", b"1")
+        mt.put(2, b"c", b"2")
+        mt.put(4, b"a", b"4")  # newer version of a
+        entries = list(mt)
+        users = [decode_internal_key(ik)[0] for ik, _ in entries]
+        assert users == [b"a", b"a", b"b", b"c"]
+        # Within 'a', newer sequence first.
+        seqs = [decode_internal_key(ik)[1] for ik, _ in entries[:2]]
+        assert seqs == [4, 1]
+
+    def test_iter_from(self):
+        mt = MemTable()
+        for i, key in enumerate([b"a", b"b", b"c", b"d"]):
+            mt.put(i + 1, key, key)
+        probe = encode_internal_key(b"b", 1 << 40, KIND_VALUE)
+        users = [decode_internal_key(ik)[0] for ik, _ in mt.iter_from(probe)]
+        assert users == [b"b", b"c", b"d"]
+
+    def test_smallest_largest(self):
+        mt = MemTable()
+        mt.put(1, b"m", b"")
+        mt.put(2, b"a", b"")
+        mt.put(3, b"z", b"")
+        assert decode_internal_key(mt.smallest_key())[0] == b"a"
+        assert decode_internal_key(mt.largest_key())[0] == b"z"
+
+
+@settings(max_examples=50)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["put", "delete"]),
+            st.binary(min_size=1, max_size=8),
+            st.binary(max_size=16),
+        ),
+        max_size=80,
+    )
+)
+def test_memtable_matches_dict_model(ops):
+    """The memtable behaves like a dict with tombstones."""
+    mt = MemTable()
+    model: dict[bytes, tuple[str, bytes]] = {}
+    for seq, (op, key, value) in enumerate(ops, start=1):
+        if op == "put":
+            mt.put(seq, key, value)
+            model[key] = ("put", value)
+        else:
+            mt.delete(seq, key)
+            model[key] = ("del", b"")
+    for key, (op, value) in model.items():
+        result = mt.get(key)
+        assert result.found
+        if op == "put":
+            assert not result.deleted and result.value == value
+        else:
+            assert result.deleted
+
+    # Iteration yields every version exactly once, in internal order.
+    entries = list(mt)
+    assert len(entries) == len(ops)
+    decoded = [decode_internal_key(ik) for ik, _ in entries]
+    for (ua, sa, _), (ub, sb, _) in zip(decoded, decoded[1:]):
+        assert (ua, -sa) <= (ub, -sb)
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_skiplist_shape_independent_of_seed_for_correctness(seed):
+    mt = MemTable(seed=seed)
+    for i in range(50):
+        mt.put(i + 1, b"%04d" % i, b"v%d" % i)
+    assert mt.get(b"0025").value == b"v25"
+    assert len(list(mt)) == 50

@@ -1,0 +1,111 @@
+"""Fuzz robustness: decoders must fail *cleanly* on arbitrary bytes.
+
+Every parser that consumes on-disk data (blocks, table footers, WAL
+records, version edits, compressed payloads) must raise its documented
+error type on garbage — never IndexError/KeyError/struct.error leaking
+from internals, and never an infinite loop or wrong-but-silent result.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codec.compress import CompressionError, lz77_decompress
+from repro.codec.varint import VarintError, decode_varint64
+from repro.db.manifest import VersionEdit
+from repro.lsm.blockfmt import Block, BlockCorruption
+from repro.lsm.table_format import Footer, TableCorruption, decode_block_contents
+from repro.lsm.wal import LogCorruption, LogReader
+from repro.codec.checksum import get_checksummer
+
+
+@settings(max_examples=300)
+@given(st.binary(max_size=256))
+def test_varint_decoder_total(data):
+    try:
+        value, pos = decode_varint64(data)
+        assert 0 <= value < (1 << 64)
+        assert 0 < pos <= len(data)
+    except VarintError:
+        pass
+
+
+@settings(max_examples=300)
+@given(st.binary(max_size=512))
+def test_lz77_decoder_total(blob):
+    try:
+        lz77_decompress(blob)
+    except CompressionError:
+        pass
+
+
+@settings(max_examples=300)
+@given(st.binary(max_size=512))
+def test_block_parser_total(data):
+    try:
+        block = Block(data)
+        for _ in block:
+            pass
+        list(block.seek(b"m"))
+    except BlockCorruption:
+        pass
+
+
+@settings(max_examples=200)
+@given(st.binary(min_size=0, max_size=128))
+def test_footer_decoder_total(data):
+    try:
+        Footer.decode(data)
+    except TableCorruption:
+        pass
+
+
+@settings(max_examples=200)
+@given(st.binary(max_size=512))
+def test_block_contents_decoder_total(stored):
+    cs = get_checksummer("crc32")
+    try:
+        decode_block_contents(stored, cs)
+    except (TableCorruption, CompressionError):
+        pass
+
+
+@settings(max_examples=200)
+@given(st.binary(max_size=2048))
+def test_wal_reader_total(data):
+    from repro.devices import MemStorage
+
+    storage = MemStorage()
+    with storage.create("wal") as f:
+        f.append(data)
+    try:
+        list(LogReader(storage.open("wal")))
+    except LogCorruption:
+        pass
+
+
+@settings(max_examples=200)
+@given(st.binary(max_size=256))
+def test_version_edit_decoder_total(blob):
+    try:
+        VersionEdit.decode(blob)
+    except (ValueError, IndexError):
+        # IndexError only via truncated key reads is unacceptable —
+        # check it specifically:
+        try:
+            VersionEdit.decode(blob)
+        except ValueError:
+            pass
+        except IndexError:
+            pytest.fail("VersionEdit.decode leaked IndexError")
+
+
+@settings(max_examples=100)
+@given(st.binary(max_size=256), st.integers(min_value=0, max_value=40))
+def test_write_batch_decoder_total(blob, pad):
+    from repro.lsm.wal import WriteBatch
+
+    try:
+        WriteBatch.decode(blob + b"\x00" * pad)
+    except ValueError:
+        pass

@@ -1,0 +1,351 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import Simulator, SimulationError
+
+
+class TestTimeouts:
+    def test_single_timeout_advances_clock(self):
+        sim = Simulator()
+
+        def proc(sim):
+            yield sim.timeout(5.0)
+
+        sim.process(proc(sim))
+        assert sim.run() == 5.0
+
+    def test_zero_delay(self):
+        sim = Simulator()
+
+        def proc(sim):
+            yield sim.timeout(0.0)
+            return "ok"
+
+        p = sim.process(proc(sim))
+        sim.run()
+        assert p.value == "ok"
+        assert sim.now == 0.0
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.timeout(-1.0)
+
+    def test_sequential_timeouts_accumulate(self):
+        sim = Simulator()
+        times = []
+
+        def proc(sim):
+            for d in (1.0, 2.0, 3.5):
+                yield sim.timeout(d)
+                times.append(sim.now)
+
+        sim.process(proc(sim))
+        sim.run()
+        assert times == [1.0, 3.0, 6.5]
+
+    def test_run_until_stops_early(self):
+        sim = Simulator()
+
+        def proc(sim):
+            yield sim.timeout(100.0)
+
+        sim.process(proc(sim))
+        assert sim.run(until=10.0) == 10.0
+        assert sim.peek() == 100.0
+
+    def test_run_until_past_raises(self):
+        sim = Simulator()
+        sim.process(iter([]) and _ticker(sim, 5))
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.run(until=sim.now - 1)
+
+
+def _ticker(sim, n):
+    for _ in range(n):
+        yield sim.timeout(1.0)
+
+
+class TestProcesses:
+    def test_process_return_value(self):
+        sim = Simulator()
+
+        def proc(sim):
+            yield sim.timeout(1)
+            return 42
+
+        p = sim.process(proc(sim))
+        sim.run()
+        assert p.value == 42
+
+    def test_two_processes_interleave(self):
+        sim = Simulator()
+        trace = []
+
+        def worker(sim, name, delay):
+            yield sim.timeout(delay)
+            trace.append((sim.now, name))
+            yield sim.timeout(delay)
+            trace.append((sim.now, name))
+
+        sim.process(worker(sim, "a", 2.0))
+        sim.process(worker(sim, "b", 3.0))
+        sim.run()
+        assert trace == [(2.0, "a"), (3.0, "b"), (4.0, "a"), (6.0, "b")]
+
+    def test_process_waits_on_process(self):
+        sim = Simulator()
+
+        def child(sim):
+            yield sim.timeout(7.0)
+            return "payload"
+
+        def parent(sim):
+            value = yield sim.process(child(sim))
+            return (sim.now, value)
+
+        p = sim.process(parent(sim))
+        sim.run()
+        assert p.value == (7.0, "payload")
+
+    def test_exception_propagates_to_waiter(self):
+        sim = Simulator()
+
+        def failing(sim):
+            yield sim.timeout(1.0)
+            raise RuntimeError("boom")
+
+        def parent(sim):
+            try:
+                yield sim.process(failing(sim))
+            except RuntimeError as exc:
+                return f"caught {exc}"
+
+        p = sim.process(parent(sim))
+        sim.run()
+        assert p.value == "caught boom"
+
+    def test_unhandled_failure_surfaces(self):
+        sim = Simulator()
+
+        def failing(sim):
+            yield sim.timeout(1.0)
+            raise ValueError("unobserved")
+
+        sim.process(failing(sim))
+        with pytest.raises(ValueError, match="unobserved"):
+            sim.run()
+
+    def test_non_generator_rejected(self):
+        sim = Simulator()
+        with pytest.raises(TypeError):
+            sim.process(lambda: None)
+
+    def test_yield_non_event_rejected(self):
+        sim = Simulator()
+
+        def bad(sim):
+            yield 42
+
+        sim.process(bad(sim))
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestEvents:
+    def test_manual_event_wakes_waiter(self):
+        sim = Simulator()
+        gate = sim.event("gate")
+        log = []
+
+        def waiter(sim):
+            value = yield gate
+            log.append((sim.now, value))
+
+        def opener(sim):
+            yield sim.timeout(4.0)
+            gate.succeed("open!")
+
+        sim.process(waiter(sim))
+        sim.process(opener(sim))
+        sim.run()
+        assert log == [(4.0, "open!")]
+
+    def test_double_trigger_rejected(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed(1)
+        with pytest.raises(SimulationError):
+            ev.succeed(2)
+
+    def test_fail_requires_exception(self):
+        sim = Simulator()
+        with pytest.raises(TypeError):
+            sim.event().fail("not an exception")
+
+    def test_value_before_trigger_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            _ = sim.event().value
+
+    def test_multiple_waiters_on_one_event(self):
+        sim = Simulator()
+        gate = sim.event()
+        woken = []
+
+        def waiter(sim, i):
+            yield gate
+            woken.append(i)
+
+        for i in range(3):
+            sim.process(waiter(sim, i))
+        gate.succeed()
+        sim.run()
+        assert woken == [0, 1, 2]
+
+
+class TestAllOf:
+    def test_waits_for_slowest(self):
+        sim = Simulator()
+
+        def parent(sim):
+            procs = [sim.process(_sleeper(sim, d)) for d in (1.0, 5.0, 3.0)]
+            values = yield sim.all_of(procs)
+            return (sim.now, values)
+
+        p = sim.process(parent(sim))
+        sim.run()
+        assert p.value == (5.0, [1.0, 5.0, 3.0])
+
+    def test_empty_set_fires_immediately(self):
+        sim = Simulator()
+
+        def parent(sim):
+            yield sim.all_of([])
+            return sim.now
+
+        p = sim.process(parent(sim))
+        sim.run()
+        assert p.value == 0.0
+
+
+def _sleeper(sim, delay):
+    yield sim.timeout(delay)
+    return delay
+
+
+class TestDeterminism:
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=30))
+    def test_makespan_is_max_delay(self, delays):
+        sim = Simulator()
+        for d in delays:
+            sim.process(_sleeper(sim, d))
+        assert sim.run() == pytest.approx(max(delays))
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.floats(min_value=0.0, max_value=10.0)),
+            max_size=20,
+        )
+    )
+    def test_same_input_same_trace(self, jobs):
+        def run_once():
+            sim = Simulator()
+            trace = []
+
+            def worker(sim, wid, delay):
+                yield sim.timeout(delay)
+                trace.append((sim.now, wid))
+
+            for wid, delay in jobs:
+                sim.process(worker(sim, wid, delay))
+            sim.run()
+            return trace
+
+        assert run_once() == run_once()
+
+    def test_fifo_tie_breaking(self):
+        sim = Simulator()
+        order = []
+
+        def worker(sim, i):
+            yield sim.timeout(1.0)
+            order.append(i)
+
+        for i in range(10):
+            sim.process(worker(sim, i))
+        sim.run()
+        assert order == list(range(10))
+
+
+class TestAnyOf:
+    def test_first_completion_wins(self):
+        sim = Simulator()
+
+        def parent(sim):
+            procs = [sim.process(_sleeper(sim, d)) for d in (5.0, 2.0, 8.0)]
+            index, value = yield sim.any_of(procs)
+            return (sim.now, index, value)
+
+        p = sim.process(parent(sim))
+        sim.run()
+        assert p.value == (2.0, 1, 2.0)
+
+    def test_already_completed_event(self):
+        sim = Simulator()
+        done = sim.event()
+        done.succeed("early")
+
+        def parent(sim):
+            # Drain the calendar so `done` is processed first.
+            yield sim.timeout(0)
+            index, value = yield sim.any_of([done, sim.event()])
+            return (index, value)
+
+        p = sim.process(parent(sim))
+        sim.run()
+        assert p.value == (0, "early")
+
+    def test_failure_propagates(self):
+        sim = Simulator()
+
+        def failing(sim):
+            yield sim.timeout(1.0)
+            raise RuntimeError("boom")
+
+        def parent(sim):
+            try:
+                yield sim.any_of(
+                    [sim.process(failing(sim)), sim.process(_sleeper(sim, 9))]
+                )
+            except RuntimeError:
+                return "caught"
+
+        p = sim.process(parent(sim))
+        sim.run()
+        assert p.value == "caught"
+
+    def test_empty_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.any_of([])
+
+    def test_later_completions_ignored(self):
+        sim = Simulator()
+        results = []
+
+        def parent(sim):
+            procs = [sim.process(_sleeper(sim, d)) for d in (1.0, 2.0)]
+            results.append((yield sim.any_of(procs)))
+            # Let the slower one finish too; nothing should break.
+            yield sim.all_of(procs)
+            return sim.now
+
+        p = sim.process(parent(sim))
+        sim.run()
+        assert results == [(0, 1.0)]
+        assert p.value == 2.0

@@ -1,0 +1,156 @@
+"""Tests for Resource (FIFO server pools) and utilisation accounting."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import Resource, SimulationError, Simulator
+
+
+def _job(sim, res, service, log=None, tag=""):
+    yield from res.acquire(service, tag)
+    if log is not None:
+        log.append((sim.now, tag))
+
+
+class TestResourceSerialization:
+    def test_capacity_one_serialises(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1, name="disk")
+        log = []
+        for i in range(3):
+            sim.process(_job(sim, res, 2.0, log, f"j{i}"))
+        sim.run()
+        assert log == [(2.0, "j0"), (4.0, "j1"), (6.0, "j2")]
+
+    def test_capacity_two_overlaps(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+        log = []
+        for i in range(4):
+            sim.process(_job(sim, res, 3.0, log, f"j{i}"))
+        sim.run()
+        assert [t for t, _ in log] == [3.0, 3.0, 6.0, 6.0]
+
+    def test_fifo_grant_order(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        log = []
+        for i in range(5):
+            sim.process(_job(sim, res, 1.0, log, str(i)))
+        sim.run()
+        assert [tag for _, tag in log] == ["0", "1", "2", "3", "4"]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Resource(Simulator(), capacity=0)
+
+    def test_negative_service_time(self):
+        sim = Simulator()
+        res = Resource(sim)
+
+        def bad(sim):
+            yield from res.acquire(-1.0)
+
+        sim.process(bad(sim))
+        with pytest.raises(ValueError):
+            sim.run()
+
+
+class TestReleaseSemantics:
+    def test_release_unheld_raises(self):
+        sim = Simulator()
+        res = Resource(sim)
+
+        def proc(sim):
+            req = res.request()
+            yield req
+            res.release(req)
+            res.release(req)  # double release
+
+        sim.process(proc(sim))
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_release_on_exception_via_acquire(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+
+        def failing(sim):
+            req = res.request()
+            yield req
+            try:
+                yield sim.timeout(1.0)
+                raise RuntimeError("mid-hold failure")
+            finally:
+                res.release(req)
+
+        def waiter(sim):
+            yield from res.acquire(1.0)
+            return sim.now
+
+        sim.process(failing(sim))
+        w = sim.process(waiter(sim))
+        with pytest.raises(RuntimeError):
+            sim.run()
+        sim.run()  # resume past the surfaced failure
+        # The slot was still freed, so the waiter completed at t=2.
+        assert w.value == 2.0
+
+    def test_queue_length_and_in_use(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        observed = []
+
+        def holder(sim):
+            yield from res.acquire(5.0)
+
+        def prober(sim):
+            yield sim.timeout(1.0)
+            observed.append((res.in_use, res.queue_length))
+
+        sim.process(holder(sim))
+        sim.process(holder(sim))
+        sim.process(prober(sim))
+        sim.run()
+        assert observed == [(1, 1)]
+
+
+class TestUtilization:
+    def test_busy_time_sums_service(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1, name="cpu")
+        for _ in range(4):
+            sim.process(_job(sim, res, 2.5))
+        span = sim.run()
+        assert res.stats.busy_time() == pytest.approx(10.0)
+        assert res.stats.utilization(span) == pytest.approx(1.0)
+
+    def test_idle_resource_zero_utilization(self):
+        res = Resource(Simulator(), capacity=3)
+        assert res.stats.utilization(100.0) == 0.0
+        assert res.stats.utilization(0.0) == 0.0
+
+    def test_capacity_scales_utilization(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+        sim.process(_job(sim, res, 4.0))
+        span = sim.run()
+        # One of two slots busy the whole span.
+        assert res.stats.utilization(span) == pytest.approx(0.5)
+
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=5.0), min_size=1, max_size=20),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_makespan_bounds(self, services, capacity):
+        """Makespan is bounded by work conservation on a FIFO pool."""
+        sim = Simulator()
+        res = Resource(sim, capacity=capacity)
+        for s in services:
+            sim.process(_job(sim, res, s))
+        makespan = sim.run()
+        total = sum(services)
+        assert makespan >= max(services) - 1e-9
+        assert makespan >= total / capacity - 1e-9
+        assert makespan <= total + 1e-9

@@ -1,0 +1,197 @@
+"""Tests for the bounded FIFO Store (pipeline inter-stage queue)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import Simulator, Store, StoreClosed
+
+
+def _producer(sim, store, items, delay=0.0):
+    for item in items:
+        if delay:
+            yield sim.timeout(delay)
+        yield store.put(item)
+    store.close()
+
+
+def _consumer(sim, store, out, delay=0.0):
+    while True:
+        try:
+            item = yield store.get()
+        except StoreClosed:
+            return
+        if delay:
+            yield sim.timeout(delay)
+        out.append(item)
+
+
+class TestFIFO:
+    def test_order_preserved(self):
+        sim = Simulator()
+        store = Store(sim, capacity=2)
+        out = []
+        sim.process(_producer(sim, store, list(range(10))))
+        sim.process(_consumer(sim, store, out))
+        sim.run()
+        assert out == list(range(10))
+
+    def test_bounded_put_blocks(self):
+        sim = Simulator()
+        store = Store(sim, capacity=1)
+        trace = []
+
+        def producer(sim):
+            for i in range(3):
+                yield store.put(i)
+                trace.append(("put", sim.now, i))
+            store.close()
+
+        def consumer(sim):
+            while True:
+                try:
+                    item = yield store.get()
+                except StoreClosed:
+                    return
+                yield sim.timeout(2.0)
+                trace.append(("got", sim.now, item))
+
+        sim.process(producer(sim))
+        sim.process(consumer(sim))
+        sim.run()
+        # put(0) and put(1) go through at t=0 (one handed to the
+        # consumer, one buffered); put(2) must wait for a get at t=2.
+        assert ("put", 0.0, 0) in trace
+        assert ("put", 0.0, 1) in trace
+        assert ("put", 2.0, 2) in trace
+
+    def test_unbounded_never_blocks(self):
+        sim = Simulator()
+        store = Store(sim, capacity=None)
+
+        def producer(sim):
+            for i in range(1000):
+                yield store.put(i)
+            return sim.now
+
+        p = sim.process(producer(sim))
+        sim.run()
+        assert p.value == 0.0
+        assert len(store) == 1000
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        store = Store(sim)
+        out = []
+
+        def slow_producer(sim):
+            yield sim.timeout(5.0)
+            yield store.put("x")
+            store.close()
+
+        sim.process(_consumer(sim, store, out))
+        sim.process(slow_producer(sim))
+        sim.run()
+        assert out == ["x"]
+        assert sim.now == 5.0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Store(Simulator(), capacity=0)
+
+
+class TestClose:
+    def test_close_drains_remaining_items(self):
+        sim = Simulator()
+        store = Store(sim, capacity=None)
+        out = []
+
+        def producer(sim):
+            for i in range(3):
+                yield store.put(i)
+            store.close()
+
+        sim.process(producer(sim))
+        sim.process(_consumer(sim, store, out))
+        sim.run()
+        assert out == [0, 1, 2]
+
+    def test_put_after_close_raises(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.close()
+        with pytest.raises(StoreClosed):
+            store.put(1)
+
+    def test_waiting_getter_fails_on_close(self):
+        sim = Simulator()
+        store = Store(sim)
+        result = []
+
+        def consumer(sim):
+            try:
+                yield store.get()
+            except StoreClosed:
+                result.append("closed")
+
+        def closer(sim):
+            yield sim.timeout(1.0)
+            store.close()
+
+        sim.process(consumer(sim))
+        sim.process(closer(sim))
+        sim.run()
+        assert result == ["closed"]
+
+    def test_double_close_is_noop(self):
+        store = Store(Simulator())
+        store.close()
+        store.close()
+        assert store.closed
+
+
+class TestOccupancy:
+    def test_max_occupancy_tracked(self):
+        sim = Simulator()
+        store = Store(sim, capacity=5)
+
+        def producer(sim):
+            for i in range(5):
+                yield store.put(i)
+            store.close()
+
+        out = []
+
+        def lazy_consumer(sim):
+            yield sim.timeout(10.0)
+            while True:
+                try:
+                    out.append((yield store.get()))
+                except StoreClosed:
+                    return
+
+        sim.process(producer(sim))
+        sim.process(lazy_consumer(sim))
+        sim.run()
+        assert store.max_occupancy == 5
+        assert out == list(range(5))
+
+
+@given(
+    items=st.lists(st.integers(), max_size=50),
+    capacity=st.one_of(st.none(), st.integers(min_value=1, max_value=5)),
+    prod_delay=st.floats(min_value=0.0, max_value=2.0),
+    cons_delay=st.floats(min_value=0.0, max_value=2.0),
+)
+def test_store_property_all_items_delivered_in_order(
+    items, capacity, prod_delay, cons_delay
+):
+    sim = Simulator()
+    store = Store(sim, capacity=capacity)
+    out = []
+    sim.process(_producer(sim, store, items, prod_delay))
+    sim.process(_consumer(sim, store, out, cons_delay))
+    sim.run()
+    assert out == items
+    if capacity is not None:
+        assert store.max_occupancy <= capacity

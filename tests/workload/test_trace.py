@@ -1,0 +1,114 @@
+"""Tests for trace record/replay."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import DB
+from repro.devices import MemStorage
+from repro.lsm import Options
+from repro.workload import (
+    InsertWorkload,
+    TraceError,
+    TraceWriter,
+    read_trace,
+    record_workload,
+    replay_trace,
+)
+
+
+class TestFormat:
+    def test_writer_roundtrip(self):
+        buf = io.StringIO()
+        w = TraceWriter(buf)
+        w.comment("header")
+        w.put(b"key\x00", b"value\xff")
+        w.delete(b"gone")
+        w.get(b"probe")
+        assert w.ops == 3
+        ops = list(read_trace(buf.getvalue().splitlines()))
+        assert ops == [
+            ("put", b"key\x00", b"value\xff"),
+            ("del", b"gone", b""),
+            ("get", b"probe", b""),
+        ]
+
+    def test_blank_lines_and_comments_skipped(self):
+        text = "# hi\n\nput 61 62\n   \n"
+        assert list(read_trace(text.splitlines())) == [("put", b"a", b"b")]
+
+    @pytest.mark.parametrize(
+        "line",
+        ["put 61", "del 61 62", "get", "frob 61", "put zz 61", "get q"],
+    )
+    def test_malformed_rejected(self, line):
+        with pytest.raises(TraceError):
+            list(read_trace([line]))
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["put", "del", "get"]),
+                st.binary(min_size=1, max_size=16),
+                st.binary(max_size=24),
+            ),
+            max_size=40,
+        )
+    )
+    def test_roundtrip_property(self, ops):
+        buf = io.StringIO()
+        w = TraceWriter(buf)
+        for op, key, value in ops:
+            if op == "put":
+                w.put(key, value)
+            elif op == "del":
+                w.delete(key)
+            else:
+                w.get(key)
+        parsed = list(read_trace(buf.getvalue().splitlines()))
+        expected = [
+            (op, key, value if op == "put" else b"") for op, key, value in ops
+        ]
+        assert parsed == expected
+
+
+class TestReplay:
+    def _options(self):
+        return Options(memtable_bytes=8 * 1024, sstable_bytes=8 * 1024,
+                       level1_bytes=32 * 1024, level_multiplier=4)
+
+    def test_record_then_replay_identical_state(self):
+        buf = io.StringIO()
+        workload = InsertWorkload(n=300, distribution="uniform", seed=5)
+        with DB(MemStorage(), self._options()) as db1:
+            n = record_workload(workload, db1, TraceWriter(buf))
+            assert n == 300
+            state1 = dict(db1.items())
+
+        with DB(MemStorage(), self._options()) as db2:
+            counts = replay_trace(buf.getvalue().splitlines(), db2)
+            assert counts["put"] == 300
+            assert dict(db2.items()) == state1
+
+    def test_replay_with_deletes_and_gets(self):
+        buf = io.StringIO()
+        w = TraceWriter(buf)
+        w.put(b"a", b"1")
+        w.put(b"b", b"2")
+        w.delete(b"a")
+        w.get(b"b")
+        with DB(MemStorage(), self._options()) as db:
+            counts = replay_trace(buf.getvalue().splitlines(), db)
+            assert counts == {"put": 2, "del": 1, "get": 1}
+            assert dict(db.items()) == {b"b": b"2"}
+
+    def test_replay_limit(self):
+        buf = io.StringIO()
+        w = TraceWriter(buf)
+        for i in range(10):
+            w.put(b"k%d" % i, b"v")
+        with DB(MemStorage(), self._options()) as db:
+            counts = replay_trace(buf.getvalue().splitlines(), db, limit=4)
+            assert counts["put"] == 4

@@ -1,0 +1,179 @@
+"""Tests for key distributions, insert streams, and YCSB mixes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload import (
+    InsertWorkload,
+    ValueGenerator,
+    YCSBWorkload,
+    ZipfGenerator,
+    format_key,
+    sequential_keys,
+    uniform_keys,
+    zipfian_keys,
+)
+
+
+class TestKeys:
+    def test_format_key_fixed_width(self):
+        assert format_key(42) == b"0000000000000042"
+        assert len(format_key(0)) == 16
+
+    def test_format_key_overflow(self):
+        with pytest.raises(ValueError):
+            format_key(10**20, width=16)
+
+    def test_format_key_sorts_numerically(self):
+        keys = [format_key(i) for i in (5, 50, 500, 5000)]
+        assert keys == sorted(keys)
+
+    def test_sequential(self):
+        keys = list(sequential_keys(5))
+        assert keys == sorted(keys)
+        assert len(set(keys)) == 5
+
+    def test_uniform_deterministic(self):
+        a = list(uniform_keys(100, seed=3))
+        b = list(uniform_keys(100, seed=3))
+        c = list(uniform_keys(100, seed=4))
+        assert a == b
+        assert a != c
+
+    def test_uniform_within_keyspace(self):
+        keys = list(uniform_keys(200, keyspace=50, seed=1))
+        assert all(int(k) < 50 for k in keys)
+
+    def test_zipfian_is_skewed(self):
+        from collections import Counter
+
+        keys = list(zipfian_keys(5000, keyspace=1000, seed=2))
+        counts = Counter(keys)
+        top = counts.most_common(10)
+        # The hottest 10 of 1000 keys get far more than 1% of traffic.
+        assert sum(c for _, c in top) > 0.25 * 5000
+
+    def test_zipfian_deterministic(self):
+        assert list(zipfian_keys(100, seed=5)) == list(zipfian_keys(100, seed=5))
+
+
+class TestZipfGenerator:
+    def test_range(self):
+        gen = ZipfGenerator(100, seed=1)
+        for _ in range(1000):
+            assert 0 <= gen.next() < 100 + 1  # YCSB formula may emit `items`
+
+    def test_rank_zero_most_frequent(self):
+        gen = ZipfGenerator(1000, seed=1)
+        draws = [gen.next() for _ in range(5000)]
+        assert draws.count(0) > draws.count(500)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ZipfGenerator(0)
+        with pytest.raises(ValueError):
+            ZipfGenerator(10, theta=1.5)
+
+
+class TestValueGenerator:
+    def test_fixed_size(self):
+        gen = ValueGenerator(value_bytes=100)
+        assert all(len(gen.value_for(i)) == 100 for i in range(50))
+
+    def test_deterministic(self):
+        assert ValueGenerator(64, seed=1).value_for(7) == ValueGenerator(
+            64, seed=1
+        ).value_for(7)
+
+    def test_redundancy_controls_compressibility(self):
+        from repro.codec.compress import lz77_compress
+
+        def payload(red):
+            gen = ValueGenerator(100, redundancy=red, seed=3)
+            return b"".join(gen.value_for(i) for i in range(200))
+
+        compressible = len(lz77_compress(payload(0.9)))
+        incompressible = len(lz77_compress(payload(0.0)))
+        assert compressible < incompressible * 0.7
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ValueGenerator(-1)
+        with pytest.raises(ValueError):
+            ValueGenerator(10, redundancy=1.0)
+
+
+class TestInsertWorkload:
+    @pytest.mark.parametrize("dist", ["sequential", "uniform", "zipfian"])
+    def test_lengths_and_sizes(self, dist):
+        wl = InsertWorkload(n=100, distribution=dist, value_bytes=50)
+        pairs = list(wl)
+        assert len(pairs) == 100
+        assert all(len(k) == 16 and len(v) == 50 for k, v in pairs)
+        assert wl.entry_bytes == 66
+        assert wl.total_bytes == 6600
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ValueError):
+            list(InsertWorkload(n=1, distribution="gaussian"))
+
+    def test_apply_to_db(self):
+        from repro.db import DB
+        from repro.devices import MemStorage
+        from repro.lsm import Options
+
+        wl = InsertWorkload(n=200, distribution="sequential")
+        with DB(MemStorage(), Options(memtable_bytes=1 << 20)) as db:
+            assert wl.apply_to(db) == 200
+            assert db.get(format_key(150)) is not None
+
+    @given(st.integers(min_value=0, max_value=300))
+    @settings(max_examples=20)
+    def test_deterministic_stream(self, n):
+        a = list(InsertWorkload(n=n, seed=9))
+        b = list(InsertWorkload(n=n, seed=9))
+        assert a == b
+
+
+class TestYCSB:
+    def test_mix_validation(self):
+        with pytest.raises(ValueError):
+            YCSBWorkload("z", 10, 10)
+        with pytest.raises(ValueError):
+            YCSBWorkload("a", 10, 0)
+
+    def test_load_phase(self):
+        wl = YCSBWorkload("a", n_ops=10, record_count=25)
+        loaded = list(wl.load_phase())
+        assert len(loaded) == 25
+        assert [k for k, _ in loaded] == sorted(k for k, _ in loaded)
+
+    def test_mix_ratios_roughly_hold(self):
+        wl = YCSBWorkload("b", n_ops=4000, record_count=100, seed=3)
+        kinds = [op.kind for op in wl]
+        reads = kinds.count("read")
+        assert 0.92 < reads / 4000 < 0.98  # nominal 95%
+
+    def test_workload_c_read_only(self):
+        wl = YCSBWorkload("c", n_ops=500, record_count=100)
+        assert all(op.kind == "read" for op in wl)
+
+    def test_workload_d_inserts_fresh_keys(self):
+        wl = YCSBWorkload("d", n_ops=2000, record_count=100, seed=1)
+        inserts = [op for op in wl if op.kind == "insert"]
+        assert inserts
+        assert all(int(op.key) >= 100 for op in inserts)
+
+    def test_apply_to_db_counts(self):
+        from repro.db import DB
+        from repro.devices import MemStorage
+        from repro.lsm import Options
+
+        wl = YCSBWorkload("a", n_ops=300, record_count=50, seed=2)
+        with DB(MemStorage(), Options(memtable_bytes=1 << 20)) as db:
+            for key, value in wl.load_phase():
+                db.put(key, value)
+            counts = wl.apply_to(db)
+            assert sum(counts.values()) == 300
+            assert set(counts) <= {"read", "update", "insert", "rmw"}
