@@ -8,7 +8,9 @@ from .report import format_fractions, format_table, render_series
 from .runner import SystemRunResult, run_insert_workload, scaled_options
 
 __all__ = [
+    "NetBenchResult",
     "SystemRunResult",
+    "run_net_benchmark",
     "VirtualClock",
     "breakdown3",
     "format_fractions",
@@ -23,3 +25,14 @@ __all__ = [
     "run_insert_workload",
     "scaled_options",
 ]
+
+
+def __getattr__(name):
+    # Lazy: netbench pulls in the server stack, and an eager import
+    # would make ``python -m repro.bench.netbench`` double-import the
+    # module it is executing (runpy warns).
+    if name in ("NetBenchResult", "run_net_benchmark"):
+        from . import netbench
+
+        return getattr(netbench, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

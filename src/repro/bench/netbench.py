@@ -1,0 +1,248 @@
+"""Closed-loop network load generator: YCSB mixes over the socket.
+
+The embedded benchmarks (:mod:`repro.bench.runner`,
+:mod:`repro.bench.latency`) measure compaction effects *in-process*
+with a virtual clock.  This module measures them where a deployment
+would: at the network edge.  ``run_net_benchmark`` starts a
+:class:`repro.server.KVServer` over a real DB, fans a YCSB operation
+mix (:class:`repro.workload.ycsb.YCSBWorkload`) out across N
+closed-loop client connections — each connection is one thread with
+one :class:`repro.server.SyncClient`, issuing its next operation only
+after the previous one completed — and reports wall-clock throughput
+plus the client-observed latency distribution.
+
+Because the clients are closed-loop, an engine write pause surfaces
+directly as tail latency (and as ``STALLED`` retries when the server
+refuses writes during an L0 backup), which is exactly the paper's §I
+claim made measurable end-to-end: run it once with
+``ProcedureSpec.scp()`` and once with ``ProcedureSpec.pcp()`` and
+compare p99.
+
+Run from the command line::
+
+    python -m repro.bench.netbench --mix a --ops 20000 --connections 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.procedures import ProcedureSpec
+from ..db.db import DB
+from ..devices import MemStorage
+from ..devices.vfs import Storage
+from ..lsm.options import Options
+from ..server.client import ServerBusyError, SyncClient
+from ..server.metrics import LatencyHistogram
+from ..server.server import ServerConfig, ServerThread
+from ..workload.ycsb import INSERT, RMW, UPDATE, YCSBWorkload
+
+__all__ = ["NetBenchResult", "run_net_benchmark", "main"]
+
+
+@dataclass
+class NetBenchResult:
+    """Outcome of one networked YCSB run."""
+
+    mix: str
+    n_ops: int
+    connections: int
+    wall_seconds: float
+    ops_per_second: float
+    op_counts: dict[str, int]
+    stall_retries: int
+    #: client-observed per-op latency (all connections merged)
+    latency: LatencyHistogram = field(repr=False)
+    #: server-side STATS snapshot taken right before shutdown
+    server_stats: dict = field(repr=False, default_factory=dict)
+
+    def percentile_ms(self, p: float) -> float:
+        return self.latency.percentile(p) * 1e3
+
+    def summary(self) -> str:
+        return (
+            f"ycsb-{self.mix}: {self.n_ops} ops over "
+            f"{self.connections} connections in {self.wall_seconds:.2f}s "
+            f"→ {self.ops_per_second:,.0f} ops/s | latency "
+            f"p50={self.percentile_ms(50):.3f}ms "
+            f"p95={self.percentile_ms(95):.3f}ms "
+            f"p99={self.percentile_ms(99):.3f}ms "
+            f"max={self.latency.max_s * 1e3:.1f}ms | "
+            f"stall_retries={self.stall_retries}"
+        )
+
+
+def _drive(
+    shard: YCSBWorkload,
+    host: str,
+    port: int,
+    histogram: LatencyHistogram,
+    counts: dict[str, int],
+    lock: threading.Lock,
+    errors: list,
+) -> None:
+    """One closed-loop connection: apply a workload shard, timing ops."""
+    local_counts: dict[str, int] = {}
+    local_lat: list[float] = []
+    client = SyncClient(host, port)
+    try:
+        for op in shard:
+            t0 = time.perf_counter()
+            if op.kind in (UPDATE, INSERT):
+                client.put(op.key, op.value)
+            elif op.kind == RMW:
+                client.get(op.key)
+                client.put(op.key, op.value)
+            else:
+                client.get(op.key)
+            local_lat.append(time.perf_counter() - t0)
+            local_counts[op.kind] = local_counts.get(op.kind, 0) + 1
+        stalls = client.stall_retries
+    except (ServerBusyError, ConnectionError, OSError) as exc:
+        errors.append(exc)
+        stalls = client.stall_retries
+    finally:
+        client.close()
+    with lock:
+        for seconds in local_lat:
+            histogram.record(seconds)
+        for kind, n in local_counts.items():
+            counts[kind] = counts.get(kind, 0) + n
+        counts["_stall_retries"] = counts.get("_stall_retries", 0) + stalls
+
+
+def run_net_benchmark(
+    mix: str = "a",
+    n_ops: int = 10000,
+    record_count: int = 2000,
+    value_bytes: int = 100,
+    connections: int = 4,
+    storage: Optional[Storage] = None,
+    options: Optional[Options] = None,
+    compaction_spec: Optional[ProcedureSpec] = None,
+    server_config: Optional[ServerConfig] = None,
+    seed: int = 0,
+) -> NetBenchResult:
+    """Load a keyspace, then run ``n_ops`` of YCSB mix ``mix`` through
+    ``connections`` concurrent closed-loop socket clients.
+
+    The server (and its DB, in background-compaction mode) lives for
+    the duration of the call and is shut down gracefully afterwards,
+    so a caller passing an ``OSStorage`` gets a directory that passes
+    ``verify_db``.
+    """
+    workload = YCSBWorkload(
+        mix, n_ops, record_count, value_bytes=value_bytes, seed=seed
+    )
+    db = DB(
+        storage if storage is not None else MemStorage(),
+        options or Options(),
+        compaction_spec=compaction_spec,
+        background=True,
+    )
+    handle = ServerThread(db, server_config).start()
+    histogram = LatencyHistogram()
+    counts: dict[str, int] = {}
+    lock = threading.Lock()
+    errors: list = []
+    try:
+        # Load phase over one connection (bulk, batched).
+        loader = SyncClient(handle.host, handle.port)
+        try:
+            batch: list[tuple] = []
+            for key, value in workload.load_phase():
+                batch.append(("put", key, value))
+                if len(batch) >= 256:
+                    loader.batch(batch)
+                    batch.clear()
+            if batch:
+                loader.batch(batch)
+        finally:
+            loader.close()
+
+        # Run phase: one thread + one connection per shard.
+        threads = [
+            threading.Thread(
+                target=_drive,
+                args=(shard, handle.host, handle.port, histogram, counts,
+                      lock, errors),
+                name=f"netbench-{i}",
+            )
+            for i, shard in enumerate(workload.split(connections))
+        ]
+        t0 = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - t0
+
+        probe = SyncClient(handle.host, handle.port)
+        try:
+            server_stats = probe.stats()
+        finally:
+            probe.close()
+    finally:
+        handle.stop()
+    if errors:
+        raise RuntimeError(f"{len(errors)} connection(s) failed: {errors[0]}")
+    stall_retries = counts.pop("_stall_retries", 0)
+    done = sum(counts.values())
+    return NetBenchResult(
+        mix=mix,
+        n_ops=done,
+        connections=connections,
+        wall_seconds=wall,
+        ops_per_second=done / wall if wall > 0 else 0.0,
+        op_counts=counts,
+        stall_retries=stall_retries,
+        latency=histogram,
+        server_stats=server_stats,
+    )
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="netbench",
+        description="Closed-loop YCSB load over the repro.server socket.",
+    )
+    parser.add_argument("--mix", default="a", help="YCSB mix (a/b/c/d/f)")
+    parser.add_argument("--ops", type=int, default=10000)
+    parser.add_argument("--records", type=int, default=2000)
+    parser.add_argument("--value-bytes", type=int, default=100)
+    parser.add_argument("--connections", type=int, default=4)
+    parser.add_argument(
+        "--procedure", default="scp", choices=["scp", "pcp", "sppcp", "cppcp"],
+        help="compaction procedure under test",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    spec = getattr(ProcedureSpec, args.procedure)()
+    result = run_net_benchmark(
+        mix=args.mix,
+        n_ops=args.ops,
+        record_count=args.records,
+        value_bytes=args.value_bytes,
+        connections=args.connections,
+        compaction_spec=spec,
+        seed=args.seed,
+    )
+    print(result.summary())
+    db_stats = result.server_stats.get("db", {})
+    print(
+        f"engine: flushes={db_stats.get('flushes')} "
+        f"compactions={db_stats.get('compactions')} "
+        f"write_stalls={db_stats.get('write_stalls')} "
+        f"stall_rejections="
+        f"{result.server_stats.get('server', {}).get('stall_rejections')}"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

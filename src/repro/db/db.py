@@ -683,6 +683,7 @@ class DB:
         for unknown names.
         """
         with self._lock:
+            self._check_open()
             if name.startswith("num-files-at-level"):
                 try:
                     level = int(name[len("num-files-at-level"):])
@@ -739,6 +740,12 @@ class DB:
                 sync=True,
             )
             self._manifest.close()
+            # Release table handles deterministically instead of
+            # leaning on GC finalizers (live cursors keep their own
+            # handles; see DB.cursor).
+            for table in self._tables.values():
+                table.close()
+            self._tables.clear()
 
     def __enter__(self) -> "DB":
         return self

@@ -230,6 +230,9 @@ class _OSWritable(WritableFile):
 
 class _OSReadable(ReadableFile):
     def __init__(self, path: str) -> None:
+        # ``_closed`` must exist before os.open so that __del__ of a
+        # half-constructed instance (open() raised) stays silent.
+        self._closed = True
         self._fd = os.open(path, os.O_RDONLY)
         self._size = os.fstat(self._fd).st_size
         self._closed = False
@@ -248,7 +251,7 @@ class _OSReadable(ReadableFile):
     def __del__(self) -> None:  # release the fd when the last reader drops
         try:
             self.close()
-        except OSError:  # pragma: no cover - interpreter shutdown
+        except Exception:  # pragma: no cover - interpreter shutdown
             pass
 
 

@@ -1,0 +1,482 @@
+"""Sync and asyncio clients for the networked KV service.
+
+Both clients speak the frame protocol of :mod:`repro.server.protocol`
+and share three behaviours:
+
+* **Pipelining** — many requests can be in flight on one connection;
+  the server answers in request order, and the echoed request id is
+  asserted on receipt.  The sync client exposes an explicit
+  :meth:`SyncClient.pipeline` batch; the async client pipelines
+  naturally whenever calls are issued concurrently
+  (``asyncio.gather(c.put(...), c.get(...))``).
+* **Backpressure handling** — a ``STALLED`` response (the server
+  refusing a write while compaction catches up, paper §I) is retried
+  with the server-suggested delay, a bounded number of times, before
+  :class:`ServerBusyError` is raised to the caller.
+* **Typed errors** — protocol violations raise
+  :class:`ProtocolError`, engine-side failures raise
+  :class:`ServerError`; a missing key is simply ``None``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import time
+from collections import deque
+from typing import Optional
+
+from . import protocol as P
+from .protocol import ProtocolError
+
+__all__ = [
+    "ClientError",
+    "ServerError",
+    "ServerBusyError",
+    "ProtocolError",
+    "SyncClient",
+    "AsyncClient",
+]
+
+#: Default bound on STALLED retries before giving up.
+DEFAULT_MAX_RETRIES = 20
+
+
+class ClientError(RuntimeError):
+    """Base class for client-visible request failures."""
+
+
+class ServerError(ClientError):
+    """The server reported BAD_REQUEST / SERVER_ERROR / SHUTTING_DOWN."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"{P.STATUS_NAMES.get(status, status)}: {message}")
+        self.status = status
+
+
+class ServerBusyError(ClientError):
+    """Writes kept being refused with STALLED past the retry budget."""
+
+
+def _error_text(body: bytes) -> str:
+    try:
+        message, _ = P.decode_lp(body)
+        return message.decode(errors="backslashreplace")
+    except ProtocolError:
+        return ""
+
+
+def _stall_delay_s(body: bytes) -> float:
+    try:
+        from ..codec.varint import decode_varint64
+
+        retry_ms, _ = decode_varint64(body, 0)
+        return retry_ms / 1e3
+    except ValueError:
+        return 0.025
+
+
+class _ResponseHandler:
+    """Shared decode of response frames into python values."""
+
+    @staticmethod
+    def unwrap(response: P.Response):
+        """OK/NOT_FOUND → body/None; errors → raise.  STALLED is
+        handled by the retry loops before this point."""
+        if response.status == P.ST_OK:
+            return response.body
+        if response.status == P.ST_NOT_FOUND:
+            return None
+        raise ServerError(response.status, _error_text(response.body))
+
+    @staticmethod
+    def result(opcode: int, response: P.Response):
+        """Opcode-aware decode: GET → value bytes, PUT/DELETE → None,
+        PING → echoed payload, NOT_FOUND → None."""
+        body = _ResponseHandler.unwrap(response)
+        if body is None:
+            return None
+        if opcode == P.OP_GET:
+            return P.decode_lp(body)[0]
+        if opcode in (P.OP_PUT, P.OP_DELETE):
+            return None
+        return body
+
+
+# ------------------------------------------------------------ sync
+class SyncClient:
+    """Blocking socket client.
+
+    Not thread-safe: use one client per thread (the load generator in
+    :mod:`repro.bench.netbench` does exactly that).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: Optional[float] = 30.0,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        max_frame_bytes: int = P.MAX_FRAME_BYTES,
+    ) -> None:
+        self.max_retries = max_retries
+        self.max_frame_bytes = max_frame_bytes
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._recv_buf = b""
+        self._next_id = 0
+        self.stall_retries = 0  # observable back-off count
+
+    # ------------------------------------------------------- transport
+    def _take_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    def _send(self, frame: bytes) -> None:
+        self._sock.sendall(frame)
+
+    def _recv_exact(self, n: int) -> bytes:
+        while len(self._recv_buf) < n:
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("server closed the connection")
+            self._recv_buf += chunk
+        data, self._recv_buf = self._recv_buf[:n], self._recv_buf[n:]
+        return data
+
+    def _recv_response(self, expect_id: int) -> P.Response:
+        length = P.frame_length(self._recv_exact(4), self.max_frame_bytes)
+        payload = P.decode_frame(length, self._recv_exact(length + 4))
+        response = P.decode_response(payload)
+        if response.request_id != expect_id:
+            raise ProtocolError(
+                f"response id {response.request_id} != request id {expect_id}"
+            )
+        return response
+
+    def _call(self, opcode: int, body: bytes = b"") -> P.Response:
+        """One request/response, retrying STALLED with back-off."""
+        attempts = 0
+        while True:
+            request_id = self._take_id()
+            self._send(P.encode_request(opcode, request_id, body))
+            response = self._recv_response(request_id)
+            if response.status != P.ST_STALLED:
+                return response
+            attempts += 1
+            self.stall_retries += 1
+            if attempts > self.max_retries:
+                raise ServerBusyError(
+                    f"write refused {attempts} times (compaction stall)"
+                )
+            time.sleep(_stall_delay_s(response.body))
+
+    # ------------------------------------------------------------- ops
+    def ping(self, payload: bytes = b"") -> bytes:
+        return _ResponseHandler.unwrap(self._call(P.OP_PING, payload))
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        return _ResponseHandler.result(
+            P.OP_GET, self._call(P.OP_GET, P.encode_lp(key))
+        )
+
+    def put(self, key: bytes, value: bytes) -> None:
+        _ResponseHandler.unwrap(
+            self._call(P.OP_PUT, P.encode_lp(key) + P.encode_lp(value))
+        )
+
+    def delete(self, key: bytes) -> None:
+        _ResponseHandler.unwrap(self._call(P.OP_DELETE, P.encode_lp(key)))
+
+    def batch(self, ops) -> int:
+        """Apply [("put", k, v) | ("delete", k), ...] atomically."""
+        body = P.encode_batch_body(ops)
+        result = _ResponseHandler.unwrap(self._call(P.OP_BATCH, body))
+        from ..codec.varint import decode_varint64
+
+        return decode_varint64(result, 0)[0]
+
+    def scan(
+        self,
+        start: Optional[bytes] = None,
+        end: Optional[bytes] = None,
+        limit: int = 0,
+        reverse: bool = False,
+    ) -> tuple[list[tuple[bytes, bytes]], bool]:
+        """Range read → ``(pairs, truncated_by_server_cap)``."""
+        body = P.encode_scan_body(start, end, limit, reverse)
+        result = _ResponseHandler.unwrap(self._call(P.OP_SCAN, body))
+        return P.decode_scan_result(result)
+
+    def stats(self) -> dict:
+        """Server + engine counters as a dict (see KVServer._stats_dict)."""
+        import json
+
+        result = _ResponseHandler.unwrap(self._call(P.OP_STATS))
+        blob, _ = P.decode_lp(result)
+        return json.loads(blob)
+
+    def compact(self) -> int:
+        """Trigger a full manual compaction; returns compactions run."""
+        result = _ResponseHandler.unwrap(self._call(P.OP_COMPACT))
+        from ..codec.varint import decode_varint64
+
+        return decode_varint64(result, 0)[0]
+
+    # ------------------------------------------------------ pipelining
+    def pipeline(self) -> "SyncPipeline":
+        """Batch several requests into one socket round trip::
+
+            with client.pipeline() as p:
+                p.put(b"a", b"1")
+                p.get(b"a")
+            results = p.results    # [None, b"1"]
+        """
+        return SyncPipeline(self)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def __enter__(self) -> "SyncClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SyncPipeline:
+    """Deferred requests flushed in one write, read back in order.
+
+    STALLED responses inside a pipeline are retried individually after
+    the whole pipeline has been read (order within the pipeline is
+    preserved in ``results``).
+    """
+
+    def __init__(self, client: SyncClient) -> None:
+        self._client = client
+        self._queued: list[tuple[int, int, bytes]] = []  # (opcode, id, frame-body)
+        self.results: list = []
+
+    # Each queue method mirrors the SyncClient call of the same name.
+    def ping(self, payload: bytes = b"") -> None:
+        self._queue(P.OP_PING, payload)
+
+    def get(self, key: bytes) -> None:
+        self._queue(P.OP_GET, P.encode_lp(key))
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._queue(P.OP_PUT, P.encode_lp(key) + P.encode_lp(value))
+
+    def delete(self, key: bytes) -> None:
+        self._queue(P.OP_DELETE, P.encode_lp(key))
+
+    def _queue(self, opcode: int, body: bytes) -> None:
+        request_id = self._client._take_id()
+        self._queued.append((opcode, request_id, body))
+
+    def flush(self) -> list:
+        """Send every queued request, collect responses in order."""
+        client = self._client
+        if not self._queued:
+            return self.results
+        client._send(
+            b"".join(
+                P.encode_request(opcode, request_id, body)
+                for opcode, request_id, body in self._queued
+            )
+        )
+        retry: list[tuple[int, int, bytes]] = []
+        slots: list = []
+        time_hint = 0.025
+        for opcode, request_id, body in self._queued:
+            response = client._recv_response(request_id)
+            if response.status == P.ST_STALLED:
+                retry.append((opcode, len(slots), body))
+                slots.append(None)
+                time_hint = _stall_delay_s(response.body)
+            else:
+                slots.append(_ResponseHandler.result(opcode, response))
+        for opcode, slot, body in retry:
+            time.sleep(time_hint)
+            slots[slot] = _ResponseHandler.result(
+                opcode, client._call(opcode, body)
+            )
+        self._queued.clear()
+        self.results.extend(slots)
+        return self.results
+
+    def __enter__(self) -> "SyncPipeline":
+        return self
+
+    def __exit__(self, exc_type, *exc) -> None:
+        if exc_type is None:
+            self.flush()
+
+
+# ----------------------------------------------------------- asyncio
+class AsyncClient:
+    """Asyncio client with transparent pipelining.
+
+    Every request is written immediately and a future is parked in a
+    FIFO; one reader task resolves futures as in-order responses
+    arrive.  Concurrent callers therefore share the connection with
+    full pipelining and zero extra machinery::
+
+        client = await AsyncClient.connect(host, port)
+        await asyncio.gather(*(client.put(k, v) for k, v in items))
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        max_frame_bytes: int = P.MAX_FRAME_BYTES,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self.max_retries = max_retries
+        self.max_frame_bytes = max_frame_bytes
+        self._next_id = 0
+        self._pending: deque[tuple[int, asyncio.Future]] = deque()
+        self._reader_task = asyncio.create_task(self._read_loop())
+        self._closed = False
+        self.stall_retries = 0
+
+    @classmethod
+    async def connect(
+        cls, host: str, port: int, **kwargs
+    ) -> "AsyncClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer, **kwargs)
+
+    # ------------------------------------------------------- transport
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                header = await self._reader.readexactly(4)
+                length = P.frame_length(header, self.max_frame_bytes)
+                payload = P.decode_frame(
+                    length, await self._reader.readexactly(length + 4)
+                )
+                response = P.decode_response(payload)
+                if not self._pending:
+                    raise ProtocolError("unsolicited response frame")
+                expect_id, future = self._pending.popleft()
+                if response.request_id != expect_id:
+                    raise ProtocolError(
+                        f"response id {response.request_id} != {expect_id}"
+                    )
+                if not future.cancelled():
+                    future.set_result(response)
+        except (asyncio.IncompleteReadError, ConnectionError) as exc:
+            self._fail_pending(
+                ConnectionError(f"connection lost: {exc}")
+            )
+        except ProtocolError as exc:
+            self._fail_pending(exc)
+
+    def _fail_pending(self, exc: Exception) -> None:
+        while self._pending:
+            _, future = self._pending.popleft()
+            if not future.done():
+                future.set_exception(exc)
+
+    async def _call(self, opcode: int, body: bytes = b"") -> P.Response:
+        attempts = 0
+        while True:
+            if self._closed:
+                raise ClientError("client is closed")
+            self._next_id += 1
+            request_id = self._next_id
+            future: asyncio.Future = asyncio.get_running_loop().create_future()
+            self._pending.append((request_id, future))
+            self._writer.write(P.encode_request(opcode, request_id, body))
+            await self._writer.drain()
+            response = await future
+            if response.status != P.ST_STALLED:
+                return response
+            attempts += 1
+            self.stall_retries += 1
+            if attempts > self.max_retries:
+                raise ServerBusyError(
+                    f"write refused {attempts} times (compaction stall)"
+                )
+            await asyncio.sleep(_stall_delay_s(response.body))
+
+    # ------------------------------------------------------------- ops
+    async def ping(self, payload: bytes = b"") -> bytes:
+        return _ResponseHandler.unwrap(await self._call(P.OP_PING, payload))
+
+    async def get(self, key: bytes) -> Optional[bytes]:
+        return _ResponseHandler.result(
+            P.OP_GET, await self._call(P.OP_GET, P.encode_lp(key))
+        )
+
+    async def put(self, key: bytes, value: bytes) -> None:
+        _ResponseHandler.unwrap(
+            await self._call(P.OP_PUT, P.encode_lp(key) + P.encode_lp(value))
+        )
+
+    async def delete(self, key: bytes) -> None:
+        _ResponseHandler.unwrap(
+            await self._call(P.OP_DELETE, P.encode_lp(key))
+        )
+
+    async def batch(self, ops) -> int:
+        from ..codec.varint import decode_varint64
+
+        result = _ResponseHandler.unwrap(
+            await self._call(P.OP_BATCH, P.encode_batch_body(ops))
+        )
+        return decode_varint64(result, 0)[0]
+
+    async def scan(
+        self,
+        start: Optional[bytes] = None,
+        end: Optional[bytes] = None,
+        limit: int = 0,
+        reverse: bool = False,
+    ) -> tuple[list[tuple[bytes, bytes]], bool]:
+        result = _ResponseHandler.unwrap(
+            await self._call(P.OP_SCAN, P.encode_scan_body(start, end, limit, reverse))
+        )
+        return P.decode_scan_result(result)
+
+    async def stats(self) -> dict:
+        import json
+
+        result = _ResponseHandler.unwrap(await self._call(P.OP_STATS))
+        blob, _ = P.decode_lp(result)
+        return json.loads(blob)
+
+    async def compact(self) -> int:
+        from ..codec.varint import decode_varint64
+
+        result = _ResponseHandler.unwrap(await self._call(P.OP_COMPACT))
+        return decode_varint64(result, 0)[0]
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, Exception):
+            pass
+        self._fail_pending(ClientError("client closed"))
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
+
+    async def __aenter__(self) -> "AsyncClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()

@@ -1,0 +1,226 @@
+"""Server-side observability: per-opcode counters and latency tails.
+
+The motivation for the whole server subsystem is making
+compaction-induced write pauses visible *at the network edge*, so the
+metrics layer is built around tail latency: every request records into
+a log-bucketed histogram whose p50/p95/p99 are queryable over the wire
+via the STATS opcode.
+
+The histogram uses fixed logarithmic buckets (~24 per decade) from
+1 µs to ~1000 s: recording is O(1), percentile estimation interpolates
+inside the winning bucket, and the whole structure serialises to a
+compact dict.  This mirrors what production engines (RocksDB's
+``HistogramImpl``) do, scaled down.
+
+Thread-safety: recording happens from the server's worker threads and
+the asyncio loop; a single lock guards the buckets (the GIL makes the
+counters safe, the lock makes snapshot() consistent).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Optional
+
+from .protocol import OPCODE_NAMES
+
+__all__ = ["LatencyHistogram", "OpMetrics", "ServerMetrics"]
+
+_BUCKETS_PER_DECADE = 24
+_MIN_LATENCY_S = 1e-6
+_MAX_LATENCY_S = 1e3
+_N_BUCKETS = int(_BUCKETS_PER_DECADE * math.log10(_MAX_LATENCY_S / _MIN_LATENCY_S)) + 2
+
+
+class LatencyHistogram:
+    """Log-bucketed latency histogram with percentile estimation."""
+
+    __slots__ = ("counts", "count", "sum_s", "min_s", "max_s")
+
+    def __init__(self) -> None:
+        self.counts = [0] * _N_BUCKETS
+        self.count = 0
+        self.sum_s = 0.0
+        self.min_s = math.inf
+        self.max_s = 0.0
+
+    def _bucket(self, seconds: float) -> int:
+        if seconds <= _MIN_LATENCY_S:
+            return 0
+        index = int(
+            math.log10(seconds / _MIN_LATENCY_S) * _BUCKETS_PER_DECADE
+        ) + 1
+        return min(index, _N_BUCKETS - 1)
+
+    @staticmethod
+    def _bucket_upper(index: int) -> float:
+        if index <= 0:
+            return _MIN_LATENCY_S
+        return _MIN_LATENCY_S * 10 ** (index / _BUCKETS_PER_DECADE)
+
+    def record(self, seconds: float) -> None:
+        self.counts[self._bucket(seconds)] += 1
+        self.count += 1
+        self.sum_s += seconds
+        if seconds < self.min_s:
+            self.min_s = seconds
+        if seconds > self.max_s:
+            self.max_s = seconds
+
+    def percentile(self, p: float) -> float:
+        """Estimated latency (seconds) at percentile ``p`` in [0, 100]."""
+        if self.count == 0:
+            return 0.0
+        rank = p / 100.0 * self.count
+        seen = 0
+        for index, n in enumerate(self.counts):
+            if n == 0:
+                continue
+            if seen + n >= rank:
+                lo = self._bucket_upper(index - 1)
+                hi = self._bucket_upper(index)
+                fraction = (rank - seen) / n
+                return min(max(lo + (hi - lo) * fraction, self.min_s), self.max_s)
+            seen += n
+        return self.max_s
+
+    def mean(self) -> float:
+        return self.sum_s / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        """Summary dict (latencies in milliseconds, for STATS/JSON)."""
+        if self.count == 0:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "mean_ms": self.mean() * 1e3,
+            "min_ms": self.min_s * 1e3,
+            "max_ms": self.max_s * 1e3,
+            "p50_ms": self.percentile(50) * 1e3,
+            "p95_ms": self.percentile(95) * 1e3,
+            "p99_ms": self.percentile(99) * 1e3,
+        }
+
+
+class OpMetrics:
+    """Counters for one opcode."""
+
+    __slots__ = ("requests", "errors", "bytes_in", "bytes_out", "latency")
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.errors = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+        self.latency = LatencyHistogram()
+
+    def snapshot(self) -> dict:
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+            "latency": self.latency.snapshot(),
+        }
+
+
+class ServerMetrics:
+    """All counters of one server instance."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.per_op: dict[int, OpMetrics] = {
+            opcode: OpMetrics() for opcode in OPCODE_NAMES
+        }
+        self.stall_rejections = 0
+        self.protocol_errors = 0
+        self.connections_opened = 0
+        self.connections_closed = 0
+
+    # ------------------------------------------------------- recording
+    def record(
+        self,
+        opcode: int,
+        seconds: float,
+        bytes_in: int,
+        bytes_out: int,
+        error: bool = False,
+    ) -> None:
+        with self._lock:
+            op = self.per_op[opcode]
+            op.requests += 1
+            op.bytes_in += bytes_in
+            op.bytes_out += bytes_out
+            op.latency.record(seconds)
+            if error:
+                op.errors += 1
+
+    def record_stall_rejection(self) -> None:
+        with self._lock:
+            self.stall_rejections += 1
+
+    def record_protocol_error(self) -> None:
+        with self._lock:
+            self.protocol_errors += 1
+
+    def connection_opened(self) -> None:
+        with self._lock:
+            self.connections_opened += 1
+
+    def connection_closed(self) -> None:
+        with self._lock:
+            self.connections_closed += 1
+
+    # ------------------------------------------------------- reporting
+    @property
+    def active_connections(self) -> int:
+        return self.connections_opened - self.connections_closed
+
+    def total_requests(self) -> int:
+        with self._lock:
+            return sum(op.requests for op in self.per_op.values())
+
+    def op(self, opcode: int) -> OpMetrics:
+        return self.per_op[opcode]
+
+    def snapshot(self) -> dict:
+        """A JSON-serialisable dict of everything (STATS opcode body)."""
+        with self._lock:
+            return {
+                "ops": {
+                    OPCODE_NAMES[opcode]: op.snapshot()
+                    for opcode, op in self.per_op.items()
+                    if op.requests
+                },
+                "stall_rejections": self.stall_rejections,
+                "protocol_errors": self.protocol_errors,
+                "connections_opened": self.connections_opened,
+                "connections_closed": self.connections_closed,
+                "active_connections": self.connections_opened
+                - self.connections_closed,
+            }
+
+    def render(self) -> str:
+        """Human-readable one-opcode-per-line summary."""
+        snap = self.snapshot()
+        lines = []
+        for name, op in sorted(snap["ops"].items()):
+            lat: Optional[dict] = op.get("latency")
+            tail = ""
+            if lat and lat.get("count"):
+                tail = (
+                    f"  p50={lat['p50_ms']:.3f}ms"
+                    f" p95={lat['p95_ms']:.3f}ms p99={lat['p99_ms']:.3f}ms"
+                )
+            lines.append(
+                f"{name:<8} n={op['requests']:<8} err={op['errors']:<4}"
+                f" in={op['bytes_in']:<10} out={op['bytes_out']:<10}{tail}"
+            )
+        lines.append(
+            f"connections: {snap['active_connections']} active"
+            f" ({snap['connections_opened']} opened)"
+            f"  stall_rejections: {snap['stall_rejections']}"
+            f"  protocol_errors: {snap['protocol_errors']}"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,407 @@
+"""Wire format of the networked KV service.
+
+The protocol is a length-prefixed binary framing that reuses the
+engine's own primitives — :mod:`repro.codec` varints for
+length-prefixed strings and the LevelDB-masked CRC-32C for frame
+integrity — so a server frame is checked exactly like an SSTable
+block:
+
+.. code-block:: none
+
+    +-----------------+------------------------+------------------+
+    | fixed32 length  |  payload (length bytes)|  fixed32 masked  |
+    | (little endian) |                        |  CRC-32C(payload)|
+    +-----------------+------------------------+------------------+
+
+Request payload::
+
+    opcode:u8  request_id:varint64  body
+
+Response payload::
+
+    status:u8  request_id:varint64  body
+
+``request_id`` is assigned by the client and echoed back verbatim;
+responses on one connection are written in request order (Redis-style
+pipelining), the id exists so clients can *assert* the pairing.
+
+Bodies use ``lp`` (length-prefixed) byte strings: varint32 length then
+the raw bytes.  Per-opcode bodies are documented on the encode
+helpers below and in ``docs/SERVER.md``.
+
+The ``STALLED`` status is how the server surfaces the engine's write
+pauses (paper §I): instead of silently blocking inside
+``DB._maybe_stall`` while L0 is backed up, the server refuses the
+write with a suggested retry delay so the *client* observes the
+compaction pause explicitly and can back off.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ..codec.checksum import crc32c, mask_crc, unmask_crc
+from ..codec.varint import (
+    decode_varint64,
+    encode_varint32,
+    encode_varint64,
+    get_fixed32,
+    put_fixed32,
+)
+
+__all__ = [
+    "OP_PING",
+    "OP_GET",
+    "OP_PUT",
+    "OP_DELETE",
+    "OP_BATCH",
+    "OP_SCAN",
+    "OP_STATS",
+    "OP_COMPACT",
+    "OPCODE_NAMES",
+    "WRITE_OPCODES",
+    "ST_OK",
+    "ST_NOT_FOUND",
+    "ST_STALLED",
+    "ST_BAD_REQUEST",
+    "ST_SERVER_ERROR",
+    "ST_SHUTTING_DOWN",
+    "STATUS_NAMES",
+    "FRAME_OVERHEAD",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "Request",
+    "Response",
+    "encode_frame",
+    "decode_frame",
+    "frame_length",
+    "encode_lp",
+    "decode_lp",
+    "encode_request",
+    "decode_request",
+    "encode_response",
+    "decode_response",
+    "encode_batch_body",
+    "decode_batch_body",
+    "encode_scan_body",
+    "decode_scan_body",
+    "encode_scan_result",
+    "decode_scan_result",
+]
+
+# ------------------------------------------------------------- opcodes
+OP_PING = 0x01
+OP_GET = 0x02
+OP_PUT = 0x03
+OP_DELETE = 0x04
+OP_BATCH = 0x05
+OP_SCAN = 0x06
+OP_STATS = 0x07
+OP_COMPACT = 0x08
+
+OPCODE_NAMES = {
+    OP_PING: "PING",
+    OP_GET: "GET",
+    OP_PUT: "PUT",
+    OP_DELETE: "DELETE",
+    OP_BATCH: "BATCH",
+    OP_SCAN: "SCAN",
+    OP_STATS: "STATS",
+    OP_COMPACT: "COMPACT",
+}
+
+#: Opcodes that mutate the tree and are therefore subject to the
+#: write-stall backpressure check.
+WRITE_OPCODES = frozenset({OP_PUT, OP_DELETE, OP_BATCH})
+
+# ------------------------------------------------------------ statuses
+ST_OK = 0x00
+ST_NOT_FOUND = 0x01
+ST_STALLED = 0x02
+ST_BAD_REQUEST = 0x03
+ST_SERVER_ERROR = 0x04
+ST_SHUTTING_DOWN = 0x05
+
+STATUS_NAMES = {
+    ST_OK: "OK",
+    ST_NOT_FOUND: "NOT_FOUND",
+    ST_STALLED: "STALLED",
+    ST_BAD_REQUEST: "BAD_REQUEST",
+    ST_SERVER_ERROR: "SERVER_ERROR",
+    ST_SHUTTING_DOWN: "SHUTTING_DOWN",
+}
+
+#: Bytes around the payload: 4-byte length prefix + 4-byte CRC trailer.
+FRAME_OVERHEAD = 8
+
+#: Default refusal threshold for a single frame (requests *and*
+#: responses); a peer that announces more is treated as corrupt.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_BATCH_PUT = 0
+_BATCH_DELETE = 1
+
+_SCAN_HAS_START = 0x01
+_SCAN_HAS_END = 0x02
+_SCAN_REVERSE = 0x04
+
+
+class ProtocolError(ValueError):
+    """Malformed frame: bad length, bad checksum, or bad payload."""
+
+
+# ------------------------------------------------------------- framing
+def encode_frame(payload: bytes) -> bytes:
+    """Wrap ``payload`` with the length prefix and CRC-32C trailer."""
+    return (
+        put_fixed32(len(payload))
+        + payload
+        + put_fixed32(mask_crc(crc32c(payload)))
+    )
+
+
+def frame_length(header: bytes, limit: int = MAX_FRAME_BYTES) -> int:
+    """Payload length announced by a 4-byte frame header."""
+    if len(header) != 4:
+        raise ProtocolError(f"short frame header: {len(header)} bytes")
+    length = get_fixed32(header, 0)
+    if length > limit:
+        raise ProtocolError(f"frame of {length} bytes exceeds limit {limit}")
+    return length
+
+
+def decode_frame(length: int, rest: bytes) -> bytes:
+    """Verify payload + CRC trailer (``rest``); returns the payload."""
+    if len(rest) != length + 4:
+        raise ProtocolError(
+            f"truncated frame: expected {length + 4} bytes, got {len(rest)}"
+        )
+    payload, crc = rest[:length], get_fixed32(rest, length)
+    if crc32c(payload) != unmask_crc(crc):
+        raise ProtocolError("frame checksum mismatch")
+    return payload
+
+
+# ------------------------------------------------- length-prefixed str
+def encode_lp(data: bytes) -> bytes:
+    """Varint length prefix + raw bytes."""
+    return encode_varint32(len(data)) + data
+
+
+def decode_lp(buf: bytes, offset: int = 0) -> tuple[bytes, int]:
+    """Decode one length-prefixed string → ``(data, next_offset)``."""
+    try:
+        length, pos = decode_varint64(buf, offset)
+    except ValueError as exc:
+        raise ProtocolError(f"bad length prefix: {exc}") from None
+    end = pos + length
+    if end > len(buf):
+        raise ProtocolError("length prefix overruns payload")
+    return bytes(buf[pos:end]), end
+
+
+# ------------------------------------------------- request / response
+@dataclass(frozen=True)
+class Request:
+    """One decoded request frame."""
+
+    opcode: int
+    request_id: int
+    body: bytes = b""
+
+    @property
+    def opcode_name(self) -> str:
+        return OPCODE_NAMES.get(self.opcode, f"0x{self.opcode:02x}")
+
+
+@dataclass(frozen=True)
+class Response:
+    """One decoded response frame."""
+
+    status: int
+    request_id: int
+    body: bytes = b""
+
+    @property
+    def status_name(self) -> str:
+        return STATUS_NAMES.get(self.status, f"0x{self.status:02x}")
+
+    @property
+    def ok(self) -> bool:
+        return self.status == ST_OK
+
+
+def _encode_head(first_byte: int, request_id: int, body: bytes) -> bytes:
+    return bytes([first_byte]) + encode_varint64(request_id) + body
+
+
+def _decode_head(payload: bytes) -> tuple[int, int, bytes]:
+    if not payload:
+        raise ProtocolError("empty payload")
+    first = payload[0]
+    try:
+        request_id, pos = decode_varint64(payload, 1)
+    except ValueError as exc:
+        raise ProtocolError(f"bad request id: {exc}") from None
+    return first, request_id, bytes(payload[pos:])
+
+
+def encode_request(opcode: int, request_id: int, body: bytes = b"") -> bytes:
+    """Full request frame (framing included)."""
+    if opcode not in OPCODE_NAMES:
+        raise ProtocolError(f"unknown opcode 0x{opcode:02x}")
+    return encode_frame(_encode_head(opcode, request_id, body))
+
+
+def decode_request(payload: bytes) -> Request:
+    opcode, request_id, body = _decode_head(payload)
+    if opcode not in OPCODE_NAMES:
+        raise ProtocolError(f"unknown opcode 0x{opcode:02x}")
+    return Request(opcode, request_id, body)
+
+
+def encode_response(status: int, request_id: int, body: bytes = b"") -> bytes:
+    """Full response frame (framing included)."""
+    if status not in STATUS_NAMES:
+        raise ProtocolError(f"unknown status 0x{status:02x}")
+    return encode_frame(_encode_head(status, request_id, body))
+
+
+def decode_response(payload: bytes) -> Response:
+    status, request_id, body = _decode_head(payload)
+    if status not in STATUS_NAMES:
+        raise ProtocolError(f"unknown status 0x{status:02x}")
+    return Response(status, request_id, body)
+
+
+# ------------------------------------------------------ opcode bodies
+# PING    body: empty           → OK, body echoed back
+# GET     body: lp key          → OK lp value | NOT_FOUND
+# PUT     body: lp key lp value → OK
+# DELETE  body: lp key          → OK
+# BATCH   body: see below       → OK varint n_applied
+# SCAN    body: see below       → OK scan result
+# STATS   body: empty           → OK lp utf-8 JSON
+# COMPACT body: empty           → OK varint n_compactions
+def encode_batch_body(ops) -> bytes:
+    """``ops`` is an iterable of ("put", key, value) / ("delete", key)."""
+    ops = list(ops)
+    out = bytearray(encode_varint32(len(ops)))
+    for op in ops:
+        if op[0] == "put":
+            _, key, value = op
+            out.append(_BATCH_PUT)
+            out += encode_lp(key)
+            out += encode_lp(value)
+        elif op[0] == "delete":
+            out.append(_BATCH_DELETE)
+            out += encode_lp(op[1])
+        else:
+            raise ProtocolError(f"unknown batch op {op[0]!r}")
+    return bytes(out)
+
+
+def decode_batch_body(body: bytes) -> list[tuple]:
+    count, pos = decode_varint64(body, 0)
+    ops: list[tuple] = []
+    for _ in range(count):
+        if pos >= len(body):
+            raise ProtocolError("truncated batch body")
+        kind = body[pos]
+        pos += 1
+        key, pos = decode_lp(body, pos)
+        if kind == _BATCH_PUT:
+            value, pos = decode_lp(body, pos)
+            ops.append(("put", key, value))
+        elif kind == _BATCH_DELETE:
+            ops.append(("delete", key))
+        else:
+            raise ProtocolError(f"unknown batch op kind {kind}")
+    if pos != len(body):
+        raise ProtocolError("trailing bytes after batch body")
+    return ops
+
+
+def encode_scan_body(
+    start: Optional[bytes],
+    end: Optional[bytes],
+    limit: int = 0,
+    reverse: bool = False,
+) -> bytes:
+    """``limit`` 0 means "no client limit" (the server still caps)."""
+    flags = 0
+    if start is not None:
+        flags |= _SCAN_HAS_START
+    if end is not None:
+        flags |= _SCAN_HAS_END
+    if reverse:
+        flags |= _SCAN_REVERSE
+    out = bytearray([flags])
+    if start is not None:
+        out += encode_lp(start)
+    if end is not None:
+        out += encode_lp(end)
+    out += encode_varint64(limit)
+    return bytes(out)
+
+
+def decode_scan_body(
+    body: bytes,
+) -> tuple[Optional[bytes], Optional[bytes], int, bool]:
+    if not body:
+        raise ProtocolError("empty scan body")
+    flags = body[0]
+    pos = 1
+    start = end = None
+    if flags & _SCAN_HAS_START:
+        start, pos = decode_lp(body, pos)
+    if flags & _SCAN_HAS_END:
+        end, pos = decode_lp(body, pos)
+    limit, pos = decode_varint64(body, pos)
+    if pos != len(body):
+        raise ProtocolError("trailing bytes after scan body")
+    return start, end, limit, bool(flags & _SCAN_REVERSE)
+
+
+def encode_scan_result(pairs, truncated: bool) -> bytes:
+    """``truncated`` flags that the server cap cut the result short."""
+    pairs = list(pairs)
+    out = bytearray([1 if truncated else 0])
+    out += encode_varint32(len(pairs))
+    for key, value in pairs:
+        out += encode_lp(key)
+        out += encode_lp(value)
+    return bytes(out)
+
+
+def decode_scan_result(body: bytes) -> tuple[list[tuple[bytes, bytes]], bool]:
+    if not body:
+        raise ProtocolError("empty scan result")
+    truncated = bool(body[0])
+    count, pos = decode_varint64(body, 1)
+    pairs: list[tuple[bytes, bytes]] = []
+    for _ in range(count):
+        key, pos = decode_lp(body, pos)
+        value, pos = decode_lp(body, pos)
+        pairs.append((key, value))
+    if pos != len(body):
+        raise ProtocolError("trailing bytes after scan result")
+    return pairs, truncated
+
+
+# ------------------------------------------------------ stream helper
+def iter_frames(data: bytes, limit: int = MAX_FRAME_BYTES) -> Iterator[bytes]:
+    """Split a byte string of concatenated frames into payloads.
+
+    Offline helper (tests, trace analysis); the server and clients read
+    incrementally from their sockets instead.
+    """
+    pos = 0
+    while pos < len(data):
+        length = frame_length(data[pos : pos + 4], limit)
+        pos += 4
+        payload = decode_frame(length, data[pos : pos + length + 4])
+        pos += length + 4
+        yield payload

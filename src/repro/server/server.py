@@ -1,0 +1,458 @@
+"""Asyncio TCP server exposing a :class:`repro.db.DB` over the wire.
+
+Architecture
+============
+
+One asyncio event loop owns all sockets; the blocking engine calls
+(``DB.put`` … ``DB.compact_range``) are dispatched to a small thread
+pool via ``run_in_executor`` (the DB serialises internally with its
+own lock, so pool width bounds *queueing*, not data races).  Per
+connection, a reader coroutine decodes frames and a writer coroutine
+emits responses **in request order** (Redis-style pipelining) from a
+bounded queue.
+
+Backpressure, two layers
+========================
+
+* **Per-connection**: the response queue is bounded
+  (``max_inflight_per_conn``); when a client pipelines more requests
+  than that, the reader coroutine stops consuming its socket and TCP
+  flow control pushes back to the sender.
+* **Engine stalls**: the paper's write pause (§I) — L0 backed up,
+  ``DB._maybe_stall`` would block the writer — is surfaced as an
+  explicit ``STALLED`` response carrying a suggested retry delay,
+  instead of silently parking a worker thread inside the engine.
+  Clients back off and retry (:mod:`repro.server.client` does this
+  automatically), which makes compaction pauses *observable* at the
+  network edge — exactly what the paper's pipelined compaction is
+  meant to shorten.
+
+Graceful shutdown drains in-flight requests, flushes the memtable,
+runs compactions to quiescence, and closes the DB, so the directory
+passes ``repro.db.verify.verify_db`` afterwards.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Optional
+
+from ..db.db import DB
+from ..lsm.wal import WriteBatch
+from .metrics import ServerMetrics
+from . import protocol as P
+
+__all__ = ["ServerConfig", "KVServer", "ServerThread", "serve_forever"]
+
+
+@dataclass
+class ServerConfig:
+    """Tunables of one server instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral, read the bound port from KVServer.port
+    worker_threads: int = 4
+    #: Pipelined requests admitted per connection before the server
+    #: stops reading that socket (TCP backpressure).
+    max_inflight_per_conn: int = 32
+    max_frame_bytes: int = P.MAX_FRAME_BYTES
+    #: Hard cap on entries returned by one SCAN (result is flagged
+    #: truncated when it hits).
+    scan_limit_max: int = 65536
+    #: Suggested client back-off carried in STALLED responses.
+    stall_retry_ms: int = 25
+    #: Grace period for live connections to finish during stop().
+    drain_timeout_s: float = 10.0
+
+    def validate(self) -> None:
+        if self.worker_threads < 1:
+            raise ValueError("worker_threads must be >= 1")
+        if self.max_inflight_per_conn < 1:
+            raise ValueError("max_inflight_per_conn must be >= 1")
+        if self.scan_limit_max < 1:
+            raise ValueError("scan_limit_max must be >= 1")
+
+
+class KVServer:
+    """The networked KV service; one instance wraps one open DB."""
+
+    def __init__(
+        self,
+        db: DB,
+        config: Optional[ServerConfig] = None,
+        metrics: Optional[ServerMetrics] = None,
+        own_db: bool = True,
+    ) -> None:
+        self.db = db
+        self.config = config or ServerConfig()
+        self.config.validate()
+        self.metrics = metrics or ServerMetrics()
+        self.own_db = own_db
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._closing = False
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    # ---------------------------------------------------------- lifecycle
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.worker_threads, thread_name_prefix="kv-worker"
+        )
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port
+        )
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (resolves ephemeral port 0)."""
+        if self._server is None:
+            raise RuntimeError("server not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def host(self) -> str:
+        return self.config.host
+
+    async def stop(self) -> None:
+        """Graceful shutdown: drain, flush, compact, close the DB."""
+        if self._server is None:
+            return
+        self._closing = True
+        self._server.close()
+        await self._server.wait_closed()
+        if self._conn_tasks:
+            done, pending = await asyncio.wait(
+                self._conn_tasks, timeout=self.config.drain_timeout_s
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.wait(pending)
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(self._pool, self._drain_db)
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+
+    def _drain_db(self) -> None:
+        """Flush the memtable and run compactions to quiescence."""
+        if getattr(self.db, "_closed", False):
+            return
+        self.db.flush()
+        if self.db._background:
+            self.db.wait_for_compactions()
+        if self.own_db:
+            self.db.close()
+
+    # -------------------------------------------------------- connections
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        assert task is not None
+        self._conn_tasks.add(task)
+        self.metrics.connection_opened()
+        queue: asyncio.Queue = asyncio.Queue(
+            maxsize=self.config.max_inflight_per_conn
+        )
+        writer_task = asyncio.create_task(self._write_responses(queue, writer))
+        try:
+            await self._read_requests(reader, queue)
+        finally:
+            try:
+                await queue.put(None)
+                await writer_task
+            except asyncio.CancelledError:  # forced stop mid-drain
+                writer_task.cancel()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self.metrics.connection_closed()
+            self._conn_tasks.discard(task)
+
+    async def _read_requests(
+        self, reader: asyncio.StreamReader, queue: asyncio.Queue
+    ) -> None:
+        while True:
+            try:
+                header = await reader.readexactly(4)
+                length = P.frame_length(header, self.config.max_frame_bytes)
+                payload = P.decode_frame(
+                    length, await reader.readexactly(length + 4)
+                )
+                request = P.decode_request(payload)
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return  # client went away
+            except P.ProtocolError:
+                # The stream is unframed garbage from here on: there is
+                # no way to resynchronise, so drop the connection.
+                self.metrics.record_protocol_error()
+                return
+            # Bounded queue: blocks when the pipeline is full, which
+            # stops reading this socket until responses drain.
+            await queue.put(
+                asyncio.create_task(
+                    self._handle_request(request, P.FRAME_OVERHEAD + len(payload))
+                )
+            )
+
+    async def _write_responses(
+        self, queue: asyncio.Queue, writer: asyncio.StreamWriter
+    ) -> None:
+        # Keeps consuming until the sentinel even after a send failure,
+        # so the reader's queue.put never deadlocks on a dead peer.
+        broken = False
+        while True:
+            task = await queue.get()
+            if task is None:
+                return
+            try:
+                frame = await task
+            except Exception:  # pragma: no cover - handler is total
+                continue
+            if broken:
+                continue
+            try:
+                writer.write(frame)
+                await writer.drain()
+            except (ConnectionError, OSError):
+                broken = True
+
+    # ----------------------------------------------------------- dispatch
+    async def _handle_request(self, request: P.Request, bytes_in: int) -> bytes:
+        """Execute one request; returns the encoded response frame."""
+        t0 = time.perf_counter()
+        status = P.ST_SERVER_ERROR
+        body = b""
+        try:
+            if self._closing:
+                status, body = P.ST_SHUTTING_DOWN, P.encode_lp(
+                    b"server shutting down"
+                )
+            elif (
+                request.opcode in P.WRITE_OPCODES
+                and self.db.picker.write_stall(self.db.version)
+            ):
+                # The engine would park this write until compaction
+                # catches up; tell the client to back off instead.
+                self.metrics.record_stall_rejection()
+                status = P.ST_STALLED
+                body = P.encode_varint64(self.config.stall_retry_ms)
+            else:
+                loop = asyncio.get_running_loop()
+                status, body = await loop.run_in_executor(
+                    self._pool, self._execute, request
+                )
+        except P.ProtocolError as exc:
+            status, body = P.ST_BAD_REQUEST, P.encode_lp(str(exc).encode())
+        except Exception as exc:  # engine failure: report, keep serving
+            status, body = P.ST_SERVER_ERROR, P.encode_lp(
+                f"{type(exc).__name__}: {exc}".encode()
+            )
+        frame = P.encode_response(status, request.request_id, body)
+        self.metrics.record(
+            request.opcode,
+            time.perf_counter() - t0,
+            bytes_in,
+            len(frame),
+            error=status
+            in (P.ST_BAD_REQUEST, P.ST_SERVER_ERROR, P.ST_SHUTTING_DOWN),
+        )
+        return frame
+
+    def _execute(self, request: P.Request) -> tuple[int, bytes]:
+        """Run one opcode against the DB (worker thread)."""
+        op, body = request.opcode, request.body
+        if op == P.OP_PING:
+            return P.ST_OK, body
+        if op == P.OP_GET:
+            key, _ = P.decode_lp(body)
+            value = self.db.get(key)
+            if value is None:
+                return P.ST_NOT_FOUND, b""
+            return P.ST_OK, P.encode_lp(value)
+        if op == P.OP_PUT:
+            key, pos = P.decode_lp(body)
+            value, _ = P.decode_lp(body, pos)
+            self.db.put(key, value)
+            return P.ST_OK, b""
+        if op == P.OP_DELETE:
+            key, _ = P.decode_lp(body)
+            self.db.delete(key)
+            return P.ST_OK, b""
+        if op == P.OP_BATCH:
+            batch = WriteBatch()
+            ops = P.decode_batch_body(body)
+            for entry in ops:
+                if entry[0] == "put":
+                    batch.put(entry[1], entry[2])
+                else:
+                    batch.delete(entry[1])
+            self.db.write(batch)
+            return P.ST_OK, P.encode_varint64(len(ops))
+        if op == P.OP_SCAN:
+            start, end, limit, reverse = P.decode_scan_body(body)
+            cap = self.config.scan_limit_max
+            effective = min(limit, cap) if limit else cap
+            scan = (
+                self.db.scan_reverse(start, end)
+                if reverse
+                else self.db.scan(start, end)
+            )
+            pairs = []
+            truncated = False
+            for pair in scan:
+                if len(pairs) >= effective:
+                    # Only the server cap counts as truncation; a
+                    # client-requested limit is just satisfied.
+                    truncated = not limit or effective < limit
+                    break
+                pairs.append(pair)
+            return P.ST_OK, P.encode_scan_result(pairs, truncated)
+        if op == P.OP_STATS:
+            return P.ST_OK, P.encode_lp(
+                json.dumps(self._stats_dict(), sort_keys=True).encode()
+            )
+        if op == P.OP_COMPACT:
+            n = self.db.compact_range()
+            return P.ST_OK, P.encode_varint64(n)
+        raise P.ProtocolError(f"unhandled opcode 0x{op:02x}")
+
+    def _stats_dict(self) -> dict:
+        db_stats = self.db.stats
+        return {
+            "server": self.metrics.snapshot(),
+            "db": {
+                "writes": db_stats.writes,
+                "gets": db_stats.gets,
+                "flushes": db_stats.flushes,
+                "compactions": db_stats.compactions,
+                "trivial_moves": db_stats.trivial_moves,
+                "write_stalls": db_stats.write_stalls,
+                "compaction_input_bytes": db_stats.compaction_input_bytes,
+                "compaction_output_bytes": db_stats.compaction_output_bytes,
+                "l0_files": self.db.num_files(0),
+                "total_bytes": self.db.total_bytes(),
+                "write_stalled_now": self.db.picker.write_stall(self.db.version),
+            },
+        }
+
+
+# ----------------------------------------------------------- embedding
+class ServerThread:
+    """Run a :class:`KVServer` on a private event loop in a thread.
+
+    For sync callers — tests, the bench load generator, examples —
+    that want a live server without owning an asyncio loop::
+
+        handle = ServerThread(db).start()
+        ... connect SyncClient(handle.host, handle.port) ...
+        handle.stop()        # graceful: drains, flushes, closes the DB
+    """
+
+    def __init__(
+        self,
+        db: DB,
+        config: Optional[ServerConfig] = None,
+        metrics: Optional[ServerMetrics] = None,
+        own_db: bool = True,
+    ) -> None:
+        self.server = KVServer(db, config, metrics, own_db=own_db)
+        self._thread = threading.Thread(
+            target=self._run, name="kv-server", daemon=True
+        )
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self.server.start())
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+            loop.close()
+            return
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.close()
+
+    def start(self) -> "ServerThread":
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            raise RuntimeError("server failed to start") from self._startup_error
+        return self
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def metrics(self) -> ServerMetrics:
+        return self.server.metrics
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Graceful stop; joins the server thread."""
+        if self._loop is None or not self._thread.is_alive():
+            return
+        future = asyncio.run_coroutine_threadsafe(self.server.stop(), self._loop)
+        future.result(timeout=timeout)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def serve_forever(
+    db: DB,
+    config: Optional[ServerConfig] = None,
+    metrics: Optional[ServerMetrics] = None,
+) -> None:
+    """Blocking entry point (``dbtool serve``): run until interrupted."""
+
+    async def _main() -> None:
+        import signal
+
+        server = KVServer(db, config, metrics)
+        await server.start()
+        print(f"serving on {server.host}:{server.port}", flush=True)
+        stop_signal = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop_signal.set)
+            except NotImplementedError:  # pragma: no cover - non-unix
+                pass
+        try:
+            await stop_signal.wait()
+        finally:
+            print("shutting down: draining, flushing, compacting", flush=True)
+            await server.stop()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:  # pragma: no cover - signal-handler fallback
+        pass

@@ -1,5 +1,16 @@
-"""Command-line administration tools."""
+"""Command-line administration tools.
 
-from .dbtool import main as dbtool_main
+``dbtool`` is imported lazily so ``python -m repro.tools.dbtool``
+does not re-import the module it is about to execute (runpy warns
+about that double import).
+"""
 
 __all__ = ["dbtool_main"]
+
+
+def __getattr__(name):
+    if name == "dbtool_main":
+        from .dbtool import main
+
+        return main
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

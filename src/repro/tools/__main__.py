@@ -1,0 +1,13 @@
+"""``python -m repro.tools`` — forwards to the dbtool CLI.
+
+The canonical invocations are equivalent::
+
+    python -m repro.tools <command> ...
+    python -m repro.tools.dbtool <command> ...
+    dbtool <command> ...        (console script, after pip install)
+"""
+
+from .dbtool import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,6 +7,7 @@ Commands (all take a database directory):
 * ``repair <dir>``   — rebuild CURRENT/MANIFEST from salvageable tables.
 * ``dump <dir>``     — print live key/value pairs (optionally a range).
 * ``compact <dir>``  — run compactions until the tree is quiescent.
+* ``serve <dir>``    — expose the database over TCP (repro.server).
 
 Engine options that affect on-disk interpretation (block checksum kind,
 compression) are format-self-describing, so the defaults work for any
@@ -53,6 +54,23 @@ def build_parser() -> argparse.ArgumentParser:
     sst = sub.add_parser("sst", help="inspect one SSTable file")
     sst.add_argument("directory", help="database directory")
     sst.add_argument("file", help="table file name, e.g. 000004.sst")
+
+    srv = sub.add_parser("serve", help="expose the database over TCP")
+    srv.add_argument("directory", help="database directory")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=7379)
+    srv.add_argument(
+        "--workers", type=int, default=4, help="DB dispatch thread pool size"
+    )
+    srv.add_argument(
+        "--max-inflight", type=int, default=32,
+        help="pipelined requests admitted per connection",
+    )
+    srv.add_argument(
+        "--sync-compaction", action="store_true",
+        help="run compactions inline with writes instead of a "
+             "background thread (no STALLED backpressure)",
+    )
     return parser
 
 
@@ -160,6 +178,27 @@ def cmd_sst(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from ..server import ServerConfig, serve_forever
+
+    db = DB(
+        OSStorage(args.directory),
+        Options(),
+        background=not args.sync_compaction,
+    )
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        worker_threads=args.workers,
+        max_inflight_per_conn=args.max_inflight,
+    )
+    try:
+        serve_forever(db, config)
+    finally:
+        db.close()
+    return 0
+
+
 _COMMANDS = {
     "stats": cmd_stats,
     "verify": cmd_verify,
@@ -167,6 +206,7 @@ _COMMANDS = {
     "dump": cmd_dump,
     "compact": cmd_compact,
     "sst": cmd_sst,
+    "serve": cmd_serve,
 }
 
 

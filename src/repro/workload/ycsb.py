@@ -109,8 +109,35 @@ class YCSBWorkload:
                 else:  # RMW: read then write back
                     yield Op(RMW, key, values.value_for(i))
 
+    def split(self, n_clients: int) -> list["YCSBWorkload"]:
+        """Shard this workload across ``n_clients`` closed-loop clients.
+
+        Each shard draws ops from the same mix over the same loaded
+        keyspace but with a distinct seed, and op counts sum to
+        ``n_ops`` (the first shards absorb the remainder).  Used by the
+        network load generator (:mod:`repro.bench.netbench`) to give
+        every connection its own independent stream.
+        """
+        if n_clients < 1:
+            raise ValueError("n_clients must be >= 1")
+        base, extra = divmod(self.n_ops, n_clients)
+        shards = []
+        for i in range(n_clients):
+            shards.append(
+                YCSBWorkload(
+                    self.mix,
+                    base + (1 if i < extra else 0),
+                    self.record_count,
+                    value_bytes=self.value_bytes,
+                    seed=self.seed + 1000 * (i + 1),
+                )
+            )
+        return shards
+
     def apply_to(self, db) -> dict[str, int]:
-        """Run the stream against a DB; returns op counts."""
+        """Run the stream against any get/put-shaped KV; returns op
+        counts.  ``db`` may be an embedded :class:`repro.db.DB` or a
+        network client (:class:`repro.server.SyncClient`)."""
         counts: dict[str, int] = {}
         for op in self:
             counts[op.kind] = counts.get(op.kind, 0) + 1

@@ -1,0 +1,134 @@
+"""Unit tests for the wire format."""
+
+import pytest
+
+from repro.server import protocol as P
+from repro.server.protocol import ProtocolError
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        payload = b"hello frame"
+        frame = P.encode_frame(payload)
+        length = P.frame_length(frame[:4])
+        assert length == len(payload)
+        assert P.decode_frame(length, frame[4:]) == payload
+
+    def test_empty_payload(self):
+        frame = P.encode_frame(b"")
+        assert P.decode_frame(P.frame_length(frame[:4]), frame[4:]) == b""
+
+    def test_corrupt_payload_detected(self):
+        frame = bytearray(P.encode_frame(b"some payload bytes"))
+        frame[6] ^= 0xFF
+        with pytest.raises(ProtocolError, match="checksum"):
+            P.decode_frame(P.frame_length(bytes(frame[:4])), bytes(frame[4:]))
+
+    def test_corrupt_crc_detected(self):
+        frame = bytearray(P.encode_frame(b"other payload"))
+        frame[-1] ^= 0x01
+        with pytest.raises(ProtocolError, match="checksum"):
+            P.decode_frame(P.frame_length(bytes(frame[:4])), bytes(frame[4:]))
+
+    def test_truncated_frame(self):
+        frame = P.encode_frame(b"payload")
+        with pytest.raises(ProtocolError, match="truncated"):
+            P.decode_frame(P.frame_length(frame[:4]), frame[4:-2])
+
+    def test_oversized_frame_refused(self):
+        header = P.encode_frame(b"x" * 100)[:4]
+        with pytest.raises(ProtocolError, match="exceeds"):
+            P.frame_length(header, limit=10)
+
+    def test_iter_frames_splits_concatenation(self):
+        blob = b"".join(P.encode_frame(p) for p in [b"a", b"bb", b"", b"ccc"])
+        assert list(P.iter_frames(blob)) == [b"a", b"bb", b"", b"ccc"]
+
+
+class TestLengthPrefixed:
+    def test_roundtrip(self):
+        buf = P.encode_lp(b"abc") + P.encode_lp(b"") + P.encode_lp(b"x" * 300)
+        first, pos = P.decode_lp(buf)
+        second, pos = P.decode_lp(buf, pos)
+        third, pos = P.decode_lp(buf, pos)
+        assert (first, second, third) == (b"abc", b"", b"x" * 300)
+        assert pos == len(buf)
+
+    def test_overrun_detected(self):
+        with pytest.raises(ProtocolError, match="overruns"):
+            P.decode_lp(P.encode_lp(b"abcdef")[:-2])
+
+
+class TestRequestResponse:
+    def test_request_roundtrip(self):
+        frame = P.encode_request(P.OP_GET, 42, b"body")
+        payload = next(P.iter_frames(frame))
+        request = P.decode_request(payload)
+        assert request.opcode == P.OP_GET
+        assert request.request_id == 42
+        assert request.body == b"body"
+        assert request.opcode_name == "GET"
+
+    def test_response_roundtrip(self):
+        frame = P.encode_response(P.ST_STALLED, 7, b"\x19")
+        response = P.decode_response(next(P.iter_frames(frame)))
+        assert response.status == P.ST_STALLED
+        assert response.request_id == 7
+        assert not response.ok
+        assert response.status_name == "STALLED"
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(ProtocolError, match="opcode"):
+            P.encode_request(0x7F, 1)
+        with pytest.raises(ProtocolError, match="opcode"):
+            P.decode_request(bytes([0x7F, 0x01]))
+
+    def test_unknown_status_rejected(self):
+        with pytest.raises(ProtocolError, match="status"):
+            P.decode_response(bytes([0x7F, 0x01]))
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(ProtocolError, match="empty"):
+            P.decode_request(b"")
+
+    def test_large_request_ids_survive(self):
+        frame = P.encode_request(P.OP_PING, 2**53, b"")
+        assert P.decode_request(next(P.iter_frames(frame))).request_id == 2**53
+
+
+class TestBodies:
+    def test_batch_roundtrip(self):
+        ops = [("put", b"k1", b"v1"), ("delete", b"k2"), ("put", b"k3", b"")]
+        assert P.decode_batch_body(P.encode_batch_body(ops)) == ops
+
+    def test_batch_empty(self):
+        assert P.decode_batch_body(P.encode_batch_body([])) == []
+
+    def test_batch_bad_op_kind(self):
+        with pytest.raises(ProtocolError, match="unknown batch op"):
+            P.encode_batch_body([("merge", b"k", b"v")])
+
+    def test_batch_trailing_garbage(self):
+        body = P.encode_batch_body([("delete", b"k")]) + b"junk"
+        with pytest.raises(ProtocolError, match="trailing"):
+            P.decode_batch_body(body)
+
+    @pytest.mark.parametrize(
+        "start,end,limit,reverse",
+        [
+            (None, None, 0, False),
+            (b"a", None, 10, False),
+            (None, b"z", 0, True),
+            (b"a", b"z", 123456, True),
+        ],
+    )
+    def test_scan_body_roundtrip(self, start, end, limit, reverse):
+        body = P.encode_scan_body(start, end, limit, reverse)
+        assert P.decode_scan_body(body) == (start, end, limit, reverse)
+
+    def test_scan_result_roundtrip(self):
+        pairs = [(b"a", b"1"), (b"b", b""), (b"c" * 100, b"3" * 1000)]
+        body = P.encode_scan_result(pairs, truncated=True)
+        assert P.decode_scan_result(body) == (pairs, True)
+        body = P.encode_scan_result([], truncated=False)
+        assert P.decode_scan_result(body) == ([], False)

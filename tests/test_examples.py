@@ -15,6 +15,7 @@ EXAMPLES = [
     "examples/crash_recovery.py",
     "examples/bottleneck_analysis.py",
     "examples/pipeline_visualizer.py",
+    "examples/server_quickstart.py",
 ]
 
 
