@@ -14,7 +14,6 @@ from repro.bench.gantt import render_gantt
 from repro.core import (
     CostModel,
     PipelineConfig,
-    ProcedureSpec,
     SimJob,
     simulate_pipeline,
     simulate_scp,

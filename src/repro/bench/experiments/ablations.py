@@ -13,7 +13,7 @@
 from __future__ import annotations
 
 from ...core.backends.simbackend import PipelineConfig, SimJob, simulate_pipeline
-from ...core.costmodel import CostModel, StageTimes
+from ...core.costmodel import CostModel
 from ...core.procedures import ProcedureSpec, simulate_compaction, uniform_subtasks
 from ...devices import make_device
 from ...sim import Resource, Simulator, Store, StoreClosed

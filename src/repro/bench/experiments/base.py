@@ -8,7 +8,7 @@ paper-reported vs measured values per experiment id.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Sequence
 
 from ..report import format_table

@@ -14,7 +14,6 @@ for throughput.
 
 from __future__ import annotations
 
-from ...core.costmodel import CostModel
 from ...core.procedures import ProcedureSpec, simulate_compaction, uniform_subtasks
 from ...devices import make_device
 from ..runner import run_insert_workload, scaled_options

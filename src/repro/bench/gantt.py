@@ -1,4 +1,4 @@
-"""ASCII Gantt rendering of simulated compaction schedules.
+"""ASCII Gantt rendering of compaction schedules and span traces.
 
 The paper explains PCP with timeline drawings (Figs 3, 4, 6, 7: which
 sub-task occupies which resource when).  :func:`render_gantt` produces
@@ -9,14 +9,22 @@ timeline, one row per (stage, worker), sub-tasks labelled 0-9a-z::
     cpu   |...000111222333
     write |......000111222333
 
+:func:`render_span_gantt` draws the same picture from *real* spans
+recorded by a :class:`repro.obs.Tracer` (stage = span category, worker
+= recording thread), so a live PCP compaction renders next to its
+simulated schedule in the same format.
+
 Useful in examples and docs; also a debugging aid for the scheduler.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
 from ..core.backends.simbackend import ScheduleResult, TimelineEvent
 
-__all__ = ["render_gantt"]
+__all__ = ["render_gantt", "render_span_gantt", "schedule_from_spans"]
 
 _STAGE_ORDER = {"read": 0, "compute": 1, "write": 2}
 _LABELS = "0123456789abcdefghijklmnopqrstuvwxyz"
@@ -26,8 +34,13 @@ def _label(index: int) -> str:
     return _LABELS[index % len(_LABELS)]
 
 
-def render_gantt(result: ScheduleResult, width: int = 72) -> str:
-    """Render the schedule's timeline as fixed-width ASCII rows."""
+def render_gantt(result: "ScheduleResult | SpanSchedule", width: int = 72) -> str:
+    """Render the schedule's timeline as fixed-width ASCII rows.
+
+    Accepts anything with ``timeline`` / ``makespan`` /
+    ``breakdown_fractions()`` — a simulated :class:`ScheduleResult` or
+    a :class:`SpanSchedule` built from tracer spans.
+    """
     if not result.timeline or result.makespan <= 0:
         return "(empty schedule)"
     scale = (width - 1) / result.makespan
@@ -61,3 +74,61 @@ def render_gantt(result: ScheduleResult, width: int = 72) -> str:
         + ", ".join(f"{k} {v * 100:.0f}%" for k, v in util.items())
     )
     return "\n".join(lines)
+
+
+@dataclass
+class SpanSchedule:
+    """A tracer-span timeline in the shape :func:`render_gantt` draws."""
+
+    makespan: float
+    timeline: list[TimelineEvent] = field(default_factory=list)
+    stage_busy: dict = field(default_factory=dict)
+
+    def breakdown_fractions(self) -> dict[str, float]:
+        total = sum(self.stage_busy.values())
+        if total <= 0:
+            return {k: 0.0 for k in self.stage_busy}
+        return {k: v / total for k, v in self.stage_busy.items()}
+
+
+def schedule_from_spans(
+    spans: Sequence, cats: Optional[set] = None
+) -> SpanSchedule:
+    """Map :class:`repro.obs.Span` objects onto a gantt timeline.
+
+    Stage = the span's category, worker = an integer assigned per
+    (stage, thread) in order of first appearance, sub-task label = the
+    span's ``subtask`` arg.  ``cats`` filters which categories to draw
+    (default: the pipeline stages read/compute/write).
+    """
+    cats = cats if cats is not None else {"read", "compute", "write"}
+    picked = [s for s in spans if s.cat in cats]
+    if not picked:
+        return SpanSchedule(makespan=0.0)
+    t0 = min(s.start for s in picked)
+    workers: dict[tuple[str, str], int] = {}
+    timeline: list[TimelineEvent] = []
+    busy: dict[str, float] = {}
+    for span in sorted(picked, key=lambda s: s.start):
+        key = (span.cat, span.thread)
+        if key not in workers:
+            workers[key] = sum(1 for k in workers if k[0] == span.cat)
+        timeline.append(
+            TimelineEvent(
+                index=int(span.args.get("subtask", 0)),
+                stage=span.cat,
+                start=span.start - t0,
+                end=span.end - t0,
+                worker=workers[key],
+            )
+        )
+        busy[span.cat] = busy.get(span.cat, 0.0) + span.duration
+    makespan = max(e.end for e in timeline)
+    return SpanSchedule(makespan=makespan, timeline=timeline, stage_busy=busy)
+
+
+def render_span_gantt(
+    spans: Sequence, width: int = 72, cats: Optional[set] = None
+) -> str:
+    """ASCII gantt straight from tracer spans (see module docstring)."""
+    return render_gantt(schedule_from_spans(spans, cats=cats), width=width)

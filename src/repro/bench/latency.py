@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..core.costmodel import DEFAULT_KV_BYTES, CostModel
+from ..core.costmodel import CostModel
 from ..core.procedures import ProcedureSpec
 from ..db.db import DB
 from ..devices import MemStorage

@@ -37,7 +37,7 @@ from ..devices import MemStorage
 from ..devices.vfs import Storage
 from ..lsm.options import Options
 from ..server.client import ServerBusyError, SyncClient
-from ..server.metrics import LatencyHistogram
+from ..obs import LatencyHistogram
 from ..server.server import ServerConfig, ServerThread
 from ..workload.ycsb import INSERT, RMW, UPDATE, YCSBWorkload
 

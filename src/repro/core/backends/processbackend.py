@@ -24,6 +24,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Optional, Sequence
 
 from ...lsm.table_sink import EncodedBlock, TableSink
+from ...obs.tracer import NULL_TRACER, Tracer
 from ..steps import step_write
 from ..subtask import SubTask
 from .threadbackend import ExecutionStats, ReorderBuffer, run_subtask_read
@@ -83,12 +84,18 @@ def execute_pipelined_mp(
     max_inflight: Optional[int] = None,
     smallest_snapshot: Optional[int] = None,
     pool: Optional[ProcessPoolExecutor] = None,
+    tracer: Tracer = NULL_TRACER,
 ) -> ExecutionStats:
     """Run a compaction with process-parallel compute.
 
     The parent reads sub-tasks ahead (bounded by ``max_inflight``),
     dispatches compute to the pool, and writes completed sub-tasks in
     index order.
+
+    Tracing: S1/S7 spans come from the parent like the thread backend's;
+    the remote S2–S6 work is recorded as one coarse ``S2-S6:compute``
+    span per sub-task spanning dispatch→completion as observed by the
+    parent (queue wait included — worker processes aren't instrumented).
     """
     if compute_workers < 1:
         raise ValueError("compute_workers must be >= 1")
@@ -100,6 +107,7 @@ def execute_pipelined_mp(
     reorder = ReorderBuffer()
     try:
         pending = {}
+        dispatched_at: dict = {}
         it = iter(subtasks)
         exhausted = False
         while True:
@@ -110,7 +118,7 @@ def execute_pipelined_mp(
                     exhausted = True
                     break
                 t0 = time.perf_counter()
-                stored = run_subtask_read(subtask)
+                stored = run_subtask_read(subtask, tracer=tracer)
                 stats.stage_seconds["read"] += time.perf_counter() - t0
                 payload = [(b.source, b.data) for b in stored]
                 future = executor.submit(
@@ -119,15 +127,24 @@ def execute_pipelined_mp(
                     restart_interval, drop_deletes, smallest_snapshot,
                 )
                 pending[future] = subtask
+                dispatched_at[future] = tracer.now() if tracer.enabled else 0.0
             if not pending:
                 break
             done, _ = wait(pending, return_when=FIRST_COMPLETED)
             for future in done:
                 subtask = pending.pop(future)
+                t_dispatch = dispatched_at.pop(future, 0.0)
                 encoded = future.result()  # re-raises worker exceptions
+                if tracer.enabled:
+                    tracer.add_complete(
+                        "S2-S6:compute", t_dispatch, tracer.now(),
+                        cat="compute", thread="mp-pool",
+                        subtask=subtask.index,
+                    )
                 for sub, enc in reorder.push(subtask.index, (subtask, encoded)):
                     t0 = time.perf_counter()
-                    written = step_write(enc, sink)
+                    with tracer.span("S7:write", cat="write", subtask=sub.index):
+                        written = step_write(enc, sink)
                     stats.stage_seconds["write"] += time.perf_counter() - t0
                     stats.n_subtasks += 1
                     stats.input_bytes += sub.input_bytes()

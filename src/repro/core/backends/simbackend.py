@@ -233,7 +233,8 @@ def simulate_pipeline(
         sim.process(compute_worker(w), f"compute{w}")
         for w in range(config.compute_workers)
     ]
-    writers = [sim.process(write_worker(w), f"writer{w}") for w in range(k)]
+    for w in range(k):
+        sim.process(write_worker(w), f"writer{w}")
 
     # Close q1 when all readers finish; close q2 when computes finish.
     def closer(procs, store):

@@ -20,11 +20,12 @@ import queue
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import Sequence
 
 from ...codec.checksum import Checksummer
 from ...codec.compress import Codec
 from ...lsm.table_sink import EncodedBlock, TableSink
+from ...obs.tracer import NULL_TRACER, Tracer
 from ..steps import (
     step_checksum,
     step_compress,
@@ -81,11 +82,12 @@ class ReorderBuffer:
         return len(self._pending)
 
 
-def run_subtask_read(subtask: SubTask) -> list:
+def run_subtask_read(subtask: SubTask, tracer: Tracer = NULL_TRACER) -> list:
     """S1 for one sub-task: fetch every input block."""
     files = [run.table.file for run in subtask.runs]
     handles = [run.handles for run in subtask.runs]
-    return step_read(files, handles)
+    with tracer.span("S1:read", cat="read", subtask=subtask.index):
+        return step_read(files, handles)
 
 
 def run_subtask_compute(
@@ -97,22 +99,29 @@ def run_subtask_compute(
     restart_interval: int,
     drop_deletes: bool,
     smallest_snapshot=None,
+    tracer: Tracer = NULL_TRACER,
 ) -> list[EncodedBlock]:
     """S2-S6 for one sub-task: verify, decompress, merge, re-encode."""
-    step_checksum(stored_blocks, checksummer)
-    raw = step_decompress(stored_blocks)
-    merged = step_merge(
-        raw,
-        subtask.lower,
-        subtask.upper,
-        block_bytes,
-        restart_interval,
-        drop_deletes,
-        n_sources=len(subtask.runs),
-        smallest_snapshot=smallest_snapshot,
-    )
-    compressed = step_compress(merged, codec)
-    return step_rechecksum(compressed, checksummer)
+    i = subtask.index
+    with tracer.span("S2:checksum", cat="compute", subtask=i):
+        step_checksum(stored_blocks, checksummer)
+    with tracer.span("S3:decompress", cat="compute", subtask=i):
+        raw = step_decompress(stored_blocks)
+    with tracer.span("S4:merge", cat="compute", subtask=i):
+        merged = step_merge(
+            raw,
+            subtask.lower,
+            subtask.upper,
+            block_bytes,
+            restart_interval,
+            drop_deletes,
+            n_sources=len(subtask.runs),
+            smallest_snapshot=smallest_snapshot,
+        )
+    with tracer.span("S5:compress", cat="compute", subtask=i):
+        compressed = step_compress(merged, codec)
+    with tracer.span("S6:rechecksum", cat="compute", subtask=i):
+        return step_rechecksum(compressed, checksummer)
 
 
 def execute_scp(
@@ -124,20 +133,23 @@ def execute_scp(
     restart_interval: int = 16,
     drop_deletes: bool = False,
     smallest_snapshot=None,
+    tracer: Tracer = NULL_TRACER,
 ) -> ExecutionStats:
     """Sequential Compaction Procedure: one sub-task at a time."""
     stats = ExecutionStats()
     t_start = time.perf_counter()
     for subtask in subtasks:
         t0 = time.perf_counter()
-        stored = run_subtask_read(subtask)
+        stored = run_subtask_read(subtask, tracer=tracer)
         t1 = time.perf_counter()
         encoded = run_subtask_compute(
             subtask, stored, codec, checksummer, block_bytes,
             restart_interval, drop_deletes, smallest_snapshot,
+            tracer=tracer,
         )
         t2 = time.perf_counter()
-        written = step_write(encoded, sink)
+        with tracer.span("S7:write", cat="write", subtask=subtask.index):
+            written = step_write(encoded, sink)
         t3 = time.perf_counter()
         stats.stage_seconds["read"] += t1 - t0
         stats.stage_seconds["compute"] += t2 - t1
@@ -161,6 +173,7 @@ def execute_pipelined(
     compute_workers: int = 1,
     queue_capacity: int = 2,
     smallest_snapshot=None,
+    tracer: Tracer = NULL_TRACER,
 ) -> ExecutionStats:
     """PCP / C-PPCP with real threads.
 
@@ -188,7 +201,7 @@ def execute_pipelined(
                 if errors:
                     break
                 t0 = time.perf_counter()
-                stored = run_subtask_read(subtask)
+                stored = run_subtask_read(subtask, tracer=tracer)
                 with stage_lock:
                     stats.stage_seconds["read"] += time.perf_counter() - t0
                 q1.put((subtask, stored))
@@ -211,6 +224,7 @@ def execute_pipelined(
                 encoded = run_subtask_compute(
                     subtask, stored, codec, checksummer, block_bytes,
                     restart_interval, drop_deletes, smallest_snapshot,
+                    tracer=tracer,
                 )
                 with stage_lock:
                     stats.stage_seconds["compute"] += time.perf_counter() - t0
@@ -227,7 +241,8 @@ def execute_pipelined(
                 index, subtask, encoded = q2.get()
                 for sub, enc in reorder.push(index, (subtask, encoded)):
                     t0 = time.perf_counter()
-                    written = step_write(enc, sink)
+                    with tracer.span("S7:write", cat="write", subtask=sub.index):
+                        written = step_write(enc, sink)
                     with stage_lock:
                         stats.stage_seconds["write"] += time.perf_counter() - t0
                         stats.n_subtasks += 1

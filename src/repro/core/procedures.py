@@ -29,6 +29,7 @@ from ..lsm.options import Options
 from ..lsm.table_reader import Table
 from ..lsm.table_sink import TableSink
 from ..lsm.version import FileMetaData
+from ..obs.tracer import NULL_TRACER, Tracer
 from .backends.simbackend import (
     PipelineConfig,
     ScheduleResult,
@@ -144,46 +145,53 @@ def compact_tables(
     lower: Optional[bytes] = None,
     upper: Optional[bytes] = None,
     smallest_snapshot: Optional[int] = None,
+    tracer: Tracer = NULL_TRACER,
 ) -> tuple[list[FileMetaData], ExecutionStats, list[SubTask]]:
     """Functionally compact ``tables`` (newest-first) into new SSTables.
 
     Returns ``(output file metadata, execution stats, subtasks)``.
     The merged result is identical for every procedure spec; only the
-    schedule differs.
+    schedule differs.  With an enabled ``tracer`` every S1–S7 step of
+    every sub-task records a span (plus one ``compaction`` umbrella
+    span), so a PCP run renders as the paper's Fig 6/7 overlap diagram.
     """
     spec = spec or ProcedureSpec.scp()
     subtasks = partition_subtasks(tables, spec.subtask_bytes, lower, upper)
     sink = TableSink(storage, options, file_namer)
     codec = get_codec(options.compression)
     checksummer = get_checksummer(options.checksum)
-    if spec.kind == SCP:
-        stats = execute_scp(
-            subtasks, sink, codec, checksummer, options.block_bytes,
-            options.block_restart_interval, drop_deletes,
-            smallest_snapshot=smallest_snapshot,
-        )
-    elif spec.backend == "process":
-        from .backends.processbackend import execute_pipelined_mp
+    with tracer.span(
+        "compaction", cat="compaction",
+        procedure=spec.kind, subtasks=len(subtasks),
+    ):
+        if spec.kind == SCP:
+            stats = execute_scp(
+                subtasks, sink, codec, checksummer, options.block_bytes,
+                options.block_restart_interval, drop_deletes,
+                smallest_snapshot=smallest_snapshot, tracer=tracer,
+            )
+        elif spec.backend == "process":
+            from .backends.processbackend import execute_pipelined_mp
 
-        stats = execute_pipelined_mp(
-            subtasks, sink, options.compression, options.checksum,
-            options.block_bytes, options.block_restart_interval,
-            drop_deletes,
-            compute_workers=max(2, spec.compute_workers),
-            smallest_snapshot=smallest_snapshot,
-        )
-    else:
-        # S-PPCP is storage parallelism; functionally (one host, one
-        # address space) it executes like PCP — the device fan-out
-        # matters only for timing, which the sim backend models.
-        stats = execute_pipelined(
-            subtasks, sink, codec, checksummer, options.block_bytes,
-            options.block_restart_interval, drop_deletes,
-            compute_workers=spec.compute_workers,
-            queue_capacity=spec.queue_capacity,
-            smallest_snapshot=smallest_snapshot,
-        )
-    outputs = sink.finish()
+            stats = execute_pipelined_mp(
+                subtasks, sink, options.compression, options.checksum,
+                options.block_bytes, options.block_restart_interval,
+                drop_deletes,
+                compute_workers=max(2, spec.compute_workers),
+                smallest_snapshot=smallest_snapshot, tracer=tracer,
+            )
+        else:
+            # S-PPCP is storage parallelism; functionally (one host, one
+            # address space) it executes like PCP — the device fan-out
+            # matters only for timing, which the sim backend models.
+            stats = execute_pipelined(
+                subtasks, sink, codec, checksummer, options.block_bytes,
+                options.block_restart_interval, drop_deletes,
+                compute_workers=spec.compute_workers,
+                queue_capacity=spec.queue_capacity,
+                smallest_snapshot=smallest_snapshot, tracer=tracer,
+            )
+        outputs = sink.finish()
     return outputs, stats, subtasks
 
 

@@ -22,7 +22,7 @@ pipelining.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from ..lsm.table_format import BLOCK_TRAILER_SIZE, BlockHandle

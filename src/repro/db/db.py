@@ -20,19 +20,18 @@ MANIFEST then the live WAL.
 
 from __future__ import annotations
 
+import json
 import threading
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
 from ..core.procedures import ProcedureSpec, compact_tables
-from ..devices.vfs import Storage
+from ..devices.vfs import MeteredStorage, Storage
 from ..lsm.cache import LRUCache
 from ..lsm.ikey import (
     KIND_DELETE,
-    KIND_VALUE,
     MAX_SEQUENCE,
     decode_internal_key,
-    encode_internal_key,
     lookup_key,
 )
 from ..lsm.memtable import MemTable
@@ -40,8 +39,9 @@ from ..lsm.options import Options
 from ..lsm.picker import CompactionPicker, CompactionTask
 from ..lsm.table_builder import TableBuilder
 from ..lsm.table_reader import Table
-from ..lsm.version import FileMetaData, Version, sstable_name
+from ..lsm.version import FileMetaData, sstable_name
 from ..lsm.wal import LogReader, LogWriter, WriteBatch
+from ..obs import Observability
 from .manifest import ManifestWriter, VersionEdit, recover_version, set_current
 
 __all__ = ["DB", "DBStats", "Snapshot"]
@@ -102,12 +102,24 @@ class DB:
         background: bool = False,
         sync_every: Optional[int] = None,
         observer=None,
+        obs: Optional[Observability] = None,
     ) -> None:
         """``observer`` (optional) receives engine events for accounting:
         ``on_write(batch, wal_bytes)``, ``on_flush(meta)``,
         ``on_trivial_move(task)``, ``on_compaction(task, subtasks,
         stats)``.  Used by the bench harness to attribute virtual time
-        (see :mod:`repro.bench.observer`)."""
+        (see :mod:`repro.bench.observer`).
+
+        ``obs`` (optional) is the :class:`repro.obs.Observability`
+        bundle this DB records into; by default metrics are collected
+        and tracing is off.  Pass a bundle with an enabled tracer to
+        capture an S1–S7 span timeline of every compaction
+        (``dbtool trace`` does)."""
+        self.obs = obs or Observability()
+        # All engine I/O (WAL, SSTables, MANIFEST) flows through the
+        # metered wrapper so per-device byte/op counters come for free.
+        if not isinstance(storage, MeteredStorage):
+            storage = MeteredStorage(storage, self.obs.metrics)
         self.storage = storage
         self.options = options or Options()
         self.options.validate()
@@ -119,7 +131,9 @@ class DB:
         self._compaction_log_cap = 64
         self._lock = threading.RLock()
         self._file_number_lock = threading.Lock()
-        self._cache = LRUCache(self.options.block_cache_entries)
+        self._cache = LRUCache(
+            self.options.block_cache_entries, metrics=self.obs.metrics
+        )
         self._tables: dict[int, Table] = {}
         self._snapshots: list[Snapshot] = []
         self._closed = False
@@ -150,7 +164,10 @@ class DB:
         manifest_name = f"MANIFEST-{self._new_file_number():06d}"
         self._manifest = ManifestWriter(self.storage, manifest_name)
         self._wal_number = self._new_file_number()
-        self._wal = LogWriter(self.storage.create(self._wal_name(self._wal_number)))
+        self._wal = LogWriter(
+            self.storage.create(self._wal_name(self._wal_number)),
+            metrics=self.obs.metrics,
+        )
         boot = VersionEdit(
             log_number=self._wal_number,
             next_file_number=self._next_file,
@@ -259,17 +276,28 @@ class DB:
     def _maybe_stall(self) -> None:
         """Paper §I: slow compaction causes write pauses."""
         if self.picker.write_stall(self.version):
+            import time
+
             self.stats.write_stalls += 1
-            if self._background:
-                while self.picker.write_stall(self.version) and not self._closed:
-                    self._bg_wake.notify_all()
-                    self._bg_wake.wait(timeout=0.05)
-                    if self._bg_error is not None:
-                        raise RuntimeError(
-                            "background compaction failed"
-                        ) from self._bg_error
-            else:
-                self._compact_until_quiet()
+            self.obs.metrics.counter("db.write_stalls").inc()
+            t0 = time.perf_counter()
+            with self.obs.tracer.span("write-stall", cat="stall"):
+                if self._background:
+                    while (
+                        self.picker.write_stall(self.version)
+                        and not self._closed
+                    ):
+                        self._bg_wake.notify_all()
+                        self._bg_wake.wait(timeout=0.05)
+                        if self._bg_error is not None:
+                            raise RuntimeError(
+                                "background compaction failed"
+                            ) from self._bg_error
+                else:
+                    self._compact_until_quiet()
+            self.obs.metrics.histogram("db.stall_seconds").record(
+                time.perf_counter() - t0
+            )
 
     # ---------------------------------------------------------- flush
     def _build_table_from_memtable(self) -> FileMetaData:
@@ -293,22 +321,34 @@ class DB:
         """Dump C0 into a new L0 SSTable (the paper's 'dump')."""
         if len(self.memtable) == 0:
             return
-        meta = self._build_table_from_memtable()
-        number = meta.number
-        # Switch WAL before publishing the flush.
-        old_wal_number = self._wal_number
-        self._wal.close()
-        self._wal_number = self._new_file_number()
-        self._wal = LogWriter(self.storage.create(self._wal_name(self._wal_number)))
-        edit = VersionEdit(
-            log_number=self._wal_number,
-            next_file_number=self._next_file,
-            last_sequence=self._sequence,
-        ).add_file(0, meta)
-        self._apply_edit(edit)
-        self.storage.delete(self._wal_name(old_wal_number))
-        self.memtable = MemTable(seed=number)
+        import time
+
+        t0 = time.perf_counter()
+        with self.obs.tracer.span("flush", cat="flush"):
+            meta = self._build_table_from_memtable()
+            number = meta.number
+            # Switch WAL before publishing the flush.
+            old_wal_number = self._wal_number
+            self._wal.close()
+            self._wal_number = self._new_file_number()
+            self._wal = LogWriter(
+                self.storage.create(self._wal_name(self._wal_number)),
+                metrics=self.obs.metrics,
+            )
+            edit = VersionEdit(
+                log_number=self._wal_number,
+                next_file_number=self._next_file,
+                last_sequence=self._sequence,
+            ).add_file(0, meta)
+            self._apply_edit(edit)
+            self.storage.delete(self._wal_name(old_wal_number))
+            self.memtable = MemTable(seed=number)
         self.stats.flushes += 1
+        self.obs.metrics.counter("db.flushes").inc()
+        self.obs.metrics.counter("db.flush_bytes").inc(meta.file_size)
+        self.obs.metrics.histogram("db.flush_seconds").record(
+            time.perf_counter() - t0
+        )
         if self.observer is not None:
             self.observer.on_flush(meta)
 
@@ -399,6 +439,7 @@ class DB:
             edit.add_file(task.output_level, meta)
             self._apply_edit(edit)
             self.stats.trivial_moves += 1
+            self.obs.metrics.counter("compaction.trivial_moves").inc()
             if self.observer is not None:
                 self.observer.on_trivial_move(task)
             return
@@ -425,6 +466,7 @@ class DB:
                 spec=self.compaction_spec,
                 drop_deletes=drop_deletes,
                 smallest_snapshot=smallest_snapshot,
+                tracer=self.obs.tracer,
             )
             elapsed = time.perf_counter() - t0
         finally:
@@ -450,6 +492,11 @@ class DB:
         self.stats.compaction_input_bytes += stats.input_bytes
         self.stats.compaction_output_bytes += stats.output_bytes
         self.stats.compaction_seconds += elapsed
+        metrics = self.obs.metrics
+        metrics.counter("compaction.count").inc()
+        metrics.counter("compaction.input_bytes").inc(stats.input_bytes)
+        metrics.counter("compaction.output_bytes").inc(stats.output_bytes)
+        metrics.histogram("compaction.seconds").record(elapsed)
         self._record_compaction(
             {
                 "level": task.level,
@@ -679,8 +726,13 @@ class DB:
         """LevelDB-style introspection properties.
 
         Supported: ``num-files-at-level<N>``, ``stats``, ``sstables``,
-        ``approximate-memory-usage``, ``total-bytes``.  Returns None
-        for unknown names.
+        ``approximate-memory-usage``, ``total-bytes``,
+        ``compaction-log`` (one line per recent compaction, newest
+        last), ``metrics`` (the full :class:`repro.obs.MetricsRegistry`
+        snapshot as JSON), ``io-stats`` (per-device read/write/sync
+        ops and bytes), and ``cache-stats`` (block-cache hit/miss/
+        eviction counts and hit rate).  Returns None for unknown
+        names; raises RuntimeError on a closed DB.
         """
         with self._lock:
             self._check_open()
@@ -717,6 +769,19 @@ class DB:
                     for r in self.compaction_log
                 ]
                 return "\n".join(lines) if lines else "(no compactions yet)"
+            if name == "metrics":
+                return json.dumps(self.obs.metrics.snapshot(), sort_keys=True)
+            if name == "io-stats":
+                items = self.obs.metrics.items_with_prefix("io.")
+                lines = [f"{key}={metric.value}" for key, metric in items]
+                return "\n".join(lines) if lines else "(no io recorded)"
+            if name == "cache-stats":
+                cs = self._cache.stats
+                return (
+                    f"hits={cs.hits} misses={cs.misses} "
+                    f"evictions={cs.evictions} "
+                    f"hit_rate={cs.hit_rate():.4f}"
+                )
             return None
 
     def close(self) -> None:

@@ -22,7 +22,6 @@ from ..lsm.options import Options
 from ..lsm.table_reader import Table
 from ..lsm.version import FileMetaData, Version
 from .manifest import (
-    CURRENT_NAME,
     ManifestWriter,
     VersionEdit,
     read_current,

@@ -7,6 +7,7 @@ from .raid import RAID0, DiskArray
 from .ssd import SSD, SSDSpec
 from .vfs import (
     MemStorage,
+    MeteredStorage,
     OSStorage,
     ReadableFile,
     Storage,
@@ -24,6 +25,7 @@ __all__ = [
     "HDD",
     "HDDSpec",
     "MemStorage",
+    "MeteredStorage",
     "OSStorage",
     "PAPER_HDD",
     "PAPER_SSD",

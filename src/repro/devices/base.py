@@ -16,7 +16,7 @@ Times are in **seconds**, sizes in **bytes**.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 __all__ = ["AccessKind", "DeviceStats", "Device"]

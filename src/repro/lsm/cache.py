@@ -35,15 +35,23 @@ class CacheStats:
 
 
 class LRUCache:
-    """A plain LRU map with statistics."""
+    """A plain LRU map with statistics.
 
-    def __init__(self, capacity: int) -> None:
+    ``metrics`` (an optional :class:`repro.obs.MetricsRegistry`) mirrors
+    the hit/miss/eviction counters under ``cache.*`` so cache behaviour
+    shows up in the engine-wide metrics snapshot.
+    """
+
+    def __init__(self, capacity: int, metrics=None) -> None:
         if capacity < 0:
             raise ValueError(f"capacity must be >= 0, got {capacity}")
         self.capacity = capacity
         self._map: OrderedDict[Hashable, Any] = OrderedDict()
         self._lock = threading.Lock()
         self.stats = CacheStats()
+        self._m_hits = metrics.counter("cache.hits") if metrics else None
+        self._m_misses = metrics.counter("cache.misses") if metrics else None
+        self._m_evict = metrics.counter("cache.evictions") if metrics else None
 
     def __len__(self) -> int:
         with self._lock:
@@ -55,9 +63,13 @@ class LRUCache:
                 value = self._map[key]
             except KeyError:
                 self.stats.misses += 1
+                if self._m_misses is not None:
+                    self._m_misses.inc()
                 return None
             self._map.move_to_end(key)
             self.stats.hits += 1
+            if self._m_hits is not None:
+                self._m_hits.inc()
             return value
 
     def put(self, key: Hashable, value: Any) -> None:
@@ -70,6 +82,8 @@ class LRUCache:
             while len(self._map) > self.capacity:
                 self._map.popitem(last=False)
                 self.stats.evictions += 1
+                if self._m_evict is not None:
+                    self._m_evict.inc()
 
     def invalidate(self, key: Hashable) -> None:
         with self._lock:

@@ -9,7 +9,7 @@ Fig 10 throughput decline.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["Options"]
 

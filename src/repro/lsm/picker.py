@@ -17,7 +17,7 @@ SSTables in C_{i+1}".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from .options import Options

@@ -18,7 +18,6 @@ from .cache import LRUCache
 from .ikey import internal_compare
 from .options import Options
 from .table_format import (
-    BLOCK_TRAILER_SIZE,
     FOOTER_SIZE,
     BlockHandle,
     Footer,

@@ -15,7 +15,7 @@ memtable flush path.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from ..codec.checksum import get_checksummer

@@ -11,7 +11,7 @@ them").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from .ikey import internal_compare

@@ -15,7 +15,7 @@ What goes *into* records is the engine's write-batch encoding
 from __future__ import annotations
 
 import struct
-from typing import Iterator, Optional
+from typing import Iterator
 
 from ..codec.checksum import crc32, mask_crc, unmask_crc
 from ..codec.varint import (
@@ -50,14 +50,25 @@ class LogCorruption(ValueError):
 
 
 class LogWriter:
-    """Appends records to a log file."""
+    """Appends records to a log file.
 
-    def __init__(self, file: WritableFile) -> None:
+    ``metrics`` (an optional :class:`repro.obs.MetricsRegistry`) gets
+    ``wal.records`` / ``wal.bytes`` (payload bytes, before framing) per
+    append and ``wal.syncs`` per durability barrier.
+    """
+
+    def __init__(self, file: WritableFile, metrics=None) -> None:
         self._file = file
         self._block_offset = 0
+        self._m_records = metrics.counter("wal.records") if metrics else None
+        self._m_bytes = metrics.counter("wal.bytes") if metrics else None
+        self._m_syncs = metrics.counter("wal.syncs") if metrics else None
 
     def add_record(self, payload: bytes) -> None:
         """Append one record, fragmenting across block boundaries."""
+        if self._m_records is not None:
+            self._m_records.inc()
+            self._m_bytes.inc(len(payload))
         left = memoryview(payload)
         begin = True
         while True:
@@ -93,6 +104,8 @@ class LogWriter:
 
     def sync(self) -> None:
         self._file.sync()
+        if self._m_syncs is not None:
+            self._m_syncs.inc()
 
     def close(self) -> None:
         self._file.close()

@@ -1,0 +1,57 @@
+"""Unified observability: metrics registry + span tracer.
+
+One import point for the engine's introspection layer:
+
+* :class:`MetricsRegistry` — thread-safe named counters, gauges, and
+  log-bucketed histograms (:class:`Histogram`, and the seconds-in /
+  milliseconds-out :class:`LatencyHistogram` the server wire format
+  uses).
+* :class:`Tracer` — begin/end spans with thread attribution, exported
+  as Chrome trace-event JSON (Perfetto / ``chrome://tracing``) or the
+  ASCII gantt format of :mod:`repro.bench.gantt`.
+* :class:`Observability` — the pair, as one object a :class:`repro.db.DB`
+  owns and every layer below records into.
+
+See ``docs/OBSERVABILITY.md`` for the metric-name catalogue and trace
+format notes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    LatencyHistogram,
+    MetricsRegistry,
+)
+from .tracer import NULL_TRACER, Span, Tracer, pipeline_overlap
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "Observability",
+    "Span",
+    "Tracer",
+    "pipeline_overlap",
+]
+
+
+@dataclass
+class Observability:
+    """A DB's observability bundle: one registry, one tracer.
+
+    The default tracer is *disabled* (metrics are always cheap enough
+    to keep on; tracing allocates per span).  Pass
+    ``Observability(tracer=Tracer(enabled=True))`` to capture a
+    timeline — ``dbtool trace`` does exactly that.
+    """
+
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    tracer: Tracer = field(default_factory=lambda: Tracer(enabled=False))

@@ -1,0 +1,304 @@
+"""Thread-safe named metrics: counters, gauges, log-bucketed histograms.
+
+This generalises the server's former private ``LatencyHistogram`` into
+an engine-wide facility (the role RocksDB's ``Statistics`` plays): any
+layer — WAL, block cache, storage wrappers, compaction, the network
+server — records into one :class:`MetricsRegistry` under dotted names
+(``wal.bytes``, ``cache.hits``, ``io.mem.read.bytes``, …), and one
+``snapshot()`` call returns a consistent, JSON-serialisable view of
+everything.  See ``docs/OBSERVABILITY.md`` for the name catalogue.
+
+Design notes
+============
+
+* **Histogram** buckets are logarithmic (default ~24 per decade from
+  1 µs to 1000 s, matching the old server histogram): recording is
+  O(1) and percentile estimation interpolates inside the winning
+  bucket.  The bucket grid is configurable per histogram so the same
+  type can hold latencies, byte sizes, or queue depths.
+* **Thread safety**: every metric carries its own small lock (CPython's
+  ``+=`` on an attribute is *not* atomic across threads), and the
+  registry locks only around name→metric creation, so recording on two
+  different metrics never contends.
+* **Units** are the recorder's business; histograms store raw floats.
+  :class:`LatencyHistogram` is the seconds-in/milliseconds-out variant
+  the server wire format expects.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Iterator, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LatencyHistogram",
+    "MetricsRegistry",
+]
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("value", "_lock")
+
+    def __init__(self) -> None:
+        self.value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n: int = 1) -> None:
+        with self._lock:
+            self.value += n
+
+    def __repr__(self) -> str:
+        return f"Counter({self.value})"
+
+
+class Gauge:
+    """A point-in-time float that may move both ways."""
+
+    __slots__ = ("value", "_lock")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = value
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self.value += delta
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.value})"
+
+
+class Histogram:
+    """Log-bucketed histogram of positive floats with percentiles.
+
+    ``lo``/``hi`` bound the bucket grid (values outside are clamped
+    into the edge buckets; raw extremes are preserved in min/max), and
+    ``buckets_per_decade`` sets resolution (~10 % wide at 24/decade).
+    """
+
+    __slots__ = (
+        "counts", "count", "total", "vmin", "vmax",
+        "_lo", "_bpd", "_nbuckets", "_lock",
+    )
+
+    def __init__(
+        self,
+        lo: float = 1e-6,
+        hi: float = 1e3,
+        buckets_per_decade: int = 24,
+    ) -> None:
+        if lo <= 0 or hi <= lo:
+            raise ValueError("need 0 < lo < hi")
+        if buckets_per_decade < 1:
+            raise ValueError("buckets_per_decade must be >= 1")
+        self._lo = lo
+        self._bpd = buckets_per_decade
+        self._nbuckets = int(buckets_per_decade * math.log10(hi / lo)) + 2
+        self.counts = [0] * self._nbuckets
+        self.count = 0
+        self.total = 0.0
+        self.vmin = math.inf
+        self.vmax = 0.0
+        self._lock = threading.Lock()
+
+    def _bucket(self, value: float) -> int:
+        if value <= self._lo:
+            return 0
+        index = int(math.log10(value / self._lo) * self._bpd) + 1
+        return min(index, self._nbuckets - 1)
+
+    def _bucket_upper(self, index: int) -> float:
+        if index <= 0:
+            return self._lo
+        return self._lo * 10 ** (index / self._bpd)
+
+    def record(self, value: float) -> None:
+        with self._lock:
+            self.counts[self._bucket(value)] += 1
+            self.count += 1
+            self.total += value
+            if value < self.vmin:
+                self.vmin = value
+            if value > self.vmax:
+                self.vmax = value
+
+    def percentile(self, p: float) -> float:
+        """Estimated value at percentile ``p`` in [0, 100]."""
+        with self._lock:
+            if self.count == 0:
+                return 0.0
+            rank = p / 100.0 * self.count
+            seen = 0
+            for index, n in enumerate(self.counts):
+                if n == 0:
+                    continue
+                if seen + n >= rank:
+                    lo = self._bucket_upper(index - 1)
+                    hi = self._bucket_upper(index)
+                    fraction = (rank - seen) / n
+                    est = lo + (hi - lo) * fraction
+                    return min(max(est, self.vmin), self.vmax)
+                seen += n
+            return self.vmax
+
+    def mean(self) -> float:
+        with self._lock:
+            return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        """Summary dict in the histogram's raw units."""
+        if self.count == 0:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "mean": self.mean(),
+            "min": self.vmin,
+            "max": self.vmax,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+class LatencyHistogram(Histogram):
+    """Seconds-in, milliseconds-out histogram (the STATS wire shape).
+
+    Drop-in for the former ``repro.server.metrics.LatencyHistogram``:
+    1 µs–1000 s grid, 24 buckets per decade, and a ``snapshot()`` whose
+    keys carry the ``_ms`` suffix the wire format promises.
+    """
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__(lo=1e-6, hi=1e3, buckets_per_decade=24)
+
+    # Back-compat aliases (latencies are recorded in seconds).
+    @property
+    def sum_s(self) -> float:
+        return self.total
+
+    @property
+    def min_s(self) -> float:
+        return self.vmin
+
+    @property
+    def max_s(self) -> float:
+        return self.vmax
+
+    def snapshot(self) -> dict:
+        """Summary dict (latencies in milliseconds, for STATS/JSON)."""
+        if self.count == 0:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "mean_ms": self.mean() * 1e3,
+            "min_ms": self.vmin * 1e3,
+            "max_ms": self.vmax * 1e3,
+            "p50_ms": self.percentile(50) * 1e3,
+            "p95_ms": self.percentile(95) * 1e3,
+            "p99_ms": self.percentile(99) * 1e3,
+        }
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge}
+
+
+class MetricsRegistry:
+    """Create-on-first-use map of named metrics.
+
+    Names are dotted paths; asking for an existing name returns the
+    same object, and asking for it as a different kind raises (one
+    name, one meaning).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, object] = {}
+
+    def _get_or_create(self, name: str, factory, kind: type):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = factory()
+                self._metrics[name] = metric
+            elif not isinstance(metric, kind):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, not {kind.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge, Gauge)
+
+    def histogram(self, name: str, **kwargs) -> Histogram:
+        return self._get_or_create(
+            name, lambda: Histogram(**kwargs), Histogram
+        )
+
+    def latency_histogram(self, name: str) -> LatencyHistogram:
+        return self._get_or_create(
+            name, LatencyHistogram, LatencyHistogram
+        )
+
+    # ------------------------------------------------------- reporting
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def get(self, name: str) -> Optional[object]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def items_with_prefix(self, prefix: str) -> Iterator[tuple[str, object]]:
+        """(name, metric) pairs under a dotted prefix, sorted by name."""
+        for name in self.names():
+            if name.startswith(prefix):
+                yield name, self._metrics[name]
+
+    def snapshot(self) -> dict:
+        """JSON-serialisable dict: counters, gauges, histograms."""
+        with self._lock:
+            metrics = dict(self._metrics)
+        out: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name in sorted(metrics):
+            metric = metrics[name]
+            if isinstance(metric, Counter):
+                out["counters"][name] = metric.value
+            elif isinstance(metric, Gauge):
+                out["gauges"][name] = metric.value
+            else:
+                out["histograms"][name] = metric.snapshot()
+        return out
+
+    def render(self) -> str:
+        """Human-readable one-metric-per-line summary."""
+        snap = self.snapshot()
+        lines = []
+        for name, value in snap["counters"].items():
+            lines.append(f"{name:<32} {value}")
+        for name, value in snap["gauges"].items():
+            lines.append(f"{name:<32} {value:g}")
+        for name, h in snap["histograms"].items():
+            if not h.get("count"):
+                lines.append(f"{name:<32} (empty)")
+                continue
+            keys = [k for k in ("p50", "p99", "p50_ms", "p99_ms") if k in h]
+            tail = " ".join(f"{k}={h[k]:.4g}" for k in keys)
+            lines.append(f"{name:<32} n={h['count']} mean="
+                         f"{h.get('mean', h.get('mean_ms', 0.0)):.4g} {tail}")
+        return "\n".join(lines) if lines else "(no metrics)"

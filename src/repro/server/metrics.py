@@ -6,114 +6,69 @@ metrics layer is built around tail latency: every request records into
 a log-bucketed histogram whose p50/p95/p99 are queryable over the wire
 via the STATS opcode.
 
-The histogram uses fixed logarithmic buckets (~24 per decade) from
-1 µs to ~1000 s: recording is O(1), percentile estimation interpolates
-inside the winning bucket, and the whole structure serialises to a
-compact dict.  This mirrors what production engines (RocksDB's
-``HistogramImpl``) do, scaled down.
+The histogram itself now lives in :mod:`repro.obs` — the engine-wide
+metrics subsystem generalised this module's original private
+implementation — and this module re-exports it, so
+``from repro.server.metrics import LatencyHistogram`` keeps working.
+:class:`ServerMetrics` is likewise backed by a
+:class:`repro.obs.MetricsRegistry` (counters under ``server.*`` and
+``server.op.<NAME>.*``), while its ``snapshot()`` wire payload — the
+STATS opcode body — is byte-for-byte what it always was.
 
 Thread-safety: recording happens from the server's worker threads and
-the asyncio loop; a single lock guards the buckets (the GIL makes the
-counters safe, the lock makes snapshot() consistent).
+the asyncio loop; every obs metric carries its own lock, and a
+registry-level snapshot is consistent per metric.
 """
 
 from __future__ import annotations
 
-import math
-import threading
 from typing import Optional
 
+from ..obs import LatencyHistogram, MetricsRegistry
 from .protocol import OPCODE_NAMES
 
 __all__ = ["LatencyHistogram", "OpMetrics", "ServerMetrics"]
 
-_BUCKETS_PER_DECADE = 24
-_MIN_LATENCY_S = 1e-6
-_MAX_LATENCY_S = 1e3
-_N_BUCKETS = int(_BUCKETS_PER_DECADE * math.log10(_MAX_LATENCY_S / _MIN_LATENCY_S)) + 2
-
-
-class LatencyHistogram:
-    """Log-bucketed latency histogram with percentile estimation."""
-
-    __slots__ = ("counts", "count", "sum_s", "min_s", "max_s")
-
-    def __init__(self) -> None:
-        self.counts = [0] * _N_BUCKETS
-        self.count = 0
-        self.sum_s = 0.0
-        self.min_s = math.inf
-        self.max_s = 0.0
-
-    def _bucket(self, seconds: float) -> int:
-        if seconds <= _MIN_LATENCY_S:
-            return 0
-        index = int(
-            math.log10(seconds / _MIN_LATENCY_S) * _BUCKETS_PER_DECADE
-        ) + 1
-        return min(index, _N_BUCKETS - 1)
-
-    @staticmethod
-    def _bucket_upper(index: int) -> float:
-        if index <= 0:
-            return _MIN_LATENCY_S
-        return _MIN_LATENCY_S * 10 ** (index / _BUCKETS_PER_DECADE)
-
-    def record(self, seconds: float) -> None:
-        self.counts[self._bucket(seconds)] += 1
-        self.count += 1
-        self.sum_s += seconds
-        if seconds < self.min_s:
-            self.min_s = seconds
-        if seconds > self.max_s:
-            self.max_s = seconds
-
-    def percentile(self, p: float) -> float:
-        """Estimated latency (seconds) at percentile ``p`` in [0, 100]."""
-        if self.count == 0:
-            return 0.0
-        rank = p / 100.0 * self.count
-        seen = 0
-        for index, n in enumerate(self.counts):
-            if n == 0:
-                continue
-            if seen + n >= rank:
-                lo = self._bucket_upper(index - 1)
-                hi = self._bucket_upper(index)
-                fraction = (rank - seen) / n
-                return min(max(lo + (hi - lo) * fraction, self.min_s), self.max_s)
-            seen += n
-        return self.max_s
-
-    def mean(self) -> float:
-        return self.sum_s / self.count if self.count else 0.0
-
-    def snapshot(self) -> dict:
-        """Summary dict (latencies in milliseconds, for STATS/JSON)."""
-        if self.count == 0:
-            return {"count": 0}
-        return {
-            "count": self.count,
-            "mean_ms": self.mean() * 1e3,
-            "min_ms": self.min_s * 1e3,
-            "max_ms": self.max_s * 1e3,
-            "p50_ms": self.percentile(50) * 1e3,
-            "p95_ms": self.percentile(95) * 1e3,
-            "p99_ms": self.percentile(99) * 1e3,
-        }
-
 
 class OpMetrics:
-    """Counters for one opcode."""
+    """Counters for one opcode, backed by registry metrics."""
 
-    __slots__ = ("requests", "errors", "bytes_in", "bytes_out", "latency")
+    __slots__ = ("_requests", "_errors", "_bytes_in", "_bytes_out", "latency")
 
-    def __init__(self) -> None:
-        self.requests = 0
-        self.errors = 0
-        self.bytes_in = 0
-        self.bytes_out = 0
-        self.latency = LatencyHistogram()
+    def __init__(self, registry: MetricsRegistry, op_name: str) -> None:
+        prefix = f"server.op.{op_name}"
+        self._requests = registry.counter(f"{prefix}.requests")
+        self._errors = registry.counter(f"{prefix}.errors")
+        self._bytes_in = registry.counter(f"{prefix}.bytes_in")
+        self._bytes_out = registry.counter(f"{prefix}.bytes_out")
+        self.latency = registry.latency_histogram(f"{prefix}.latency")
+
+    # Back-compat int views (older code read these as plain attributes).
+    @property
+    def requests(self) -> int:
+        return self._requests.value
+
+    @property
+    def errors(self) -> int:
+        return self._errors.value
+
+    @property
+    def bytes_in(self) -> int:
+        return self._bytes_in.value
+
+    @property
+    def bytes_out(self) -> int:
+        return self._bytes_out.value
+
+    def record(
+        self, seconds: float, bytes_in: int, bytes_out: int, error: bool
+    ) -> None:
+        self._requests.inc()
+        self._bytes_in.inc(bytes_in)
+        self._bytes_out.inc(bytes_out)
+        self.latency.record(seconds)
+        if error:
+            self._errors.inc()
 
     def snapshot(self) -> dict:
         return {
@@ -126,17 +81,24 @@ class OpMetrics:
 
 
 class ServerMetrics:
-    """All counters of one server instance."""
+    """All counters of one server instance.
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
+    ``registry`` may be shared (e.g. the DB's
+    :class:`~repro.obs.Observability` registry) so server- and
+    engine-side metrics land in one snapshot; by default each server
+    gets its own.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
         self.per_op: dict[int, OpMetrics] = {
-            opcode: OpMetrics() for opcode in OPCODE_NAMES
+            opcode: OpMetrics(self.registry, name)
+            for opcode, name in OPCODE_NAMES.items()
         }
-        self.stall_rejections = 0
-        self.protocol_errors = 0
-        self.connections_opened = 0
-        self.connections_closed = 0
+        self._stall_rejections = self.registry.counter("server.stall_rejections")
+        self._protocol_errors = self.registry.counter("server.protocol_errors")
+        self._conns_opened = self.registry.counter("server.connections_opened")
+        self._conns_closed = self.registry.counter("server.connections_closed")
 
     # ------------------------------------------------------- recording
     def record(
@@ -147,59 +109,61 @@ class ServerMetrics:
         bytes_out: int,
         error: bool = False,
     ) -> None:
-        with self._lock:
-            op = self.per_op[opcode]
-            op.requests += 1
-            op.bytes_in += bytes_in
-            op.bytes_out += bytes_out
-            op.latency.record(seconds)
-            if error:
-                op.errors += 1
+        self.per_op[opcode].record(seconds, bytes_in, bytes_out, error)
 
     def record_stall_rejection(self) -> None:
-        with self._lock:
-            self.stall_rejections += 1
+        self._stall_rejections.inc()
 
     def record_protocol_error(self) -> None:
-        with self._lock:
-            self.protocol_errors += 1
+        self._protocol_errors.inc()
 
     def connection_opened(self) -> None:
-        with self._lock:
-            self.connections_opened += 1
+        self._conns_opened.inc()
 
     def connection_closed(self) -> None:
-        with self._lock:
-            self.connections_closed += 1
+        self._conns_closed.inc()
 
     # ------------------------------------------------------- reporting
+    @property
+    def stall_rejections(self) -> int:
+        return self._stall_rejections.value
+
+    @property
+    def protocol_errors(self) -> int:
+        return self._protocol_errors.value
+
+    @property
+    def connections_opened(self) -> int:
+        return self._conns_opened.value
+
+    @property
+    def connections_closed(self) -> int:
+        return self._conns_closed.value
+
     @property
     def active_connections(self) -> int:
         return self.connections_opened - self.connections_closed
 
     def total_requests(self) -> int:
-        with self._lock:
-            return sum(op.requests for op in self.per_op.values())
+        return sum(op.requests for op in self.per_op.values())
 
     def op(self, opcode: int) -> OpMetrics:
         return self.per_op[opcode]
 
     def snapshot(self) -> dict:
         """A JSON-serialisable dict of everything (STATS opcode body)."""
-        with self._lock:
-            return {
-                "ops": {
-                    OPCODE_NAMES[opcode]: op.snapshot()
-                    for opcode, op in self.per_op.items()
-                    if op.requests
-                },
-                "stall_rejections": self.stall_rejections,
-                "protocol_errors": self.protocol_errors,
-                "connections_opened": self.connections_opened,
-                "connections_closed": self.connections_closed,
-                "active_connections": self.connections_opened
-                - self.connections_closed,
-            }
+        return {
+            "ops": {
+                OPCODE_NAMES[opcode]: op.snapshot()
+                for opcode, op in self.per_op.items()
+                if op.requests
+            },
+            "stall_rejections": self.stall_rejections,
+            "protocol_errors": self.protocol_errors,
+            "connections_opened": self.connections_opened,
+            "connections_closed": self.connections_closed,
+            "active_connections": self.active_connections,
+        }
 
     def render(self) -> str:
         """Human-readable one-opcode-per-line summary."""

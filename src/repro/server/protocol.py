@@ -38,7 +38,6 @@ compaction pause explicitly and can back off.
 
 from __future__ import annotations
 
-import struct
 from dataclasses import dataclass
 from typing import Iterator, Optional
 

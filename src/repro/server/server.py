@@ -344,6 +344,7 @@ class KVServer:
                 "total_bytes": self.db.total_bytes(),
                 "write_stalled_now": self.db.picker.write_stall(self.db.version),
             },
+            "engine": self.db.obs.metrics.snapshot(),
         }
 
 

@@ -2,12 +2,17 @@
 
 Commands (all take a database directory):
 
-* ``stats <dir>``    — tree shape, per-level sizes, entry counts.
+* ``stats <dir>``    — tree shape, per-level sizes, entry counts,
+  plus the engine's I/O and block-cache counters for the session.
 * ``verify <dir>``   — full integrity check (exit code 1 on corruption).
 * ``repair <dir>``   — rebuild CURRENT/MANIFEST from salvageable tables.
 * ``dump <dir>``     — print live key/value pairs (optionally a range).
 * ``compact <dir>``  — run compactions until the tree is quiescent.
 * ``serve <dir>``    — expose the database over TCP (repro.server).
+* ``trace <out>``    — run a small in-memory YCSB load with tracing
+  enabled and write a Chrome trace-event JSON (Perfetto-loadable)
+  showing the S1–S7 compaction pipeline (takes an output path, not a
+  database directory).
 
 Engine options that affect on-disk interpretation (block checksum kind,
 compression) are format-self-describing, so the defaults work for any
@@ -71,6 +76,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="run compactions inline with writes instead of a "
              "background thread (no STALLED backpressure)",
     )
+
+    trc = sub.add_parser(
+        "trace",
+        help="run an in-memory YCSB load with span tracing and write "
+             "a Chrome trace-event JSON",
+    )
+    trc.add_argument("output", help="output trace file, e.g. trace.json")
+    trc.add_argument("--mix", default="a", help="YCSB mix (a/b/c/d/f)")
+    trc.add_argument("--ops", type=int, default=2000, help="ops after load")
+    trc.add_argument("--records", type=int, default=2000, help="loaded records")
+    trc.add_argument("--value-bytes", type=int, default=256)
+    trc.add_argument(
+        "--procedure", default="pcp", choices=["scp", "pcp", "sppcp", "cppcp"],
+        help="compaction procedure to trace (default pcp)",
+    )
+    trc.add_argument(
+        "--subtask-kb", type=int, default=8,
+        help="compaction sub-task granularity in KiB (small values "
+             "produce many pipelined sub-tasks per compaction)",
+    )
+    trc.add_argument(
+        "--gantt", action="store_true",
+        help="also print an ASCII gantt of the compaction spans",
+    )
     return parser
 
 
@@ -95,6 +124,10 @@ def cmd_stats(args) -> int:
         ]
         print("files per level:", " ".join(levels) or "(none)")
         print("live entries:", db.cursor().count())
+        print("io-stats (this session):")
+        for line in (db.get_property("io-stats") or "").splitlines():
+            print(f"  {line}")
+        print("cache-stats:", db.get_property("cache-stats"))
     finally:
         db.close()
     return 0
@@ -199,6 +232,60 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    from ..core.procedures import ProcedureSpec
+    from ..devices.vfs import MemStorage
+    from ..obs import Observability, Tracer, pipeline_overlap
+    from ..workload.ycsb import YCSBWorkload
+
+    spec_kw = {"subtask_bytes": args.subtask_kb * 1024}
+    if args.procedure in ("sppcp", "cppcp"):
+        spec_kw["k"] = 2
+    spec = getattr(ProcedureSpec, args.procedure)(**spec_kw)
+    # Tiny thresholds so a small load produces several multi-sub-task
+    # compactions (and therefore a visibly pipelined trace).
+    options = Options(
+        memtable_bytes=32 * 1024,
+        sstable_bytes=16 * 1024,
+        block_bytes=1024,
+        level1_bytes=64 * 1024,
+        level_multiplier=4,
+        block_cache_entries=64,
+    )
+    obs = Observability(tracer=Tracer(enabled=True))
+    workload = YCSBWorkload(
+        args.mix, args.ops, args.records, value_bytes=args.value_bytes
+    )
+    db = DB(MemStorage(), options, compaction_spec=spec, obs=obs)
+    try:
+        for key, value in workload.load_phase():
+            db.put(key, value)
+        workload.apply_to(db)
+        db.compact_range()
+    finally:
+        db.close()
+
+    n_events = obs.tracer.write_chrome_trace(args.output)
+    compactions = obs.tracer.spans(cat="compaction")
+    print(f"wrote {args.output}: {n_events} spans "
+          f"({len(compactions)} compactions, {obs.tracer.dropped} dropped)")
+    pair = pipeline_overlap(obs.tracer.spans())
+    if pair is not None:
+        r, c = pair
+        print(
+            f"pipeline overlap: {r.name} (subtask {r.args.get('subtask')}) "
+            f"overlaps {c.name} (subtask {c.args.get('subtask')}) "
+            f"for {min(r.end, c.end) - max(r.start, c.start):.6f}s"
+        )
+    else:
+        print("pipeline overlap: none observed "
+              "(expected for scp; rerun with --procedure pcp)")
+    if args.gantt:
+        print(obs.tracer.render_gantt())
+    print("load it at https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
 _COMMANDS = {
     "stats": cmd_stats,
     "verify": cmd_verify,
@@ -207,6 +294,7 @@ _COMMANDS = {
     "compact": cmd_compact,
     "sst": cmd_sst,
     "serve": cmd_serve,
+    "trace": cmd_trace,
 }
 
 

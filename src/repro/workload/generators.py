@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Iterator
+from typing import Iterator
 
 from .keys import KEY_WIDTH, sequential_keys, uniform_keys, zipfian_keys
 

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from .generators import ValueGenerator
-from .keys import KEY_WIDTH, ZipfGenerator, format_key
+from .keys import ZipfGenerator, format_key
 
 __all__ = ["Op", "YCSBWorkload", "YCSB_MIXES"]
 

@@ -1,6 +1,5 @@
 """Tests for per-operation latency accounting (write pauses)."""
 
-import pytest
 
 from repro.bench.latency import LatencyResult, run_latency_workload
 from repro.core import ProcedureSpec

@@ -11,7 +11,6 @@ import pytest
 
 from repro.core.procedures import ProcedureSpec, compact_tables
 from repro.core.steps import step_merge
-from repro.core.subtask import partition_subtasks
 from repro.devices import MemStorage
 from repro.lsm.ikey import (
     KIND_DELETE,

@@ -1,6 +1,5 @@
 """Tests for descending iteration (reverse scans)."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -8,7 +7,7 @@ from repro.db import DB
 from repro.devices import MemStorage
 from repro.lsm import Options
 from repro.lsm.blockfmt import Block, BlockBuilder
-from repro.lsm.ikey import KIND_VALUE, encode_internal_key, internal_compare
+from repro.lsm.ikey import KIND_VALUE, encode_internal_key
 from repro.lsm.memtable import MemTable
 from repro.lsm.table_builder import TableBuilder
 from repro.lsm.table_reader import Table

@@ -1,6 +1,5 @@
 """Tests for verify_db / repair_db and the streaming cursor."""
 
-import pytest
 
 from repro.db import DB, repair_db, verify_db
 from repro.db.manifest import CURRENT_NAME

@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 from repro.devices import (
     HDD,
     PAPER_HDD,
-    PAPER_SSD,
     RAID0,
     SSD,
     DiskArray,

@@ -125,7 +125,8 @@ class TestCorruption:
 
     def test_custom_comparator_ordering(self):
         # Reverse-order comparator accepts descending keys.
-        rev = lambda a, b: (a < b) - (a > b)
+        def rev(a, b):
+            return (a < b) - (a > b)
         builder = BlockBuilder(4, compare=rev)
         keys = [b"c", b"b", b"a"]
         for k in keys:

@@ -19,7 +19,7 @@ from repro.lsm.table_builder import (
     shortest_separator,
     shortest_successor,
 )
-from repro.lsm.table_format import Footer, TableCorruption
+from repro.lsm.table_format import TableCorruption
 from repro.lsm.table_reader import Table
 
 

@@ -179,10 +179,8 @@ class TestWALMemtableIntegration:
 
         s = MemStorage()
         writer = LogWriter(s.create("wal"))
-        seq = 0
         for i in range(10):
             batch = WriteBatch().put(b"key-%d" % i, b"val-%d" % i)
-            seq += 0  # batches get sequence assigned by writer side
             writer.add_record(batch.encode(i * 2 + 1))
         writer.close()
 

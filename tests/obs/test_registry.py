@@ -1,0 +1,127 @@
+"""Unit tests for the shared metrics registry (repro.obs)."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    LatencyHistogram,
+    MetricsRegistry,
+)
+
+
+class TestCounterGauge:
+    def test_counter_increments(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge()
+        gauge.set(3.5)
+        gauge.add(-1.5)
+        assert gauge.value == 2.0
+
+
+class TestHistogram:
+    def test_empty(self):
+        histogram = Histogram()
+        assert histogram.percentile(50) == 0.0
+        assert histogram.mean() == 0.0
+        assert histogram.snapshot() == {"count": 0}
+
+    def test_percentiles_bracketed(self):
+        histogram = Histogram()
+        for i in range(1, 101):
+            histogram.record(i / 1000.0)
+        p50, p99 = histogram.percentile(50), histogram.percentile(99)
+        assert 0.001 <= p50 <= p99 <= 0.100
+        assert abs(p50 - 0.050) / 0.050 < 0.15  # bucket tolerance
+
+    def test_custom_grid(self):
+        # Byte-size histogram: 1 B .. 1 GiB-ish.
+        histogram = Histogram(lo=1.0, hi=1e9, buckets_per_decade=8)
+        histogram.record(4096)
+        snap = histogram.snapshot()
+        assert snap["count"] == 1
+        assert snap["min"] == snap["max"] == 4096
+
+    def test_latency_histogram_ms_snapshot(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.002)
+        snap = histogram.snapshot()
+        assert snap["count"] == 1
+        assert snap["min_ms"] == pytest.approx(2.0)
+        assert histogram.min_s == histogram.max_s == 0.002
+        assert histogram.sum_s == pytest.approx(0.002)
+
+
+class TestMetricsRegistry:
+    def test_same_name_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a.b") is registry.counter("a.b")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.histogram("x")
+
+    def test_latency_histogram_is_histogram_subkind(self):
+        registry = MetricsRegistry()
+        registry.latency_histogram("lat")
+        # A plain-histogram request for the same name must not silently
+        # hand back the ms-keyed variant.
+        with pytest.raises(ValueError):
+            registry.counter("lat")
+
+    def test_snapshot_groups_by_kind(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(7)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").record(0.5)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"c": 7}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_items_with_prefix(self):
+        registry = MetricsRegistry()
+        registry.counter("io.mem.read.ops").inc()
+        registry.counter("io.mem.write.ops").inc()
+        registry.counter("wal.records").inc()
+        names = [name for name, _ in registry.items_with_prefix("io.")]
+        assert names == ["io.mem.read.ops", "io.mem.write.ops"]
+
+    def test_render_mentions_every_metric(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.histogram("h")
+        text = registry.render()
+        assert "c" in text and "h" in text and "(empty)" in text
+
+    def test_concurrent_increments_are_exact(self):
+        registry = MetricsRegistry()
+        n_threads, n_incs = 8, 5000
+
+        def work():
+            counter = registry.counter("hot")
+            histogram = registry.histogram("lat")
+            for _ in range(n_incs):
+                counter.inc()
+                histogram.record(0.001)
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert registry.counter("hot").value == n_threads * n_incs
+        assert registry.histogram("lat").count == n_threads * n_incs

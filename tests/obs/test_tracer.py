@@ -1,0 +1,149 @@
+"""Unit tests for the span tracer and Chrome trace export."""
+
+import json
+import time
+
+from repro.obs import NULL_TRACER, Span, Tracer, pipeline_overlap
+
+
+def make_span(name, cat, start, end, subtask=None, thread="t", tid=1):
+    args = {} if subtask is None else {"subtask": subtask}
+    return Span(name=name, cat=cat, start=start, end=end,
+                thread=thread, tid=tid, args=args)
+
+
+class TestTracer:
+    def test_span_records_interval(self):
+        tracer = Tracer()
+        with tracer.span("work", cat="compute", subtask=3):
+            time.sleep(0.001)
+        (span,) = tracer.spans()
+        assert span.name == "work"
+        assert span.cat == "compute"
+        assert span.args == {"subtask": 3}
+        assert span.duration >= 0.001
+        assert span.tid != 0
+
+    def test_nested_spans_are_contained(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.spans()  # inner exits (and records) first
+        assert inner.name == "inner" and outer.name == "outer"
+        assert outer.start <= inner.start <= inner.end <= outer.end
+
+    def test_disabled_tracer_is_noop(self):
+        tracer = Tracer(enabled=False)
+        first = tracer.span("a", cat="x", k=1)
+        second = tracer.span("b")
+        assert first is second  # shared null span: no allocation
+        with first:
+            pass
+        assert len(tracer) == 0
+        tracer.add_complete("c", 0.0, 1.0)
+        assert len(tracer) == 0
+        assert len(NULL_TRACER) == 0
+
+    def test_disabled_span_overhead_is_small(self):
+        # Loose sanity bound: 100k no-op spans should be near-free.
+        tracer = Tracer(enabled=False)
+        t0 = time.perf_counter()
+        for _ in range(100_000):
+            with tracer.span("hot", cat="x", subtask=1):
+                pass
+        assert time.perf_counter() - t0 < 1.0
+        assert len(tracer) == 0
+
+    def test_add_complete_attribution(self):
+        tracer = Tracer()
+        tracer.add_complete(
+            "remote", 1.0, 2.5, cat="compute", thread="mp-pool", tid=99,
+            subtask=4,
+        )
+        (span,) = tracer.spans()
+        assert (span.thread, span.tid) == ("mp-pool", 99)
+        assert span.duration == 1.5
+
+    def test_max_spans_keeps_oldest(self):
+        tracer = Tracer(max_spans=3)
+        for i in range(5):
+            tracer.add_complete(f"s{i}", i, i + 1)
+        assert len(tracer) == 3
+        assert tracer.dropped == 2
+        assert [s.name for s in tracer.spans()] == ["s0", "s1", "s2"]
+        tracer.clear()
+        assert len(tracer) == 0 and tracer.dropped == 0
+
+    def test_spans_filter_by_category(self):
+        tracer = Tracer()
+        tracer.add_complete("a", 0, 1, cat="read")
+        tracer.add_complete("b", 1, 2, cat="write")
+        assert [s.name for s in tracer.spans(cat="read")] == ["a"]
+
+
+class TestChromeTraceExport:
+    def test_round_trip_is_valid_chrome_trace(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("S1:read", cat="read", subtask=0):
+            pass
+        tracer.add_complete("S4:merge", 0.001, 0.002, cat="compute",
+                            thread="worker", tid=7, subtask=1)
+        path = tmp_path / "out.json"
+        n = tracer.write_chrome_trace(str(path))
+        assert n == 2
+
+        trace = json.loads(path.read_text())
+        assert trace["displayTimeUnit"] == "ms"
+        events = trace["traceEvents"]
+        x_events = [e for e in events if e["ph"] == "X"]
+        m_events = [e for e in events if e["ph"] == "M"]
+        assert len(x_events) == 2
+        for event in x_events:
+            for key in ("name", "cat", "pid", "tid", "ts", "dur", "args"):
+                assert key in event
+            assert event["dur"] >= 0
+        # One thread_name metadata record per distinct tid.
+        assert {e["tid"] for e in m_events} == {e["tid"] for e in x_events}
+        named = {e["tid"]: e["args"]["name"] for e in m_events}
+        assert named[7] == "worker"
+
+    def test_gantt_render(self):
+        tracer = Tracer()
+        tracer.add_complete("S1:read", 0.0, 1.0, cat="read", subtask=0)
+        tracer.add_complete("S4:merge", 1.0, 2.0, cat="compute", subtask=0)
+        tracer.add_complete("S7:write", 2.0, 3.0, cat="write", subtask=0)
+        text = tracer.render_gantt(width=30)
+        assert "read" in text and "compute" in text and "write" in text
+        assert "busy:" in text
+
+
+class TestPipelineOverlap:
+    def test_detects_cross_subtask_overlap(self):
+        spans = [
+            make_span("S1:read", "read", 0.0, 1.0, subtask=0),
+            make_span("S4:merge", "compute", 0.5, 1.5, subtask=0),
+            make_span("S1:read", "read", 1.2, 2.0, subtask=1),
+        ]
+        # read(1) overlaps compute(0): different sub-tasks.
+        pair = pipeline_overlap(spans)
+        assert pair is not None
+        read, compute = pair
+        assert read.args["subtask"] == 1
+        assert compute.args["subtask"] == 0
+
+    def test_same_subtask_overlap_does_not_count(self):
+        spans = [
+            make_span("S1:read", "read", 0.0, 1.0, subtask=0),
+            make_span("S4:merge", "compute", 0.5, 1.5, subtask=0),
+        ]
+        assert pipeline_overlap(spans) is None
+
+    def test_sequential_schedule_has_no_overlap(self):
+        spans = [
+            make_span("S1:read", "read", 0.0, 1.0, subtask=0),
+            make_span("S4:merge", "compute", 1.0, 2.0, subtask=0),
+            make_span("S1:read", "read", 2.0, 3.0, subtask=1),
+            make_span("S4:merge", "compute", 3.0, 4.0, subtask=1),
+        ]
+        assert pipeline_overlap(spans) is None

@@ -3,7 +3,7 @@
 import io
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.db import DB
