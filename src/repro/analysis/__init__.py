@@ -1,0 +1,55 @@
+"""Concurrency-invariant static analysis + dynamic lock-order sanitizer.
+
+The pipelined compaction design (Eq. 2: ``B_pcp = l / max(t1, Σt2..6,
+t7)``) moves every correctness property of this repo into threading
+code: the PCP backends' queue handoffs, the DB's stall/flush locking,
+the asyncio server's backpressure.  Generic linters cannot see an
+un-context-managed ``Lock.acquire()``, a lock-order inversion against
+the DB mutex, or a wall-clock ``time.time()`` duration in span code —
+so this package checks those invariants itself, two ways:
+
+* **Static** (:mod:`repro.analysis.engine`, :mod:`repro.analysis.rules`)
+  — an AST lint engine with repo-specific RA1xx rules, ``# repro:
+  noqa[CODE]`` suppression, and text/JSON reporters.  Run it with
+  ``python -m repro.analysis <paths>`` or ``dbtool analyze``.
+* **Dynamic** (:mod:`repro.analysis.locksan`) — an :class:`OrderedLock`
+  wrapper that feeds a process-wide lock-order graph with cycle
+  detection.  Enable with ``REPRO_LOCK_SANITIZER=1`` and the test
+  suite doubles as a deadlock detector for the real engine locks.
+
+See ``docs/ANALYSIS.md`` for the rule catalogue.
+"""
+
+from .engine import Finding, check_paths, check_source, iter_python_files
+from .locksan import (
+    LOCK_SANITIZER_ENV,
+    LockGraph,
+    LockOrderViolation,
+    OrderedLock,
+    global_graph,
+    make_lock,
+    make_rlock,
+    sanitizer_enabled,
+)
+from .report import render_json, render_text
+from .rules import Rule, all_rules, get_rule
+
+__all__ = [
+    "Finding",
+    "LOCK_SANITIZER_ENV",
+    "LockGraph",
+    "LockOrderViolation",
+    "OrderedLock",
+    "Rule",
+    "all_rules",
+    "check_paths",
+    "check_source",
+    "get_rule",
+    "global_graph",
+    "iter_python_files",
+    "make_lock",
+    "make_rlock",
+    "render_json",
+    "render_text",
+    "sanitizer_enabled",
+]

@@ -1,0 +1,73 @@
+"""``python -m repro.analysis <paths>`` — run the RA rules, exit 1 on findings.
+
+Mirrored by ``dbtool analyze``.  ``--select`` narrows to specific
+codes, ``--format json`` emits the machine report, ``--list-rules``
+prints the catalogue.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from .engine import check_paths
+from .report import render_json, render_text
+from .rules import all_rules
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Concurrency-invariant static analysis for the pipelined-"
+            "compaction stack (RA1xx rules; see docs/ANALYSIS.md)."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="files or directories to analyze"
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (default text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.summary}")
+        return 0
+    if not args.paths:
+        build_parser().error("no paths given (or use --list-rules)")
+    rules = all_rules()
+    if args.select:
+        wanted = {code.strip().upper() for code in args.select.split(",")}
+        unknown = wanted - {rule.code for rule in rules}
+        if unknown:
+            build_parser().error(f"unknown rule code(s): {sorted(unknown)}")
+        rules = [rule for rule in rules if rule.code in wanted]
+    findings = check_paths(args.paths, rules=rules)
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,42 @@
+"""Finding reporters: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from .engine import Finding
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """One ``path:line:col CODE message`` line per finding + summary."""
+    if not findings:
+        return "no findings"
+    lines = [
+        f"{finding.location()} {finding.code} {finding.message}"
+        for finding in findings
+    ]
+    by_code: dict[str, int] = {}
+    for finding in findings:
+        by_code[finding.code] = by_code.get(finding.code, 0) + 1
+    summary = " ".join(f"{code}={n}" for code, n in sorted(by_code.items()))
+    lines.append(f"{len(findings)} finding(s): {summary}")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """JSON document: finding list plus per-code counts."""
+    by_code: dict[str, int] = {}
+    for finding in findings:
+        by_code[finding.code] = by_code.get(finding.code, 0) + 1
+    return json.dumps(
+        {
+            "findings": [finding.as_dict() for finding in findings],
+            "counts": by_code,
+            "total": len(findings),
+        },
+        indent=2,
+        sort_keys=True,
+    )

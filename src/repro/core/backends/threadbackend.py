@@ -22,6 +22,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from ...analysis.locksan import make_lock
 from ...codec.checksum import Checksummer
 from ...codec.compress import Codec
 from ...lsm.table_sink import EncodedBlock, TableSink
@@ -188,8 +189,8 @@ def execute_pipelined(
     q1: queue.Queue = queue.Queue(maxsize=queue_capacity)
     q2: queue.Queue = queue.Queue(maxsize=queue_capacity)
     errors: list[BaseException] = []
-    error_lock = threading.Lock()
-    stage_lock = threading.Lock()
+    error_lock = make_lock("pcp.errors")
+    stage_lock = make_lock("pcp.stage_stats")
 
     def fail(exc: BaseException) -> None:
         with error_lock:

@@ -22,9 +22,11 @@ from __future__ import annotations
 
 import json
 import threading
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
+from ..analysis.locksan import make_lock, make_rlock
 from ..core.procedures import ProcedureSpec, compact_tables
 from ..devices.vfs import MeteredStorage, Storage
 from ..lsm.cache import LRUCache
@@ -129,8 +131,11 @@ class DB:
         #: ring of recent compaction records (dicts); see _record_compaction.
         self.compaction_log: list[dict] = []
         self._compaction_log_cap = 64
-        self._lock = threading.RLock()
-        self._file_number_lock = threading.Lock()
+        # Lock-sanitizer-aware factories: plain primitives normally,
+        # OrderedLock under REPRO_LOCK_SANITIZER=1 (see repro.analysis).
+        # The mutex also guards the version set and manifest.
+        self._lock = make_rlock("db.mutex")
+        self._file_number_lock = make_lock("db.file_number")
         self._cache = LRUCache(
             self.options.block_cache_entries, metrics=self.obs.metrics
         )
@@ -233,6 +238,19 @@ class DB:
             )
             self._tables[meta.number] = table
         return table
+
+    @contextmanager
+    def _unlocked(self):
+        """Release the DB mutex around a region, re-acquiring after.
+
+        Used by the background compactor so foreground writes proceed
+        during the merge; the caller must hold the lock exactly once.
+        """
+        self._lock.release()
+        try:
+            yield
+        finally:
+            self._lock.acquire()
 
     def _check_open(self) -> None:
         if self._closed:
@@ -454,9 +472,7 @@ class DB:
         drop_deletes = self._can_drop_deletes(task)
         smallest_snapshot = self._smallest_snapshot()
 
-        if unlock:
-            self._lock.release()
-        try:
+        with self._unlocked() if unlock else nullcontext():
             t0 = time.perf_counter()
             outputs, stats, subtasks = compact_tables(
                 tables,
@@ -469,9 +485,6 @@ class DB:
                 tracer=self.obs.tracer,
             )
             elapsed = time.perf_counter() - t0
-        finally:
-            if unlock:
-                self._lock.acquire()
 
         edit = VersionEdit(
             next_file_number=self._next_file, last_sequence=self._sequence

@@ -12,10 +12,10 @@ account virtual time).
 from __future__ import annotations
 
 import os
-import threading
 from abc import ABC, abstractmethod
 from typing import Optional
 
+from ..analysis.locksan import make_lock
 from .base import Device
 
 __all__ = [
@@ -163,7 +163,7 @@ class MemStorage(Storage):
 
     def __init__(self) -> None:
         self._files: dict[str, bytes] = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock("vfs.memstorage")
 
     def create(self, name: str) -> WritableFile:
         with self._lock:

@@ -9,9 +9,10 @@ background compaction thread.
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from typing import Any, Hashable, Optional
+
+from ..analysis.locksan import make_lock
 
 __all__ = ["LRUCache", "CacheStats"]
 
@@ -47,7 +48,7 @@ class LRUCache:
             raise ValueError(f"capacity must be >= 0, got {capacity}")
         self.capacity = capacity
         self._map: OrderedDict[Hashable, Any] = OrderedDict()
-        self._lock = threading.Lock()
+        self._lock = make_lock("lsm.cache")
         self.stats = CacheStats()
         self._m_hits = metrics.counter("cache.hits") if metrics else None
         self._m_misses = metrics.counter("cache.misses") if metrics else None

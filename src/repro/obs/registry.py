@@ -31,6 +31,8 @@ import math
 import threading
 from typing import Iterator, Optional
 
+from ..analysis.locksan import make_lock
+
 __all__ = [
     "Counter",
     "Gauge",
@@ -223,7 +225,9 @@ class MetricsRegistry:
     """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        # Instrumented under the lock sanitizer; the per-metric locks
+        # stay raw — they are leaves, never held across another acquire.
+        self._lock = make_lock("obs.registry")
         self._metrics: dict[str, object] = {}
 
     def _get_or_create(self, name: str, factory, kind: type):

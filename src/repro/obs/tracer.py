@@ -28,6 +28,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from ..analysis.locksan import make_lock
+
 __all__ = ["Span", "Tracer", "NULL_TRACER", "pipeline_overlap"]
 
 
@@ -109,7 +111,7 @@ class Tracer:
         self.dropped = 0
         self._clock = time.perf_counter
         self._epoch = self._clock()
-        self._lock = threading.Lock()
+        self._lock = make_lock("obs.tracer")
         self._spans: list[Span] = []
 
     # ------------------------------------------------------- recording

@@ -472,7 +472,7 @@ class AsyncClient:
         self._writer.close()
         try:
             await self._writer.wait_closed()
-        except (ConnectionError, OSError):  # pragma: no cover
+        except OSError:  # pragma: no cover - covers ConnectionError
             pass
 
     async def __aenter__(self) -> "AsyncClient":

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import logging
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -48,6 +49,8 @@ from .metrics import ServerMetrics
 from . import protocol as P
 
 __all__ = ["ServerConfig", "KVServer", "ServerThread", "serve_forever"]
+
+_log = logging.getLogger("repro.server")
 
 
 @dataclass
@@ -174,7 +177,7 @@ class KVServer:
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionError, OSError):
+            except OSError:  # covers ConnectionError
                 pass
             self.metrics.connection_closed()
             self._conn_tasks.discard(task)
@@ -218,13 +221,14 @@ class KVServer:
             try:
                 frame = await task
             except Exception:  # pragma: no cover - handler is total
+                _log.exception("request task failed outside the handler")
                 continue
             if broken:
                 continue
             try:
                 writer.write(frame)
                 await writer.drain()
-            except (ConnectionError, OSError):
+            except OSError:  # covers ConnectionError
                 broken = True
 
     # ----------------------------------------------------------- dispatch

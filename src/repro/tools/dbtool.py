@@ -13,6 +13,8 @@ Commands (all take a database directory):
   enabled and write a Chrome trace-event JSON (Perfetto-loadable)
   showing the S1–S7 compaction pipeline (takes an output path, not a
   database directory).
+* ``analyze [paths]`` — run the repo's concurrency-invariant static
+  rules (``repro.analysis``) over source paths; exit 1 on findings.
 
 Engine options that affect on-disk interpretation (block checksum kind,
 compression) are format-self-describing, so the defaults work for any
@@ -99,6 +101,24 @@ def build_parser() -> argparse.ArgumentParser:
     trc.add_argument(
         "--gantt", action="store_true",
         help="also print an ASCII gantt of the compaction spans",
+    )
+
+    ana = sub.add_parser(
+        "analyze",
+        help="run the RA1xx concurrency-invariant static rules "
+             "(mirrors `python -m repro.analysis`)",
+    )
+    ana.add_argument(
+        "paths", nargs="*", default=["."],
+        help="files or directories to analyze (default: .)",
+    )
+    ana.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format (default text)",
+    )
+    ana.add_argument(
+        "--select", metavar="CODES", default=None,
+        help="comma-separated rule codes to run (default: all)",
     )
     return parser
 
@@ -286,6 +306,16 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_analyze(args) -> int:
+    from ..analysis.cli import main as analysis_main
+
+    argv = list(args.paths)
+    argv += ["--format", args.format]
+    if args.select:
+        argv += ["--select", args.select]
+    return analysis_main(argv)
+
+
 _COMMANDS = {
     "stats": cmd_stats,
     "verify": cmd_verify,
@@ -295,6 +325,7 @@ _COMMANDS = {
     "sst": cmd_sst,
     "serve": cmd_serve,
     "trace": cmd_trace,
+    "analyze": cmd_analyze,
 }
 
 

@@ -328,7 +328,7 @@ class TestBackgroundMode:
                     db.get(b"key-%08d" % (i % 1000))
                     i += 1
 
-            t = threading.Thread(target=reader)
+            t = threading.Thread(target=reader, name="db-reader")
             t.start()
             try:
                 fill(db, 3000)

@@ -101,7 +101,10 @@ class TestLRU:
             except Exception as exc:  # pragma: no cover
                 errors.append(exc)
 
-        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        threads = [
+            threading.Thread(target=worker, args=(t,), name=f"cache-worker-{t}")
+            for t in range(4)
+        ]
         for t in threads:
             t.start()
         for t in threads:

@@ -118,7 +118,10 @@ class TestMetricsRegistry:
                 counter.inc()
                 histogram.record(0.001)
 
-        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        threads = [
+            threading.Thread(target=work, name=f"metrics-worker-{i}")
+            for i in range(n_threads)
+        ]
         for t in threads:
             t.start()
         for t in threads:
