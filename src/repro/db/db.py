@@ -28,7 +28,8 @@ from typing import Iterator, Optional
 
 from ..analysis.locksan import make_lock, make_rlock
 from ..core.procedures import ProcedureSpec, compact_tables
-from ..devices.vfs import MeteredStorage, Storage
+from ..devices.faults import TransientIOError, find_faulty
+from ..devices.vfs import MeteredStorage, Storage, StorageError
 from ..lsm.cache import LRUCache
 from ..lsm.ikey import (
     KIND_DELETE,
@@ -40,6 +41,7 @@ from ..lsm.memtable import MemTable
 from ..lsm.options import Options
 from ..lsm.picker import CompactionPicker, CompactionTask
 from ..lsm.table_builder import TableBuilder
+from ..lsm.table_format import TableCorruption
 from ..lsm.table_reader import Table
 from ..lsm.version import FileMetaData, sstable_name
 from ..lsm.wal import LogReader, LogWriter, WriteBatch
@@ -123,6 +125,14 @@ class DB:
         if not isinstance(storage, MeteredStorage):
             storage = MeteredStorage(storage, self.obs.metrics)
         self.storage = storage
+        # A fault injector anywhere in the wrapper chain gets its
+        # injection counts mirrored into this DB's metrics, and its
+        # crash points fired from the engine's commit protocol.
+        self._faulty = find_faulty(storage)
+        if self._faulty is not None:
+            self._faulty.attach_metrics(self.obs.metrics)
+        #: storage names of quarantined (renamed-aside) corrupt tables.
+        self._quarantined: list[str] = []
         self.options = options or Options()
         self.options.validate()
         self.compaction_spec = compaction_spec or ProcedureSpec.scp()
@@ -156,7 +166,7 @@ class DB:
         self._sequence = last_seq
         self.picker = CompactionPicker(self.options)
         self.memtable = MemTable(seed=0)
-        old_wal = self._replay_wal(log_number)
+        self._replay_wal(log_number)
         if len(self.memtable):
             # Recovered writes must become durable *now*: a second
             # crash before any flush would otherwise lose them (the old
@@ -182,8 +192,9 @@ class DB:
             boot.add_file(level, meta)
         self._manifest.append(boot, sync=True)
         set_current(self.storage, manifest_name)
-        if old_wal is not None:
-            self.storage.delete(old_wal)
+        # Recovered state is durable under the new manifest; everything
+        # a crash may have left behind is now garbage (or quarantine).
+        self._startup_gc()
 
         # -- background compaction --------------------------------------
         self._background = background
@@ -209,23 +220,72 @@ class DB:
             self._next_file += 1
             return n
 
-    def _replay_wal(self, log_number: Optional[int]) -> Optional[str]:
+    def _replay_wal(self, log_number: Optional[int]) -> None:
         """Replay the recovered WAL into the memtable.
 
-        Returns the WAL's file name (for deferred deletion after the
-        recovered state is durable elsewhere), or None.
+        The old WAL file itself is retired later by :meth:`_startup_gc`
+        once the recovered state is durable elsewhere.  A torn tail
+        (crash mid-append) is tolerated and counted in
+        ``recovery.wal_torn_tail``.
         """
         if log_number is None:
-            return None
+            return
         name = self._wal_name(log_number)
         if not self.storage.exists(name):
-            return None
-        for record in LogReader(self.storage.open(name)):
+            return
+        reader = LogReader(self.storage.open(name))
+        records = 0
+        for record in reader:
             batch, base_seq = WriteBatch.decode(record)
             for offset, (kind, key, value) in enumerate(batch):
                 self.memtable.add(base_seq + offset, kind, key, value)
             self._sequence = max(self._sequence, base_seq + len(batch) - 1)
-        return name
+            records += 1
+        self.obs.metrics.counter("recovery.wal_records").inc(records)
+        if reader.torn_tail:
+            self.obs.metrics.counter("recovery.wal_torn_tail").inc()
+
+    def _safe_delete(self, name: str) -> None:
+        try:
+            self.storage.delete(name)
+        except StorageError:  # already gone / injected fault: best-effort
+            pass
+
+    def _startup_gc(self) -> None:
+        """Post-recovery janitor pass (see docs/RECOVERY.md).
+
+        Runs after the fresh manifest is committed and CURRENT swapped,
+        so every file the new version does not reference is garbage
+        from an earlier crash: orphan ``*.tmp`` (torn CURRENT swap),
+        superseded ``MANIFEST-*``, retired/stray ``*.log``, and
+        ``*.sst`` outputs whose install never committed.  Quarantined
+        tables (``*.quarantined``) are kept and surfaced via
+        ``get_property("quarantine")``.
+        """
+        metrics = self.obs.metrics
+        referenced = {meta.name for _lv, meta in self.version.all_files()}
+        current_wal = self._wal_name(self._wal_number)
+        for name in self.storage.list():
+            if name.endswith(".quarantined"):
+                self._quarantined.append(name)
+                metrics.counter("recovery.quarantine_found").inc()
+            elif name.endswith(".tmp"):
+                self._safe_delete(name)
+                metrics.counter("recovery.tmp_removed").inc()
+            elif name.startswith("MANIFEST-") and name != self._manifest.name:
+                self._safe_delete(name)
+                metrics.counter("recovery.manifests_removed").inc()
+            elif name.endswith(".log") and name != current_wal:
+                self._safe_delete(name)
+                metrics.counter("recovery.logs_removed").inc()
+            elif name.endswith(".sst") and name not in referenced:
+                self._safe_delete(name)
+                metrics.counter("recovery.orphans_removed").inc()
+
+    def _crash_point(self, name: str) -> None:
+        """Fire a named fault-injection crash point (no-op normally)."""
+        if self._faulty is not None:
+            self._faulty.crash_point(name)
 
     def _open_table(self, meta: FileMetaData) -> Table:
         table = self._tables.get(meta.number)
@@ -277,9 +337,11 @@ class DB:
             base_seq = self._sequence + 1
             self._sequence += len(batch)
             encoded = batch.encode(base_seq)
+            self._crash_point("wal.append")
             self._wal.add_record(encoded)
             self._batches_since_sync += 1
             if self._sync_every and self._batches_since_sync >= self._sync_every:
+                self._crash_point("wal.sync")
                 self._wal.sync()
                 self._batches_since_sync = 0
             for offset, (kind, key, value) in enumerate(batch):
@@ -344,6 +406,7 @@ class DB:
         t0 = time.perf_counter()
         with self.obs.tracer.span("flush", cat="flush"):
             meta = self._build_table_from_memtable()
+            self._crash_point("flush.table_written")
             number = meta.number
             # Switch WAL before publishing the flush.
             old_wal_number = self._wal_number
@@ -359,6 +422,7 @@ class DB:
                 last_sequence=self._sequence,
             ).add_file(0, meta)
             self._apply_edit(edit)
+            self._crash_point("flush.installed")
             self.storage.delete(self._wal_name(old_wal_number))
             self.memtable = MemTable(seed=number)
         self.stats.flushes += 1
@@ -378,7 +442,13 @@ class DB:
             self._after_shape_change()
 
     def _apply_edit(self, edit: VersionEdit) -> None:
-        self._manifest.append(edit)
+        # Synced: an edit that deletes a WAL's data (flush) or an
+        # input table (compaction) must be durable before the caller
+        # removes those files, or a power cut loses acknowledged
+        # writes.  Edits are rare (per flush/compaction), so the fsync
+        # is cheap relative to the work that produced them.
+        self._crash_point("manifest.append")
+        self._manifest.append(edit, sync=True)
         edit.apply(self.version)
 
     def _after_shape_change(self) -> None:
@@ -467,25 +537,56 @@ class DB:
         upper = list(task.inputs_upper)
         if task.level == 0:
             upper.sort(key=lambda m: m.number, reverse=True)
-        tables = [self._open_table(m) for m in upper]
-        tables += [self._open_table(m) for m in task.inputs_lower]
         drop_deletes = self._can_drop_deletes(task)
         smallest_snapshot = self._smallest_snapshot()
 
-        with self._unlocked() if unlock else nullcontext():
-            t0 = time.perf_counter()
-            outputs, stats, subtasks = compact_tables(
-                tables,
-                self.storage,
-                self.options,
-                file_namer=lambda: sstable_name(self._new_file_number()),
-                spec=self.compaction_spec,
-                drop_deletes=drop_deletes,
-                smallest_snapshot=smallest_snapshot,
-                tracer=self.obs.tracer,
-            )
-            elapsed = time.perf_counter() - t0
+        # Transient I/O errors get bounded retries with exponential
+        # backoff; corrupt inputs are quarantined and the task aborts
+        # gracefully (the tree shrinks by the damaged table instead of
+        # the DB wedging).  File numbers are never reused, so partial
+        # outputs of a failed attempt are swept by number range.
+        attempt = 0
+        while True:
+            first_number = self._next_file
+            try:
+                tables = [self._open_table(m) for m in upper]
+                tables += [self._open_table(m) for m in task.inputs_lower]
+                with self._unlocked() if unlock else nullcontext():
+                    t0 = time.perf_counter()
+                    outputs, stats, subtasks = compact_tables(
+                        tables,
+                        self.storage,
+                        self.options,
+                        file_namer=lambda: sstable_name(self._new_file_number()),
+                        spec=self.compaction_spec,
+                        drop_deletes=drop_deletes,
+                        smallest_snapshot=smallest_snapshot,
+                        tracer=self.obs.tracer,
+                    )
+                    elapsed = time.perf_counter() - t0
+                break
+            except TransientIOError:
+                self._gc_partial_outputs(first_number)
+                if attempt >= self.options.compaction_retries:
+                    self.obs.metrics.counter("compaction.failures").inc()
+                    raise
+                attempt += 1
+                self.obs.metrics.counter("compaction.retries").inc()
+                delay = self.options.compaction_retry_backoff_s * (
+                    2 ** (attempt - 1)
+                )
+                if delay > 0:
+                    with self._unlocked() if unlock else nullcontext():
+                        time.sleep(delay)
+            except TableCorruption as exc:
+                self._gc_partial_outputs(first_number)
+                if not self._quarantine_corrupt_inputs(task, exc):
+                    # No input is individually corrupt (e.g. damage in
+                    # an already-deleted cache entry): nothing to heal.
+                    raise
+                return
 
+        self._crash_point("compaction.outputs_written")
         edit = VersionEdit(
             next_file_number=self._next_file, last_sequence=self._sequence
         )
@@ -496,6 +597,7 @@ class DB:
         for meta in outputs:
             edit.add_file(task.output_level, meta)
         self._apply_edit(edit)
+        self._crash_point("compaction.installed")
         for meta in task.all_inputs():
             # Drop from the table cache but do NOT close: a concurrent
             # scan may still be streaming from the old file (POSIX
@@ -525,6 +627,64 @@ class DB:
         if self.observer is not None:
             self.observer.on_compaction(task, subtasks, stats)
 
+    def _gc_partial_outputs(self, first_number: int) -> None:
+        """Delete output files a failed compaction attempt left behind.
+
+        Caller holds the DB lock.  File numbers are monotonic and
+        never reused, so every ``*.sst`` numbered in
+        ``[first_number, next_file)`` that the version does not
+        reference is a partial output of the failed attempt (a
+        concurrent flush's table *is* referenced and survives).
+        """
+        referenced = {meta.number for _lv, meta in self.version.all_files()}
+        for number in range(first_number, self._next_file):
+            if number in referenced:
+                continue
+            name = sstable_name(number)
+            self._tables.pop(number, None)
+            if self.storage.exists(name):
+                self._safe_delete(name)
+
+    def _quarantine_corrupt_inputs(
+        self, task: CompactionTask, cause: Exception
+    ) -> bool:
+        """Rename corrupt input tables aside; returns True if any found.
+
+        Each input is re-verified individually (full iteration checks
+        every block checksum, bypassing caches); the damaged ones are
+        renamed to ``<name>.quarantined``, removed from the version via
+        a synced manifest edit, and reported through
+        ``get_property("quarantine")``.  The keys they held degrade to
+        older versions / absence — the DB keeps serving instead of
+        failing every future compaction of this range.
+        """
+        labelled = [(task.level, m) for m in task.inputs_upper]
+        labelled += [(task.output_level, m) for m in task.inputs_lower]
+        corrupt: list[tuple[int, FileMetaData]] = []
+        for level, meta in labelled:
+            try:
+                table = Table(self.storage.open(meta.name), self.options)
+                for _ikey, _value in table:
+                    pass
+                table.close()
+            except Exception:
+                corrupt.append((level, meta))
+        if not corrupt:
+            return False
+        edit = VersionEdit(
+            next_file_number=self._next_file, last_sequence=self._sequence
+        )
+        for level, meta in corrupt:
+            quarantine_name = meta.name + ".quarantined"
+            self._tables.pop(meta.number, None)
+            self.storage.rename(meta.name, quarantine_name)
+            edit.delete_file(level, meta.number)
+            self._quarantined.append(quarantine_name)
+            self.obs.metrics.counter("compaction.quarantined").inc()
+        self._cache.clear()  # drop any cached blocks of the bad tables
+        self._apply_edit(edit)
+        return True
+
     def _background_loop(self) -> None:
         while True:
             with self._lock:
@@ -541,6 +701,11 @@ class DB:
                 self._compacting = True
                 try:
                     self._run_compaction(task, unlock=True)
+                except TransientIOError:
+                    # Retries exhausted ("compaction.failures" already
+                    # counted): keep the DB serving and try again on
+                    # the next wake instead of wedging permanently.
+                    self._bg_wake.wait(timeout=0.1)
                 except BaseException as exc:  # pragma: no cover - defensive
                     self._bg_error = exc
                     return
@@ -743,9 +908,11 @@ class DB:
         ``compaction-log`` (one line per recent compaction, newest
         last), ``metrics`` (the full :class:`repro.obs.MetricsRegistry`
         snapshot as JSON), ``io-stats`` (per-device read/write/sync
-        ops and bytes), and ``cache-stats`` (block-cache hit/miss/
-        eviction counts and hit rate).  Returns None for unknown
-        names; raises RuntimeError on a closed DB.
+        ops and bytes), ``cache-stats`` (block-cache hit/miss/
+        eviction counts and hit rate), and ``quarantine`` (one line
+        per corrupt table renamed aside by the self-healing compaction
+        path or found at recovery; ``(none)`` when clean).  Returns
+        None for unknown names; raises RuntimeError on a closed DB.
         """
         with self._lock:
             self._check_open()
@@ -788,6 +955,8 @@ class DB:
                 items = self.obs.metrics.items_with_prefix("io.")
                 lines = [f"{key}={metric.value}" for key, metric in items]
                 return "\n".join(lines) if lines else "(no io recorded)"
+            if name == "quarantine":
+                return "\n".join(self._quarantined) if self._quarantined else "(none)"
             if name == "cache-stats":
                 cs = self._cache.stats
                 return (

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..codec.varint import decode_varint64, encode_varint64
+from ..devices.faults import fire_crash_point
 from ..devices.vfs import Storage
 from ..lsm.options import Options
 from ..lsm.version import FileMetaData, Version
@@ -147,12 +148,20 @@ class ManifestWriter:
 
 
 def set_current(storage: Storage, manifest_name: str) -> None:
-    """Atomically point CURRENT at ``manifest_name``."""
+    """Atomically point CURRENT at ``manifest_name``.
+
+    Crash-atomic: the tmp file is synced *before* the rename, so a
+    power cut leaves either the old CURRENT (plus an orphan tmp the
+    recovery pass garbage-collects) or the fully-written new one —
+    never a dangling or empty CURRENT.
+    """
     tmp = CURRENT_NAME + ".tmp"
     with storage.create(tmp) as f:
         f.append(manifest_name.encode() + b"\n")
         f.sync()
+    fire_crash_point(storage, "current.tmp_written")
     storage.rename(tmp, CURRENT_NAME)
+    fire_crash_point(storage, "current.renamed")
 
 
 def read_current(storage: Storage) -> Optional[str]:

@@ -122,7 +122,22 @@ def verify_db(storage: Storage, options: Optional[Options] = None) -> VerifyRepo
     for name in storage.list():
         if name.endswith(".sst") and name not in registered:
             report.warn(f"orphaned table file {name}")
+        elif name.endswith(".quarantined"):
+            report.warn(f"quarantined table file {name}")
+        elif name.endswith(".tmp"):
+            report.warn(f"orphaned temp file {name}")
     return report
+
+
+def _table_verifies(storage: Storage, name: str, options: Options) -> bool:
+    """True when every block of ``name`` reads back clean."""
+    try:
+        table = Table(storage.open(name), options)
+        for _entry in table:
+            pass
+    except Exception:
+        return False
+    return True
 
 
 def repair_db(storage: Storage, options: Optional[Options] = None) -> dict:
@@ -130,7 +145,11 @@ def repair_db(storage: Storage, options: Optional[Options] = None) -> dict:
 
     Returns ``{"salvaged": [...], "dropped": [...]}``.  Existing
     manifest state is ignored entirely; every readable, fully-verifying
-    ``*.sst`` is re-registered at level 0.
+    ``*.sst`` is re-registered at level 0.  Quarantined tables
+    (``*.sst.quarantined``, renamed aside by the self-healing
+    compaction path) get a second chance: one that now verifies
+    cleanly is renamed back and salvaged; one that does not stays
+    aside and is listed in ``dropped``.
     """
     options = options or Options()
     salvaged: list[str] = []
@@ -138,6 +157,20 @@ def repair_db(storage: Storage, options: Optional[Options] = None) -> dict:
     version = Version(options)
     max_number = 0
     max_seq = 0
+
+    # Quarantine replay: re-admit any renamed-aside table that proves
+    # readable end to end (the damage may have been in lost cache
+    # state or a since-replaced medium).
+    for name in list(storage.list()):
+        if not name.endswith(".sst.quarantined"):
+            continue
+        original = name[: -len(".quarantined")]
+        if not storage.exists(original) and _table_verifies(
+            storage, name, options
+        ):
+            storage.rename(name, original)
+        else:
+            dropped.append(name)
 
     for name in storage.list():
         if not name.endswith(".sst"):

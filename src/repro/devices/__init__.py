@@ -1,6 +1,15 @@
 """Storage-device service-time models and the virtual filesystem."""
 
 from .base import AccessKind, Device, DeviceStats
+from .faults import (
+    CRASH_POINTS,
+    FaultPlan,
+    FaultyStorage,
+    SimulatedCrash,
+    TransientIOError,
+    corrupt_file,
+    fire_crash_point,
+)
 from .hdd import HDD, HDDSpec
 from .presets import DEVICE_PRESETS, PAPER_HDD, PAPER_SSD, make_device
 from .raid import RAID0, DiskArray
@@ -18,13 +27,20 @@ from .vfs import (
 
 __all__ = [
     "AccessKind",
+    "CRASH_POINTS",
     "DEVICE_PRESETS",
     "Device",
     "DeviceStats",
     "DiskArray",
+    "FaultPlan",
+    "FaultyStorage",
     "HDD",
     "HDDSpec",
     "MemStorage",
+    "SimulatedCrash",
+    "TransientIOError",
+    "corrupt_file",
+    "fire_crash_point",
     "MeteredStorage",
     "OSStorage",
     "PAPER_HDD",

@@ -37,6 +37,13 @@ class Options:
     # batches (0 = never sync; 1 = sync each batch).
     wal_sync_interval: int = 0
     paranoid_checks: bool = True
+    # Transient-I/O handling: a compaction hit by a retryable error
+    # (repro.devices.faults.TransientIOError) is re-run up to
+    # `compaction_retries` times with exponential backoff starting at
+    # `compaction_retry_backoff_s`; a *corrupt* input is never retried
+    # — it gets quarantined instead (see docs/RECOVERY.md).
+    compaction_retries: int = 3
+    compaction_retry_backoff_s: float = 0.01
 
     def max_bytes_for_level(self, level: int) -> float:
         """Size threshold of ``level`` (level 0 is count-triggered)."""
@@ -62,3 +69,7 @@ class Options:
             raise ValueError("bloom_bits_per_key out of range")
         if self.l0_stop_writes_trigger < self.l0_compaction_trigger:
             raise ValueError("l0 stop trigger below compaction trigger")
+        if self.compaction_retries < 0:
+            raise ValueError("compaction_retries must be >= 0")
+        if self.compaction_retry_backoff_s < 0:
+            raise ValueError("compaction_retry_backoff_s must be >= 0")

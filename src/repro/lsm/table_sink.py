@@ -140,6 +140,11 @@ class TableSink:
         footer = Footer(filter_handle, index_handle, self._num_entries)
         self._file.append(footer.encode())
         self._offset += len(footer.encode())
+        # Durability barrier: the version edit that installs this file
+        # syncs the MANIFEST, so the file itself must hit stable
+        # storage first — otherwise a power cut leaves a durable
+        # reference to a vanished table.
+        self._file.sync()
         self._file.close()
         number = _parse_file_number(self._name)
         self.outputs.append(

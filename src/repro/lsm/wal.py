@@ -112,11 +112,17 @@ class LogWriter:
 
 
 class LogReader:
-    """Iterates records from a log file."""
+    """Iterates records from a log file.
+
+    ``torn_tail`` becomes True once iteration observes a truncated
+    final record or a dangling FIRST/MIDDLE fragment at EOF — the
+    (tolerated) signature of a crash mid-append; recovery counts it.
+    """
 
     def __init__(self, file: ReadableFile, verify_checksums: bool = True) -> None:
         self._data = file.read_all()
         self._verify = verify_checksums
+        self.torn_tail = False
 
     def __iter__(self) -> Iterator[bytes]:
         data = self._data
@@ -136,6 +142,7 @@ class LogReader:
                 continue
             frag_end = pos + HEADER_SIZE + length
             if frag_end > size:
+                self.torn_tail = True
                 break  # truncated tail: tolerated (crash mid-append)
             payload = data[pos + HEADER_SIZE : frag_end]
             if self._verify and crc32(bytes([ftype]) + payload) != unmask_crc(crc):
@@ -164,6 +171,8 @@ class LogReader:
             else:
                 raise LogCorruption(f"unknown fragment type {ftype}")
         # A dangling FIRST/MIDDLE at EOF is a torn write: tolerated.
+        if in_record:
+            self.torn_tail = True
 
 
 class WriteBatch:

@@ -44,6 +44,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..db.db import DB
+from ..devices.faults import TransientIOError
 from ..lsm.wal import WriteBatch
 from .metrics import ServerMetrics
 from . import protocol as P
@@ -258,6 +259,13 @@ class KVServer:
                 )
         except P.ProtocolError as exc:
             status, body = P.ST_BAD_REQUEST, P.encode_lp(str(exc).encode())
+        except TransientIOError:
+            # Retryable storage hiccup (the engine already exhausted
+            # its own retries): tell the client to back off and retry
+            # — same contract as a compaction stall, not a hard error.
+            self.metrics.record_stall_rejection()
+            status = P.ST_STALLED
+            body = P.encode_varint64(self.config.stall_retry_ms)
         except Exception as exc:  # engine failure: report, keep serving
             status, body = P.ST_SERVER_ERROR, P.encode_lp(
                 f"{type(exc).__name__}: {exc}".encode()

@@ -6,6 +6,8 @@ Commands (all take a database directory):
   plus the engine's I/O and block-cache counters for the session.
 * ``verify <dir>``   — full integrity check (exit code 1 on corruption).
 * ``repair <dir>``   — rebuild CURRENT/MANIFEST from salvageable tables.
+* ``fsck <dir>``     — verify, and with ``--repair`` rebuild on damage
+  and re-verify; exit code 1 only if errors remain unrecovered.
 * ``dump <dir>``     — print live key/value pairs (optionally a range).
 * ``compact <dir>``  — run compactions until the tree is quiescent.
 * ``serve <dir>``    — expose the database over TCP (repro.server).
@@ -58,6 +60,17 @@ def build_parser() -> argparse.ArgumentParser:
                 "--keys-only", action="store_true", help="omit values"
             )
 
+    fsck = sub.add_parser(
+        "fsck",
+        help="verify, optionally repair on damage, and re-verify",
+    )
+    fsck.add_argument("directory", help="database directory")
+    fsck.add_argument(
+        "--repair", action="store_true",
+        help="on damage, rebuild the manifest from salvageable tables "
+             "and verify again (exit 0 only if the rebuilt store is clean)",
+    )
+
     sst = sub.add_parser("sst", help="inspect one SSTable file")
     sst.add_argument("directory", help="database directory")
     sst.add_argument("file", help="table file name, e.g. 000004.sst")
@@ -77,6 +90,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--sync-compaction", action="store_true",
         help="run compactions inline with writes instead of a "
              "background thread (no STALLED backpressure)",
+    )
+    srv.add_argument(
+        "--fault-plan", metavar="JSON", default=None,
+        help='inject storage faults, e.g. \'{"seed": 7, '
+             '"write_error_rate": 0.01}\' (see repro.devices.FaultPlan)',
     )
 
     trc = sub.add_parser(
@@ -101,6 +119,11 @@ def build_parser() -> argparse.ArgumentParser:
     trc.add_argument(
         "--gantt", action="store_true",
         help="also print an ASCII gantt of the compaction spans",
+    )
+    trc.add_argument(
+        "--fault-plan", metavar="JSON", default=None,
+        help="inject storage faults during the traced run "
+             "(see repro.devices.FaultPlan)",
     )
 
     ana = sub.add_parser(
@@ -129,6 +152,15 @@ def _bytes_arg(text: str) -> bytes:
 
 def _open_db(directory: str) -> DB:
     return DB(OSStorage(directory), Options())
+
+
+def _maybe_faulty(storage, plan_json: str | None):
+    """Wrap ``storage`` in a FaultyStorage when a plan was given."""
+    if plan_json is None:
+        return storage
+    from ..devices.faults import FaultPlan, FaultyStorage
+
+    return FaultyStorage(storage, FaultPlan.from_json(plan_json))
 
 
 def cmd_stats(args) -> int:
@@ -168,6 +200,27 @@ def cmd_repair(args) -> int:
         print(f"dropped {len(result['dropped'])} corrupt tables")
         for name in result["dropped"]:
             print(f"  - {name}")
+    return 0
+
+
+def cmd_fsck(args) -> int:
+    storage = OSStorage(args.directory)
+    report = verify_db(storage, Options())
+    print(report.render())
+    if report.ok:
+        return 0
+    if not args.repair:
+        print("fsck: errors found (rerun with --repair to rebuild)")
+        return 1
+    print("fsck: attempting repair...")
+    result = repair_db(storage, Options())
+    print(f"fsck: salvaged {len(result['salvaged'])} tables, "
+          f"dropped {len(result['dropped'])}")
+    report = verify_db(storage, Options())
+    print(report.render())
+    if not report.ok:
+        print("fsck: errors remain after repair")
+        return 1
     return 0
 
 
@@ -235,7 +288,7 @@ def cmd_serve(args) -> int:
     from ..server import ServerConfig, serve_forever
 
     db = DB(
-        OSStorage(args.directory),
+        _maybe_faulty(OSStorage(args.directory), args.fault_plan),
         Options(),
         background=not args.sync_compaction,
     )
@@ -276,7 +329,10 @@ def cmd_trace(args) -> int:
     workload = YCSBWorkload(
         args.mix, args.ops, args.records, value_bytes=args.value_bytes
     )
-    db = DB(MemStorage(), options, compaction_spec=spec, obs=obs)
+    db = DB(
+        _maybe_faulty(MemStorage(), args.fault_plan),
+        options, compaction_spec=spec, obs=obs,
+    )
     try:
         for key, value in workload.load_phase():
             db.put(key, value)
@@ -320,6 +376,7 @@ _COMMANDS = {
     "stats": cmd_stats,
     "verify": cmd_verify,
     "repair": cmd_repair,
+    "fsck": cmd_fsck,
     "dump": cmd_dump,
     "compact": cmd_compact,
     "sst": cmd_sst,

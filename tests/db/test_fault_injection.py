@@ -15,33 +15,15 @@ from hypothesis import strategies as st
 
 from repro.db import DB
 from repro.devices import MemStorage
-from repro.lsm import LogCorruption, Options, TableCorruption
+from repro.lsm import LogCorruption
 
-
-def small_options(**kw):
-    defaults = dict(
-        memtable_bytes=16 * 1024,
-        sstable_bytes=8 * 1024,
-        block_bytes=1024,
-        level1_bytes=32 * 1024,
-        level_multiplier=4,
-        compression="lz77",
-    )
-    defaults.update(kw)
-    return Options(**defaults)
-
-
-def _corrupt(storage, name, offset, mask=0xFF):
-    data = bytearray(storage.open(name).read_all())
-    data[offset % len(data)] ^= mask
-    storage.delete(name)
-    with storage.create(name) as f:
-        f.append(bytes(data))
+from tests.helpers import corrupt_file, small_options
 
 
 class TestCompactionDetectsCorruption:
-    def test_compaction_raises_on_corrupt_input(self):
-        """S2 catches a flipped bit in a compaction input block."""
+    def test_compaction_quarantines_corrupt_input(self):
+        """S2 catches a flipped bit in a compaction input block; the
+        damaged table is renamed aside and the DB keeps serving."""
         storage = MemStorage()
         db = DB(
             storage,
@@ -55,12 +37,23 @@ class TestCompactionDetectsCorruption:
             db.put(b"key-%05d" % i, b"v-%d" % i)
         db.flush()
         sst = next(n for n in storage.list() if n.endswith(".sst"))
-        _corrupt(storage, sst, 40)
+        corrupt_file(storage, sst, 40)
         # Drop cached table/blocks so the corrupt bytes are re-read.
         db._tables.clear()
         db._cache.clear()
-        with pytest.raises(TableCorruption):
-            db.compact_range()
+        # Self-healing: no exception; the corrupt table is quarantined.
+        db.compact_range()
+        quarantine = db.get_property("quarantine")
+        assert sst + ".quarantined" in quarantine
+        assert storage.exists(sst + ".quarantined")
+        assert not storage.exists(sst)
+        assert db.obs.metrics.counter("compaction.quarantined").value >= 1
+        # The DB still serves reads and writes afterwards.
+        db.put(b"after-quarantine", b"ok")
+        assert db.get(b"after-quarantine") == b"ok"
+        survivors = sum(1 for _ in db.items())
+        assert 0 < survivors <= 901
+        db.close()
 
     @settings(max_examples=20, deadline=None)
     @given(offset=st.integers(min_value=0, max_value=10**6), bit=st.integers(0, 7))
@@ -80,7 +73,7 @@ class TestCompactionDetectsCorruption:
 
         tables = [n for n in storage.list() if n.endswith(".sst")]
         victim = tables[offset % len(tables)]
-        _corrupt(storage, victim, offset, 1 << bit)
+        corrupt_file(storage, victim, offset, 1 << bit)
 
         db = DB(storage, small_options())
         detected: list[Exception] = []
@@ -126,7 +119,7 @@ class TestWALFaults:
             db.put(b"k-%03d" % i, b"v" * 20)
         wal_name = db._wal_name(db._wal_number)
         del db
-        _corrupt(storage, wal_name, 12)  # inside the first record
+        corrupt_file(storage, wal_name, 12)  # inside the first record
         with pytest.raises(LogCorruption):
             DB(storage, small_options())
 

@@ -4,20 +4,8 @@
 from repro.db import DB, repair_db, verify_db
 from repro.db.manifest import CURRENT_NAME
 from repro.devices import MemStorage
-from repro.lsm import Options
 
-
-def small_options(**kw):
-    defaults = dict(
-        memtable_bytes=16 * 1024,
-        sstable_bytes=8 * 1024,
-        block_bytes=1024,
-        level1_bytes=32 * 1024,
-        level_multiplier=4,
-        compression="lz77",
-    )
-    defaults.update(kw)
-    return Options(**defaults)
+from tests.helpers import corrupt_file, small_options
 
 
 def _populate(storage, n=1500, options=None):
@@ -56,13 +44,21 @@ class TestVerify:
         storage = MemStorage()
         _populate(storage)
         victim = next(n for n in storage.list() if n.endswith(".sst"))
-        data = bytearray(storage.open(victim).read_all())
-        data[20] ^= 0xFF
-        storage.delete(victim)
-        with storage.create(victim) as f:
-            f.append(bytes(data))
+        corrupt_file(storage, victim, 20)
         report = verify_db(storage, small_options())
         assert not report.ok
+
+    def test_quarantined_and_tmp_files_are_warnings(self):
+        storage = MemStorage()
+        _populate(storage)
+        with storage.create("000042.sst.quarantined") as f:
+            f.append(b"damaged table set aside")
+        with storage.create("CURRENT.tmp") as f:
+            f.append(b"MANIFEST-000001\n")
+        report = verify_db(storage, small_options())
+        assert report.ok
+        assert any("quarantined" in w for w in report.warnings)
+        assert any("temp" in w for w in report.warnings)
 
     def test_orphan_is_warning_not_error(self):
         storage = MemStorage()
@@ -102,11 +98,7 @@ class TestRepair:
         _populate(storage, n=2000)
         tables = [n for n in storage.list() if n.endswith(".sst")]
         victim = tables[0]
-        data = bytearray(storage.open(victim).read_all())
-        data[15] ^= 0x01
-        storage.delete(victim)
-        with storage.create(victim) as f:
-            f.append(bytes(data))
+        corrupt_file(storage, victim, 15, 0x01)
         result = repair_db(storage, small_options())
         assert victim in result["dropped"]
         assert set(result["salvaged"]) == set(tables) - {victim}
@@ -140,6 +132,83 @@ class TestRepair:
         assert result == {"salvaged": [], "dropped": []}
         with DB(storage, small_options()) as db:
             assert db.get(b"anything") is None
+
+    def test_repair_missing_current_with_manifest_intact(self):
+        """Only CURRENT lost: the manifest still exists but is
+        unreachable; repair rebuilds from the tables and reopens."""
+        storage = MemStorage()
+        _populate(storage, n=800)
+        storage.delete(CURRENT_NAME)
+        assert not verify_db(storage, small_options()).ok
+        result = repair_db(storage, small_options())
+        assert result["salvaged"]
+        assert verify_db(storage, small_options()).ok
+        with DB(storage, small_options()) as db:
+            assert sum(1 for _ in db.items()) == 800
+
+    def test_repair_after_truncated_empty_manifest(self):
+        """CURRENT points at a zero-byte manifest (torn at creation)."""
+        storage = MemStorage()
+        _populate(storage, n=800)
+        manifest = storage.open(CURRENT_NAME).read_all().strip().decode()
+        storage.delete(manifest)
+        with storage.create(manifest) as f:
+            f.sync()
+        result = repair_db(storage, small_options())
+        assert result["salvaged"]
+        with DB(storage, small_options()) as db:
+            assert sum(1 for _ in db.items()) == 800
+
+    def test_repair_salvages_orphan_sst(self):
+        """An output orphaned by a crash before its manifest commit is
+        real data; repair re-registers it at L0."""
+        storage = MemStorage()
+        _populate(storage, n=800)
+        # Clone a registered table under an unreferenced number: from
+        # repair's point of view it is an orphan with valid contents.
+        src = next(n for n in storage.list() if n.endswith(".sst"))
+        data = storage.open(src).read_all()
+        with storage.create("900000.sst") as f:
+            f.append(data)
+            f.sync()
+        result = repair_db(storage, small_options())
+        assert "900000.sst" in result["salvaged"]
+        with DB(storage, small_options()) as db:
+            assert sum(1 for _ in db.items()) == 800  # dup keys collapse
+
+    def test_repair_readmits_clean_quarantined_table(self):
+        """Quarantine replay: a renamed-aside table that verifies
+        cleanly is renamed back and salvaged; a genuinely corrupt one
+        stays aside."""
+        storage = MemStorage()
+        _populate(storage, n=800)
+        tables = [n for n in storage.list() if n.endswith(".sst")]
+        clean, dirty = tables[0], tables[1]
+        storage.rename(clean, clean + ".quarantined")
+        corrupt_file(storage, dirty, 30)
+        storage.rename(dirty, dirty + ".quarantined")
+        result = repair_db(storage, small_options())
+        assert clean in result["salvaged"]
+        assert dirty + ".quarantined" in result["dropped"]
+        assert storage.exists(dirty + ".quarantined")
+        assert not storage.exists(dirty)
+        with DB(storage, small_options()) as db:
+            total = sum(1 for _ in db.items())
+            assert 0 < total <= 800
+
+    def test_repair_then_reopen_round_trip(self):
+        """repair → open → write → close → verify → open again."""
+        storage = MemStorage()
+        _populate(storage, n=500)
+        storage.delete(CURRENT_NAME)
+        repair_db(storage, small_options())
+        with DB(storage, small_options()) as db:
+            db.put(b"post-repair", b"yes")
+            db.flush()
+        assert verify_db(storage, small_options()).ok
+        with DB(storage, small_options()) as db:
+            assert db.get(b"post-repair") == b"yes"
+            assert sum(1 for _ in db.items()) == 501
 
 
 class TestCursor:

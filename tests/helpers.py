@@ -1,0 +1,25 @@
+"""Shared test helpers.
+
+``corrupt_file`` is the canonical bit-flip seeder (it lives in
+:mod:`repro.devices.faults` so the fsck/chaos tooling can use it too);
+``small_options`` is the common tiny-engine configuration the db tests
+use so a few hundred keys produce flushes and multi-level compactions.
+"""
+
+from repro.devices.faults import corrupt_file
+from repro.lsm import Options
+
+__all__ = ["corrupt_file", "small_options"]
+
+
+def small_options(**kw):
+    defaults = dict(
+        memtable_bytes=16 * 1024,
+        sstable_bytes=8 * 1024,
+        block_bytes=1024,
+        level1_bytes=32 * 1024,
+        level_multiplier=4,
+        compression="lz77",
+    )
+    defaults.update(kw)
+    return Options(**defaults)
