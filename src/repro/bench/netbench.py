@@ -41,7 +41,7 @@ from ..obs import LatencyHistogram
 from ..server.server import ServerConfig, ServerThread
 from ..workload.ycsb import INSERT, RMW, UPDATE, YCSBWorkload
 
-__all__ = ["NetBenchResult", "run_net_benchmark", "main"]
+__all__ = ["NetBenchResult", "run_net_benchmark", "run_scaling", "main"]
 
 
 @dataclass
@@ -59,14 +59,22 @@ class NetBenchResult:
     latency: LatencyHistogram = field(repr=False)
     #: server-side STATS snapshot taken right before shutdown
     server_stats: dict = field(repr=False, default_factory=dict)
+    #: engine shard count (1 = plain DB, >1 = repro.cluster.ShardedDB)
+    shards: int = 1
 
     def percentile_ms(self, p: float) -> float:
         return self.latency.percentile(p) * 1e3
 
+    def per_shard_stats(self) -> list[dict]:
+        """Per-shard rollup from the final STATS snapshot ([] for N=1)."""
+        return self.server_stats.get("cluster", {}).get("shards", [])
+
     def summary(self) -> str:
+        shard_note = f" shards={self.shards}" if self.shards > 1 else ""
         return (
             f"ycsb-{self.mix}: {self.n_ops} ops over "
-            f"{self.connections} connections in {self.wall_seconds:.2f}s "
+            f"{self.connections} connections{shard_note} in "
+            f"{self.wall_seconds:.2f}s "
             f"→ {self.ops_per_second:,.0f} ops/s | latency "
             f"p50={self.percentile_ms(50):.3f}ms "
             f"p95={self.percentile_ms(95):.3f}ms "
@@ -126,6 +134,8 @@ def run_net_benchmark(
     compaction_spec: Optional[ProcedureSpec] = None,
     server_config: Optional[ServerConfig] = None,
     seed: int = 0,
+    shards: int = 1,
+    pool_workers: Optional[int] = None,
 ) -> NetBenchResult:
     """Load a keyspace, then run ``n_ops`` of YCSB mix ``mix`` through
     ``connections`` concurrent closed-loop socket clients.
@@ -134,16 +144,34 @@ def run_net_benchmark(
     the duration of the call and is shut down gracefully afterwards,
     so a caller passing an ``OSStorage`` gets a directory that passes
     ``verify_db``.
+
+    ``shards`` > 1 serves an in-memory
+    :class:`repro.cluster.ShardedDB` instead of one DB (same wire
+    protocol; ``pool_workers`` caps the cluster's shared compaction
+    compute pool).  ``storage`` cannot be combined with ``shards``.
     """
     workload = YCSBWorkload(
         mix, n_ops, record_count, value_bytes=value_bytes, seed=seed
     )
-    db = DB(
-        storage if storage is not None else MemStorage(),
-        options or Options(),
-        compaction_spec=compaction_spec,
-        background=True,
-    )
+    if shards > 1:
+        if storage is not None:
+            raise ValueError("pass shards>1 or storage, not both")
+        from ..cluster import ShardedDB
+
+        db = ShardedDB.in_memory(
+            shards,
+            options=options or Options(),
+            compaction_spec=compaction_spec,
+            background=True,
+            pool_workers=pool_workers,
+        )
+    else:
+        db = DB(
+            storage if storage is not None else MemStorage(),
+            options or Options(),
+            compaction_spec=compaction_spec,
+            background=True,
+        )
     handle = ServerThread(db, server_config).start()
     histogram = LatencyHistogram()
     counts: dict[str, int] = {}
@@ -202,7 +230,100 @@ def run_net_benchmark(
         stall_retries=stall_retries,
         latency=histogram,
         server_stats=server_stats,
+        shards=shards,
     )
+
+
+def _stall_bound_options() -> Options:
+    """A deliberately stall-prone single-DB configuration.
+
+    Tiny memtables and a low L0 stop trigger make one engine's write
+    path bound by compaction backpressure (STALLED + client backoff),
+    which is the regime sharding relieves: each shard takes 1/N of the
+    inserts, so L0 backs up N× slower.  Used by the ``--scaling``
+    sweep so the cluster speedup measures backpressure relief, not
+    Python compute parallelism.
+    """
+    return Options(
+        memtable_bytes=8 * 1024,
+        sstable_bytes=8 * 1024,
+        block_bytes=1024,
+        level1_bytes=64 * 1024,
+        level_multiplier=4,
+        l0_compaction_trigger=2,
+        l0_stop_writes_trigger=3,
+    )
+
+
+def run_scaling(
+    shard_counts: list[int],
+    mix: str = "a",
+    n_ops: int = 4000,
+    record_count: int = 1000,
+    value_bytes: int = 100,
+    connections: int = 4,
+    compaction_spec: Optional[ProcedureSpec] = None,
+    pool_workers: Optional[int] = None,
+    seed: int = 0,
+) -> dict:
+    """Run the same load at each shard count; return the scaling table.
+
+    The single-shard baseline uses the stall-prone configuration (see
+    :func:`_stall_bound_options`), every run keeps the identical
+    workload/connection count, and the returned dict (the
+    ``BENCH_cluster.json`` payload) records throughput, latency
+    percentiles, stall retries, speedup vs the first entry, and the
+    shared-pool counters proving compute stayed capped.
+    """
+    spec = compaction_spec or ProcedureSpec.cppcp(2, subtask_bytes=16 * 1024)
+    runs = []
+    for n in shard_counts:
+        result = run_net_benchmark(
+            mix=mix,
+            n_ops=n_ops,
+            record_count=record_count,
+            value_bytes=value_bytes,
+            connections=connections,
+            options=_stall_bound_options(),
+            compaction_spec=spec,
+            seed=seed,
+            shards=n,
+            pool_workers=pool_workers,
+        )
+        engine = result.server_stats.get("engine", {})
+        gauges = engine.get("gauges", {})
+        runs.append(
+            {
+                "shards": n,
+                "ops_per_second": result.ops_per_second,
+                "wall_seconds": result.wall_seconds,
+                "p50_ms": result.percentile_ms(50),
+                "p95_ms": result.percentile_ms(95),
+                "p99_ms": result.percentile_ms(99),
+                "stall_retries": result.stall_retries,
+                "write_stalls": result.server_stats.get("db", {}).get(
+                    "write_stalls"
+                ),
+                "pool_workers": gauges.get("cluster.pool.workers"),
+                "pool_max_active": gauges.get("cluster.pool.max_active"),
+                "pool_tasks": engine.get("counters", {}).get(
+                    "cluster.pool.tasks"
+                ),
+                "per_shard": result.per_shard_stats(),
+            }
+        )
+    base = runs[0]["ops_per_second"] or 1.0
+    for entry in runs:
+        entry["speedup_vs_first"] = entry["ops_per_second"] / base
+    return {
+        "benchmark": "netbench-cluster-scaling",
+        "mix": mix,
+        "n_ops": n_ops,
+        "record_count": record_count,
+        "connections": connections,
+        "procedure": spec.kind,
+        "runs": runs,
+    }
 
 
 def main(argv: Optional[list[str]] = None) -> int:
@@ -220,7 +341,54 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="compaction procedure under test",
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--shards", type=int, default=1,
+        help="serve an in-memory N-shard cluster instead of one DB",
+    )
+    parser.add_argument(
+        "--pool-workers", type=int, default=None,
+        help="cap on the cluster's shared compaction compute pool "
+             "(default: the procedure's own worker count)",
+    )
+    parser.add_argument(
+        "--scaling", metavar="N,N,...", default=None,
+        help="run the stall-bound scaling sweep at these shard counts "
+             "(e.g. 1,2,4) instead of a single run",
+    )
+    parser.add_argument(
+        "--json-out", metavar="PATH", default=None,
+        help="write the scaling result table as JSON (with --scaling)",
+    )
     args = parser.parse_args(argv)
+
+    if args.scaling is not None:
+        shard_counts = [int(n) for n in args.scaling.split(",") if n.strip()]
+        table = run_scaling(
+            shard_counts,
+            mix=args.mix,
+            n_ops=args.ops,
+            record_count=args.records,
+            value_bytes=args.value_bytes,
+            connections=args.connections,
+            pool_workers=args.pool_workers,
+            seed=args.seed,
+        )
+        for entry in table["runs"]:
+            print(
+                f"shards={entry['shards']}: "
+                f"{entry['ops_per_second']:,.0f} ops/s "
+                f"(speedup {entry['speedup_vs_first']:.2f}x) "
+                f"p99={entry['p99_ms']:.2f}ms "
+                f"stall_retries={entry['stall_retries']} "
+                f"pool_max_active={entry['pool_max_active']}"
+            )
+        if args.json_out:
+            import json
+
+            with open(args.json_out, "w") as fh:
+                json.dump(table, fh, indent=2, sort_keys=True)
+            print(f"wrote {args.json_out}")
+        return 0
 
     spec = getattr(ProcedureSpec, args.procedure)()
     result = run_net_benchmark(
@@ -231,6 +399,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         connections=args.connections,
         compaction_spec=spec,
         seed=args.seed,
+        shards=args.shards,
+        pool_workers=args.pool_workers,
     )
     print(result.summary())
     db_stats = result.server_stats.get("db", {})

@@ -1,0 +1,56 @@
+"""``repro.cluster`` — a sharded LSM engine over ``repro.db``.
+
+The subsystem in four pieces:
+
+* :mod:`~repro.cluster.partitioner` — hash / range key→shard routing;
+* :mod:`~repro.cluster.manifest` — the persisted, CRC-protected
+  ``CLUSTER`` layout manifest (re-validated on reopen);
+* :mod:`~repro.cluster.pool` — the shared, bounded compute pool that
+  multiplexes every shard's pipelined-compaction S2–S6 stage;
+* :mod:`~repro.cluster.sharded` / :mod:`~repro.cluster.cursor` — the
+  DB-shaped :class:`ShardedDB` facade and the k-way-merge cross-shard
+  cursor.
+
+Quick start::
+
+    from repro.cluster import ShardedDB
+    from repro.core.procedures import ProcedureSpec
+
+    db = ShardedDB.in_memory(4, compaction_spec=ProcedureSpec.cppcp(2))
+    db.put(b"k", b"v")
+    list(db.scan())          # globally ordered across shards
+    db.close()
+
+See ``docs/CLUSTER.md`` for the design discussion.
+"""
+
+from .cursor import ClusterCursor
+from .manifest import (
+    CLUSTER_FILE,
+    ClusterConfigError,
+    ClusterManifest,
+    shard_dir_name,
+)
+from .partitioner import (
+    HashPartitioner,
+    Partitioner,
+    RangePartitioner,
+    partitioner_from_spec,
+)
+from .pool import SharedComputePool
+from .sharded import ClusterSnapshot, ShardedDB
+
+__all__ = [
+    "CLUSTER_FILE",
+    "ClusterConfigError",
+    "ClusterCursor",
+    "ClusterManifest",
+    "ClusterSnapshot",
+    "HashPartitioner",
+    "Partitioner",
+    "RangePartitioner",
+    "ShardedDB",
+    "SharedComputePool",
+    "partitioner_from_spec",
+    "shard_dir_name",
+]

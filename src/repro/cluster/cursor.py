@@ -1,0 +1,80 @@
+"""Cross-shard read algebra: the k-way merge cursor.
+
+Shards partition the user keyspace, so each per-shard
+:class:`repro.db.cursor.Cursor` already yields live, visibility-
+filtered, tombstone-masked pairs in key order **within its shard**,
+and no user key can appear in two shards.  A globally ordered scan is
+therefore a pure k-way merge — ``heapq.merge`` over the per-shard
+streams, forward or reverse — with no cross-shard dedup or shadowing
+logic needed.  The merge is lazy: a ``limit``-bounded scan pulls only
+``limit`` + O(k) entries off the shards, not whole shards.
+
+Snapshot consistency: the per-shard cursors pin their own sequence
+numbers at creation.  Created under a
+:class:`repro.cluster.sharded.ClusterSnapshot` (one pinned snapshot
+per shard), the merged view is stable against concurrent writers on
+*every* shard for the cursor's lifetime.
+"""
+
+from __future__ import annotations
+
+import heapq
+from operator import itemgetter
+from typing import Iterator, Optional
+
+from ..db.cursor import Cursor
+
+__all__ = ["ClusterCursor"]
+
+_FIRST = itemgetter(0)
+
+
+class ClusterCursor:
+    """Ordered iteration over the union of per-shard cursors."""
+
+    def __init__(self, cursors: list[Cursor]) -> None:
+        if not cursors:
+            raise ValueError("ClusterCursor needs at least one shard cursor")
+        self._cursors = cursors
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._cursors)
+
+    def items(
+        self,
+        start: Optional[bytes] = None,
+        end: Optional[bytes] = None,
+    ) -> Iterator[tuple[bytes, bytes]]:
+        """Live ``(user_key, value)`` pairs of ``[start, end)``, ascending."""
+        return heapq.merge(
+            *(cursor.items(start, end) for cursor in self._cursors),
+            key=_FIRST,
+        )
+
+    def items_reverse(
+        self,
+        start: Optional[bytes] = None,
+        end: Optional[bytes] = None,
+    ) -> Iterator[tuple[bytes, bytes]]:
+        """The ``[start, end)`` window in *descending* key order."""
+        return heapq.merge(
+            *(cursor.items_reverse(start, end) for cursor in self._cursors),
+            key=_FIRST,
+            reverse=True,
+        )
+
+    def seek(self, start: bytes) -> Iterator[tuple[bytes, bytes]]:
+        """Iterate live pairs with user key >= ``start``."""
+        return self.items(start=start)
+
+    def count(
+        self,
+        start: Optional[bytes] = None,
+        end: Optional[bytes] = None,
+    ) -> int:
+        """Number of live keys in the range (consumes a pass)."""
+        return sum(1 for _ in self.items(start, end))
+
+    def __iter__(self) -> Iterator[tuple[bytes, bytes]]:
+        return self.items()

@@ -1,0 +1,131 @@
+"""The ``CLUSTER`` manifest: persisted shard map of a sharded store.
+
+One small JSON file in the cluster's *root* storage records the layout
+a :class:`~repro.cluster.sharded.ShardedDB` was created with: shard
+count, shard directory names, and the partitioner spec (hash seed or
+range splits).  Reopen re-validates all of it — opening four shard
+directories with a partitioner that was seeded differently (or with a
+different shard count) would misroute every key without any storage-
+level corruption to catch it, so layout drift must fail loudly.
+
+Commit protocol mirrors ``CURRENT`` (see ``docs/RECOVERY.md``): the
+payload is written to ``CLUSTER.tmp``, synced, then atomically renamed
+to ``CLUSTER``.  A masked CRC-32C trailer inside the JSON catches torn
+or hand-edited files.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from ..codec.checksum import crc32c, mask_crc, unmask_crc
+from ..devices.vfs import Storage, StorageError
+from .partitioner import Partitioner, partitioner_from_spec
+
+__all__ = [
+    "CLUSTER_FILE",
+    "ClusterConfigError",
+    "ClusterManifest",
+    "shard_dir_name",
+]
+
+CLUSTER_FILE = "CLUSTER"
+_FORMAT_VERSION = 1
+
+
+def shard_dir_name(index: int) -> str:
+    """Canonical shard subdirectory name (``shard-00``, ``shard-01``…)."""
+    return f"shard-{index:02d}"
+
+
+class ClusterConfigError(RuntimeError):
+    """Shard layout mismatch or damaged/missing CLUSTER manifest."""
+
+
+@dataclass(frozen=True)
+class ClusterManifest:
+    """The persisted cluster layout."""
+
+    n_shards: int
+    partitioner_spec: dict
+    format_version: int = _FORMAT_VERSION
+
+    # -------------------------------------------------------- accessors
+    def partitioner(self) -> Partitioner:
+        return partitioner_from_spec(self.partitioner_spec)
+
+    def shard_names(self) -> list[str]:
+        return [shard_dir_name(i) for i in range(self.n_shards)]
+
+    # ------------------------------------------------------ persistence
+    def _payload(self) -> dict:
+        return {
+            "format_version": self.format_version,
+            "n_shards": self.n_shards,
+            "partitioner": self.partitioner_spec,
+            "shards": self.shard_names(),
+        }
+
+    def save(self, root: Storage) -> None:
+        """Atomically (re)write the manifest into ``root``."""
+        body = json.dumps(self._payload(), sort_keys=True).encode()
+        blob = json.dumps(
+            {"crc": mask_crc(crc32c(body)), "data": body.decode()}
+        ).encode()
+        tmp = CLUSTER_FILE + ".tmp"
+        with root.create(tmp) as f:
+            f.append(blob)
+            f.sync()
+        root.rename(tmp, CLUSTER_FILE)
+
+    @classmethod
+    def load(cls, root: Storage) -> "ClusterManifest":
+        if not root.exists(CLUSTER_FILE):
+            raise ClusterConfigError(
+                f"no {CLUSTER_FILE} manifest (not a sharded store?)"
+            )
+        with root.open(CLUSTER_FILE) as f:
+            blob = f.read_all()
+        try:
+            wrapper = json.loads(blob)
+            body = wrapper["data"].encode()
+            if crc32c(body) != unmask_crc(wrapper["crc"]):
+                raise ClusterConfigError(f"{CLUSTER_FILE} checksum mismatch")
+            payload = json.loads(body)
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ClusterConfigError(
+                f"damaged {CLUSTER_FILE} manifest: {exc}"
+            ) from None
+        version = payload.get("format_version")
+        if version != _FORMAT_VERSION:
+            raise ClusterConfigError(
+                f"unsupported {CLUSTER_FILE} format_version {version!r}"
+            )
+        n_shards = payload["n_shards"]
+        if not isinstance(n_shards, int) or n_shards < 1:
+            raise ClusterConfigError(f"bad n_shards {n_shards!r}")
+        return cls(n_shards=n_shards, partitioner_spec=payload["partitioner"])
+
+    @classmethod
+    def exists(cls, root: Storage) -> bool:
+        try:
+            return root.exists(CLUSTER_FILE)
+        except StorageError:  # pragma: no cover - defensive
+            return False
+
+    # ------------------------------------------------------- validation
+    def validate_against(
+        self, n_shards: int, partitioner: Partitioner
+    ) -> None:
+        """Raise unless the caller's layout matches the persisted one."""
+        if n_shards != self.n_shards:
+            raise ClusterConfigError(
+                f"cluster was created with {self.n_shards} shards; "
+                f"reopened with {n_shards}"
+            )
+        if partitioner.spec() != self.partitioner_spec:
+            raise ClusterConfigError(
+                f"partitioner mismatch: manifest {self.partitioner_spec}, "
+                f"caller {partitioner.spec()}"
+            )

@@ -1,0 +1,122 @@
+"""Key partitioners: which shard owns a user key.
+
+A :class:`Partitioner` is a pure, deterministic function ``user key →
+shard index`` plus a JSON-serialisable spec.  The spec is persisted in
+the ``CLUSTER`` manifest (:mod:`repro.cluster.manifest`) and
+re-validated on reopen: a cluster reopened with a different shard
+count or partitioning function would silently misroute every key, so
+a mismatch is a hard :class:`~repro.cluster.manifest.ClusterConfigError`.
+
+Two concrete partitioners:
+
+* :class:`HashPartitioner` — seeded CRC-32C of the key, modulo the
+  shard count.  Uniform spread for any key distribution; the default.
+* :class:`RangePartitioner` — ``n_shards - 1`` sorted split keys;
+  shard *i* owns ``[splits[i-1], splits[i])``.  Keeps key adjacency
+  (a cross-shard scan touches few shards for narrow ranges) and makes
+  shard targeting deterministic for tests.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from bisect import bisect_right
+
+from ..codec.checksum import crc32c
+
+__all__ = [
+    "Partitioner",
+    "HashPartitioner",
+    "RangePartitioner",
+    "partitioner_from_spec",
+]
+
+
+class Partitioner(ABC):
+    """Deterministic mapping of user keys onto ``n_shards`` buckets."""
+
+    n_shards: int
+
+    @abstractmethod
+    def shard_of(self, key: bytes) -> int:
+        """Shard index in ``[0, n_shards)`` owning ``key``."""
+
+    @abstractmethod
+    def spec(self) -> dict:
+        """JSON-serialisable description (see :func:`partitioner_from_spec`)."""
+
+    def group_keys(self, keys) -> dict[int, list[int]]:
+        """Map shard index → positions in ``keys`` routed to it.
+
+        Positions (not keys) so callers can reassemble order-preserving
+        results from per-shard batches (``ShardedDB.multi_get``).
+        """
+        groups: dict[int, list[int]] = {}
+        for position, key in enumerate(keys):
+            groups.setdefault(self.shard_of(key), []).append(position)
+        return groups
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Partitioner) and self.spec() == other.spec()
+
+    def __hash__(self) -> int:  # specs are small plain dicts
+        return hash(repr(self.spec()))
+
+
+class HashPartitioner(Partitioner):
+    """Seeded CRC-32C hash partitioning (uniform, order-destroying)."""
+
+    def __init__(self, n_shards: int, seed: int = 0) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if not 0 <= seed < 2**32:
+            raise ValueError(f"seed must fit in 32 bits, got {seed}")
+        self.n_shards = n_shards
+        self.seed = seed
+
+    def shard_of(self, key: bytes) -> int:
+        # Continue the CRC from the seed: stable across processes and
+        # runs (unlike hash()), already in the codebase, and cheap.
+        return crc32c(key, self.seed) % self.n_shards
+
+    def spec(self) -> dict:
+        return {"kind": "hash", "n_shards": self.n_shards, "seed": self.seed}
+
+    def __repr__(self) -> str:
+        return f"HashPartitioner(n_shards={self.n_shards}, seed={self.seed})"
+
+
+class RangePartitioner(Partitioner):
+    """Split-key partitioning (order-preserving).
+
+    ``splits`` are the ``n_shards - 1`` ascending boundary keys; shard
+    0 owns everything below ``splits[0]``, the last shard everything at
+    or above ``splits[-1]``.
+    """
+
+    def __init__(self, splits: list[bytes]) -> None:
+        if not splits:
+            raise ValueError("RangePartitioner needs at least one split key")
+        if sorted(splits) != list(splits) or len(set(splits)) != len(splits):
+            raise ValueError("split keys must be strictly ascending")
+        self.splits = [bytes(s) for s in splits]
+        self.n_shards = len(splits) + 1
+
+    def shard_of(self, key: bytes) -> int:
+        return bisect_right(self.splits, key)
+
+    def spec(self) -> dict:
+        return {"kind": "range", "splits": [s.hex() for s in self.splits]}
+
+    def __repr__(self) -> str:
+        return f"RangePartitioner(splits={self.splits!r})"
+
+
+def partitioner_from_spec(spec: dict) -> Partitioner:
+    """Rebuild a partitioner from its persisted spec dict."""
+    kind = spec.get("kind")
+    if kind == "hash":
+        return HashPartitioner(int(spec["n_shards"]), int(spec.get("seed", 0)))
+    if kind == "range":
+        return RangePartitioner([bytes.fromhex(s) for s in spec["splits"]])
+    raise ValueError(f"unknown partitioner kind {kind!r}")

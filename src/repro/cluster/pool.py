@@ -1,0 +1,108 @@
+"""Shared, bounded compute pool for cross-shard compaction pipelines.
+
+The paper's C-PPCP (Eq. 6) fans the compute stages S2–S6 of *one*
+compaction over ``k`` workers.  A sharded store runs up to N
+compactions at once — one per shard — and naively giving each shard
+its own C-PPCP executor spawns ``N × k`` compute threads that fight
+over the same cores.  :class:`SharedComputePool` is the cluster-wide
+alternative: one bounded pool of ``workers`` persistent threads that
+every shard's pipeline submits sub-task compute jobs to, so aggregate
+compute concurrency is capped at the configured worker count no
+matter how many shards are compacting (Pome, arXiv:2307.16693, makes
+exactly this case for coordinating *across* concurrent compactions).
+
+The pool is observable: ``cluster.pool.*`` metrics record task counts,
+queue wait, execution time, concurrent occupancy, and the high-water
+occupancy mark (``cluster.pool.max_active``) — which the bench suite
+asserts never exceeds ``cluster.pool.workers``.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Optional
+
+from ..analysis.locksan import make_lock
+from ..obs import MetricsRegistry
+
+__all__ = ["SharedComputePool"]
+
+
+class SharedComputePool:
+    """A bounded thread pool shards' compaction pipelines multiplex.
+
+    Duck-compatible with the ``compute_pool`` parameter of
+    :func:`repro.core.procedures.compact_tables` (anything with
+    ``submit(fn, *args, **kwargs) -> Future``).
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        metrics: Optional[MetricsRegistry] = None,
+        thread_name_prefix: str = "cluster-compute",
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.metrics = metrics or MetricsRegistry()
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix=thread_name_prefix
+        )
+        self._lock = make_lock("cluster.pool")
+        self._active = 0
+        self._closed = False
+        self.metrics.gauge("cluster.pool.workers").set(workers)
+
+    # --------------------------------------------------------- execution
+    def submit(self, fn, *args, **kwargs) -> Future:
+        """Run ``fn(*args, **kwargs)`` on a pool worker; returns a Future."""
+        if self._closed:
+            raise RuntimeError("compute pool is shut down")
+        submitted = time.perf_counter()
+        self.metrics.counter("cluster.pool.tasks").inc()
+
+        def _run():
+            started = time.perf_counter()
+            self.metrics.histogram("cluster.pool.wait_seconds").record(
+                started - submitted
+            )
+            with self._lock:
+                self._active += 1
+                gauge = self.metrics.gauge("cluster.pool.active")
+                gauge.set(self._active)
+                high = self.metrics.gauge("cluster.pool.max_active")
+                if self._active > high.value:
+                    high.set(self._active)
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                with self._lock:
+                    self._active -= 1
+                    self.metrics.gauge("cluster.pool.active").set(self._active)
+                self.metrics.histogram("cluster.pool.exec_seconds").record(
+                    time.perf_counter() - started
+                )
+
+        return self._executor.submit(_run)
+
+    # --------------------------------------------------------- lifecycle
+    @property
+    def active(self) -> int:
+        """Tasks currently executing (not queued)."""
+        with self._lock:
+            return self._active
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Idempotent; outstanding tasks finish when ``wait`` is True."""
+        if self._closed:
+            return
+        self._closed = True
+        self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "SharedComputePool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

@@ -39,7 +39,7 @@ from ..steps import (
 from ..subtask import SubTask
 
 __all__ = ["ExecutionStats", "ReorderBuffer", "run_subtask_compute",
-           "execute_scp", "execute_pipelined"]
+           "execute_scp", "execute_pipelined", "execute_pipelined_pooled"]
 
 _SENTINEL = object()
 
@@ -274,4 +274,93 @@ def execute_pipelined(
     stats.wall_seconds = time.perf_counter() - t_start
     if errors:
         raise errors[0]
+    return stats
+
+
+def execute_pipelined_pooled(
+    subtasks: Sequence[SubTask],
+    sink: TableSink,
+    codec: Codec,
+    checksummer: Checksummer,
+    block_bytes: int,
+    pool,
+    restart_interval: int = 16,
+    drop_deletes: bool = False,
+    queue_capacity: int = 2,
+    smallest_snapshot=None,
+    tracer: Tracer = NULL_TRACER,
+) -> ExecutionStats:
+    """PCP with the compute stage on a *shared*, externally owned pool.
+
+    The per-compaction variant (:func:`execute_pipelined`) spawns its
+    own compute threads; with N shards compacting concurrently that is
+    N × k threads.  Here the caller thread runs S1 (read) and S7
+    (write) itself and submits each sub-task's S2–S6 to ``pool``
+    (anything with ``submit(fn, *args) -> Future``, e.g.
+    :class:`repro.cluster.SharedComputePool`), keeping up to
+    ``queue_capacity`` sub-tasks in flight.  Reads of upcoming
+    sub-tasks therefore overlap the pool's compute of earlier ones —
+    the paper's 3-stage overlap — while *aggregate* compute concurrency
+    across every concurrent compaction stays bounded by the pool.
+
+    Results complete in submission order (a FIFO of futures), so no
+    reorder buffer is needed and outputs stay key-ordered.  A failed
+    sub-task re-raises in the caller after draining in-flight futures,
+    preserving the retry/quarantine contract of the DB's compaction.
+    """
+    if queue_capacity < 1:
+        raise ValueError("queue_capacity must be >= 1")
+    stats = ExecutionStats()
+
+    def compute_job(subtask: SubTask, stored: list):
+        t0 = time.perf_counter()
+        encoded = run_subtask_compute(
+            subtask, stored, codec, checksummer, block_bytes,
+            restart_interval, drop_deletes, smallest_snapshot,
+            tracer=tracer,
+        )
+        return encoded, time.perf_counter() - t0
+
+    t_start = time.perf_counter()
+    pending: list = []  # FIFO of (subtask, future)
+    iterator = iter(subtasks)
+
+    def admit() -> bool:
+        subtask = next(iterator, None)
+        if subtask is None:
+            return False
+        t0 = time.perf_counter()
+        stored = run_subtask_read(subtask, tracer=tracer)
+        stats.stage_seconds["read"] += time.perf_counter() - t0
+        pending.append((subtask, pool.submit(compute_job, subtask, stored)))
+        return True
+
+    try:
+        while len(pending) < queue_capacity and admit():
+            pass
+        while pending:
+            subtask, future = pending.pop(0)
+            encoded, compute_s = future.result()
+            stats.stage_seconds["compute"] += compute_s
+            t0 = time.perf_counter()
+            with tracer.span("S7:write", cat="write", subtask=subtask.index):
+                written = step_write(encoded, sink)
+            stats.stage_seconds["write"] += time.perf_counter() - t0
+            stats.n_subtasks += 1
+            stats.input_bytes += subtask.input_bytes()
+            stats.output_bytes += written
+            stats.entries_out += sum(b.num_entries for b in encoded)
+            admit()
+    except BaseException:
+        # Let in-flight compute settle before re-raising so no pool
+        # worker is left touching this compaction's tables.
+        for _subtask, future in pending:
+            future.cancel()
+        for _subtask, future in pending:
+            try:
+                future.result()
+            except BaseException:  # repro: noqa[RA105] original error wins
+                pass
+        raise
+    stats.wall_seconds = time.perf_counter() - t_start
     return stats

@@ -40,6 +40,7 @@ from .backends.simbackend import (
 from .backends.threadbackend import (
     ExecutionStats,
     execute_pipelined,
+    execute_pipelined_pooled,
     execute_scp,
 )
 from .costmodel import DEFAULT_KV_BYTES, CostModel
@@ -146,6 +147,7 @@ def compact_tables(
     upper: Optional[bytes] = None,
     smallest_snapshot: Optional[int] = None,
     tracer: Tracer = NULL_TRACER,
+    compute_pool=None,
 ) -> tuple[list[FileMetaData], ExecutionStats, list[SubTask]]:
     """Functionally compact ``tables`` (newest-first) into new SSTables.
 
@@ -154,6 +156,12 @@ def compact_tables(
     schedule differs.  With an enabled ``tracer`` every S1–S7 step of
     every sub-task records a span (plus one ``compaction`` umbrella
     span), so a PCP run renders as the paper's Fig 6/7 overlap diagram.
+
+    ``compute_pool`` (optional, pipelined thread-backend specs only)
+    runs the S2–S6 compute stage on a shared, externally owned pool
+    (e.g. :class:`repro.cluster.SharedComputePool`) instead of
+    spawning per-compaction compute threads — how a sharded store
+    bounds aggregate compaction compute across N shards.
     """
     spec = spec or ProcedureSpec.scp()
     subtasks = partition_subtasks(tables, spec.subtask_bytes, lower, upper)
@@ -178,6 +186,15 @@ def compact_tables(
                 options.block_bytes, options.block_restart_interval,
                 drop_deletes,
                 compute_workers=max(2, spec.compute_workers),
+                smallest_snapshot=smallest_snapshot, tracer=tracer,
+            )
+        elif compute_pool is not None:
+            stats = execute_pipelined_pooled(
+                subtasks, sink, codec, checksummer, options.block_bytes,
+                pool=compute_pool,
+                restart_interval=options.block_restart_interval,
+                drop_deletes=drop_deletes,
+                queue_capacity=spec.queue_capacity,
                 smallest_snapshot=smallest_snapshot, tracer=tracer,
             )
         else:

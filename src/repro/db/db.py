@@ -107,6 +107,7 @@ class DB:
         sync_every: Optional[int] = None,
         observer=None,
         obs: Optional[Observability] = None,
+        compute_pool=None,
     ) -> None:
         """``observer`` (optional) receives engine events for accounting:
         ``on_write(batch, wal_bytes)``, ``on_flush(meta)``,
@@ -118,7 +119,13 @@ class DB:
         bundle this DB records into; by default metrics are collected
         and tracing is off.  Pass a bundle with an enabled tracer to
         capture an S1–S7 span timeline of every compaction
-        (``dbtool trace`` does)."""
+        (``dbtool trace`` does).
+
+        ``compute_pool`` (optional) runs pipelined compactions' S2–S6
+        compute stage on a shared externally owned pool instead of
+        per-compaction threads; a :class:`repro.cluster.ShardedDB`
+        passes one pool to all of its shards so aggregate compaction
+        compute stays bounded."""
         self.obs = obs or Observability()
         # All engine I/O (WAL, SSTables, MANIFEST) flows through the
         # metered wrapper so per-device byte/op counters come for free.
@@ -136,6 +143,7 @@ class DB:
         self.options = options or Options()
         self.options.validate()
         self.compaction_spec = compaction_spec or ProcedureSpec.scp()
+        self.compute_pool = compute_pool
         self.observer = observer
         self.stats = DBStats()
         #: ring of recent compaction records (dicts); see _record_compaction.
@@ -562,6 +570,7 @@ class DB:
                         drop_deletes=drop_deletes,
                         smallest_snapshot=smallest_snapshot,
                         tracer=self.obs.tracer,
+                        compute_pool=self.compute_pool,
                     )
                     elapsed = time.perf_counter() - t0
                 break
@@ -840,6 +849,17 @@ class DB:
         return self.scan()
 
     # ------------------------------------------------------------ admin
+    def write_stalled(self, keys=None) -> bool:
+        """True when a write would currently park in the L0 stall.
+
+        Lock-free racy read (momentary staleness is fine: the caller —
+        the network server's backpressure check — re-evaluates every
+        request).  ``keys`` is accepted for signature compatibility
+        with ``ShardedDB.write_stalled`` and ignored: a single DB owns
+        every key.
+        """
+        return self.picker.write_stall(self.version)
+
     def num_files(self, level: int) -> int:
         with self._lock:
             return self.version.num_files(level)

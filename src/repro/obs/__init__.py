@@ -26,6 +26,7 @@ from .registry import (
     Histogram,
     LatencyHistogram,
     MetricsRegistry,
+    merge_shard_snapshots,
 )
 from .tracer import NULL_TRACER, Span, Tracer, pipeline_overlap
 
@@ -39,6 +40,7 @@ __all__ = [
     "Observability",
     "Span",
     "Tracer",
+    "merge_shard_snapshots",
     "pipeline_overlap",
 ]
 

@@ -39,6 +39,7 @@ __all__ = [
     "Histogram",
     "LatencyHistogram",
     "MetricsRegistry",
+    "merge_shard_snapshots",
 ]
 
 
@@ -306,3 +307,33 @@ class MetricsRegistry:
             lines.append(f"{name:<32} n={h['count']} mean="
                          f"{h.get('mean', h.get('mean_ms', 0.0)):.4g} {tail}")
         return "\n".join(lines) if lines else "(no metrics)"
+
+
+def merge_shard_snapshots(
+    cluster_snapshot: dict,
+    shard_snapshots: list[dict],
+    prefix: str = "cluster.shard",
+) -> dict:
+    """Merge per-shard registry snapshots into one shard-dimensioned view.
+
+    Every per-shard metric appears as ``<prefix><i>.<name>`` (e.g.
+    ``cluster.shard0.flush.bytes``); counters and gauges additionally
+    roll up as sums under their bare name.  Histograms are *not* rolled
+    up — their snapshots are pre-aggregated summaries (percentiles
+    don't sum); consumers wanting a cluster-wide distribution should
+    read the per-shard entries.  ``cluster_snapshot`` (the cluster's
+    own registry, e.g. ``cluster.pool.*``) rides along unprefixed and
+    wins any name collision with a rollup.
+    """
+    out: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+    for i, snap in enumerate(shard_snapshots):
+        for kind in ("counters", "gauges"):
+            for name, value in snap.get(kind, {}).items():
+                out[kind][f"{prefix}{i}.{name}"] = value
+                out[kind][name] = out[kind].get(name, 0) + value
+        for name, value in snap.get("histograms", {}).items():
+            out["histograms"][f"{prefix}{i}.{name}"] = value
+    for kind in ("counters", "gauges", "histograms"):
+        out[kind].update(cluster_snapshot.get(kind, {}))
+        out[kind] = dict(sorted(out[kind].items()))
+    return out

@@ -84,6 +84,7 @@ __all__ = [
     "decode_response",
     "encode_batch_body",
     "decode_batch_body",
+    "write_request_keys",
     "encode_scan_body",
     "decode_scan_body",
     "encode_scan_result",
@@ -321,6 +322,22 @@ def decode_batch_body(body: bytes) -> list[tuple]:
     if pos != len(body):
         raise ProtocolError("trailing bytes after batch body")
     return ops
+
+
+def write_request_keys(request: Request) -> list[bytes]:
+    """The user keys a write request touches (for shard-aware routing).
+
+    PUT/DELETE contribute their single key, BATCH every op's key;
+    non-write opcodes contribute none.  Raises :class:`ProtocolError`
+    on a malformed body, same as full decoding would.
+    """
+    op, body = request.opcode, request.body
+    if op in (OP_PUT, OP_DELETE):
+        key, _ = decode_lp(body)
+        return [key]
+    if op == OP_BATCH:
+        return [entry[1] for entry in decode_batch_body(body)]
+    return []
 
 
 def encode_scan_body(

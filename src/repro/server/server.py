@@ -25,7 +25,10 @@ Backpressure, two layers
   Clients back off and retry (:mod:`repro.server.client` does this
   automatically), which makes compaction pauses *observable* at the
   network edge — exactly what the paper's pipelined compaction is
-  meant to shorten.
+  meant to shorten.  In cluster mode (serving a
+  :class:`repro.cluster.ShardedDB`) the rejection is routed: only
+  writes whose keys land on a stalled shard see ``STALLED``; traffic
+  to healthy shards flows on.
 
 Graceful shutdown drains in-flight requests, flushes the memtable,
 runs compactions to quiescence, and closes the DB, so the directory
@@ -83,7 +86,13 @@ class ServerConfig:
 
 
 class KVServer:
-    """The networked KV service; one instance wraps one open DB."""
+    """The networked KV service; one instance wraps one open engine.
+
+    ``db`` is anything DB-shaped: a :class:`repro.db.DB` or a
+    :class:`repro.cluster.ShardedDB` (cluster mode — same wire
+    protocol, shard-aware stall routing, STATS grows a ``cluster``
+    section with per-shard rollups).
+    """
 
     def __init__(
         self,
@@ -243,10 +252,7 @@ class KVServer:
                 status, body = P.ST_SHUTTING_DOWN, P.encode_lp(
                     b"server shutting down"
                 )
-            elif (
-                request.opcode in P.WRITE_OPCODES
-                and self.db.picker.write_stall(self.db.version)
-            ):
+            elif self._stalled_for(request):
                 # The engine would park this write until compaction
                 # catches up; tell the client to back off instead.
                 self.metrics.record_stall_rejection()
@@ -280,6 +286,26 @@ class KVServer:
             in (P.ST_BAD_REQUEST, P.ST_SERVER_ERROR, P.ST_SHUTTING_DOWN),
         )
         return frame
+
+    def _stalled_for(self, request: P.Request) -> bool:
+        """Would this request hit a write stall right now?
+
+        Against a sharded engine only the shard(s) the request's keys
+        route to count — one backed-up shard must not reject writes
+        bound for healthy shards — so the keys are peeked out of the
+        request body and passed to ``write_stalled(keys=...)``.
+        Undecodable bodies report no stall; ``_execute`` raises the
+        proper BAD_REQUEST for them.
+        """
+        if request.opcode not in P.WRITE_OPCODES:
+            return False
+        if getattr(self.db, "shard_for_key", None) is None:
+            return self.db.write_stalled()
+        try:
+            keys = P.write_request_keys(request)
+        except P.ProtocolError:
+            return False
+        return self.db.write_stalled(keys=keys)
 
     def _execute(self, request: P.Request) -> tuple[int, bytes]:
         """Run one opcode against the DB (worker thread)."""
@@ -341,7 +367,11 @@ class KVServer:
 
     def _stats_dict(self) -> dict:
         db_stats = self.db.stats
-        return {
+        if getattr(self.db, "metrics_snapshot", None) is not None:
+            engine = self.db.metrics_snapshot()
+        else:
+            engine = self.db.obs.metrics.snapshot()
+        out = {
             "server": self.metrics.snapshot(),
             "db": {
                 "writes": db_stats.writes,
@@ -354,10 +384,17 @@ class KVServer:
                 "compaction_output_bytes": db_stats.compaction_output_bytes,
                 "l0_files": self.db.num_files(0),
                 "total_bytes": self.db.total_bytes(),
-                "write_stalled_now": self.db.picker.write_stall(self.db.version),
+                "write_stalled_now": self.db.write_stalled(),
             },
-            "engine": self.db.obs.metrics.snapshot(),
+            "engine": engine,
         }
+        if getattr(self.db, "shard_stats", None) is not None:
+            out["cluster"] = {
+                "n_shards": self.db.n_shards,
+                "stalled_shards": self.db.stalled_shards(),
+                "shards": self.db.shard_stats(),
+            }
+        return out
 
 
 # ----------------------------------------------------------- embedding

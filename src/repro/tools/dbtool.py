@@ -18,6 +18,12 @@ Commands (all take a database directory):
 * ``analyze [paths]`` — run the repo's concurrency-invariant static
   rules (``repro.analysis``) over source paths; exit 1 on findings.
 
+``stats``, ``fsck``, ``serve``, and ``trace`` are cluster-aware: pass
+``--shards N`` (or let a ``CLUSTER`` manifest in the directory opt in
+automatically) to operate on a :mod:`repro.cluster` sharded store —
+``fsck`` then checks every ``shard-NN`` subdirectory and exits with
+the worst shard's code.
+
 Engine options that affect on-disk interpretation (block checksum kind,
 compression) are format-self-describing, so the defaults work for any
 database written by this library.
@@ -52,6 +58,12 @@ def build_parser() -> argparse.ArgumentParser:
     ]:
         cmd = sub.add_parser(name, help=help_)
         cmd.add_argument("directory", help="database directory")
+        if name == "stats":
+            cmd.add_argument(
+                "--shards", type=int, default=None, metavar="N",
+                help="treat the directory as an N-shard cluster "
+                     "(auto-detected from a CLUSTER manifest when omitted)",
+            )
         if name == "dump":
             cmd.add_argument("--start", type=_bytes_arg, default=None)
             cmd.add_argument("--end", type=_bytes_arg, default=None)
@@ -69,6 +81,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--repair", action="store_true",
         help="on damage, rebuild the manifest from salvageable tables "
              "and verify again (exit 0 only if the rebuilt store is clean)",
+    )
+    fsck.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="fsck every shard-NN subdirectory of an N-shard cluster; "
+             "exit code is the worst shard's (auto-detected from a "
+             "CLUSTER manifest when omitted)",
     )
 
     sst = sub.add_parser("sst", help="inspect one SSTable file")
@@ -95,6 +113,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-plan", metavar="JSON", default=None,
         help='inject storage faults, e.g. \'{"seed": 7, '
              '"write_error_rate": 0.01}\' (see repro.devices.FaultPlan)',
+    )
+    srv.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="serve an N-shard cluster rooted at the directory "
+             "(auto-detected from a CLUSTER manifest when omitted)",
     )
 
     trc = sub.add_parser(
@@ -124,6 +147,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-plan", metavar="JSON", default=None,
         help="inject storage faults during the traced run "
              "(see repro.devices.FaultPlan)",
+    )
+    trc.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="trace an N-shard in-memory cluster instead of one DB "
+             "(all shards share one timeline)",
     )
 
     ana = sub.add_parser(
@@ -163,7 +191,23 @@ def _maybe_faulty(storage, plan_json: str | None):
     return FaultyStorage(storage, FaultPlan.from_json(plan_json))
 
 
+def _cluster_n_shards(directory: str, shards_arg: int | None) -> int | None:
+    """Resolve cluster mode: explicit ``--shards`` wins, otherwise a
+    CLUSTER manifest in the directory opts in; None means plain DB."""
+    if shards_arg is not None:
+        return shards_arg
+    from ..cluster import ClusterManifest
+
+    storage = OSStorage(directory)
+    if ClusterManifest.exists(storage):
+        return ClusterManifest.load(storage).n_shards
+    return None
+
+
 def cmd_stats(args) -> int:
+    n_shards = _cluster_n_shards(args.directory, args.shards)
+    if n_shards is not None:
+        return _cmd_stats_cluster(args.directory, n_shards)
     db = _open_db(args.directory)
     try:
         print(db.get_property("sstables"))
@@ -180,6 +224,26 @@ def cmd_stats(args) -> int:
         for line in (db.get_property("io-stats") or "").splitlines():
             print(f"  {line}")
         print("cache-stats:", db.get_property("cache-stats"))
+    finally:
+        db.close()
+    return 0
+
+
+def _cmd_stats_cluster(directory: str, n_shards: int) -> int:
+    from ..cluster import ShardedDB
+
+    db = ShardedDB.open_path(directory, n_shards=n_shards)
+    try:
+        print(db.get_property("cluster"))
+        total = db.total_bytes()
+        print(f"total table bytes: {total} ({total / 1e6:.2f} MB)")
+        levels = [
+            f"L{lv}={db.num_files(lv)}"
+            for lv in range(db.options.num_levels)
+            if db.num_files(lv)
+        ]
+        print("files per level (all shards):", " ".join(levels) or "(none)")
+        print("live entries:", db.cursor().count())
     finally:
         db.close()
     return 0
@@ -204,12 +268,30 @@ def cmd_repair(args) -> int:
 
 
 def cmd_fsck(args) -> int:
-    storage = OSStorage(args.directory)
+    n_shards = _cluster_n_shards(args.directory, args.shards)
+    if n_shards is None:
+        return _fsck_dir(args.directory, args.repair)
+    import os
+
+    from ..cluster import shard_dir_name
+
+    worst = 0
+    for i in range(n_shards):
+        shard_dir = os.path.join(args.directory, shard_dir_name(i))
+        print(f"=== shard {i}: {shard_dir} ===")
+        worst = max(worst, _fsck_dir(shard_dir, args.repair))
+    print(f"fsck: {n_shards} shards checked, "
+          f"{'all clean' if worst == 0 else 'errors remain'}")
+    return worst
+
+
+def _fsck_dir(directory: str, repair: bool) -> int:
+    storage = OSStorage(directory)
     report = verify_db(storage, Options())
     print(report.render())
     if report.ok:
         return 0
-    if not args.repair:
+    if not repair:
         print("fsck: errors found (rerun with --repair to rebuild)")
         return 1
     print("fsck: attempting repair...")
@@ -287,11 +369,25 @@ def cmd_sst(args) -> int:
 def cmd_serve(args) -> int:
     from ..server import ServerConfig, serve_forever
 
-    db = DB(
-        _maybe_faulty(OSStorage(args.directory), args.fault_plan),
-        Options(),
-        background=not args.sync_compaction,
-    )
+    n_shards = _cluster_n_shards(args.directory, args.shards)
+    if n_shards is not None:
+        if args.fault_plan is not None:
+            print("serve: --fault-plan is not supported with --shards",
+                  file=sys.stderr)
+            return 2
+        from ..cluster import ShardedDB
+
+        db = ShardedDB.open_path(
+            args.directory,
+            n_shards=n_shards,
+            background=not args.sync_compaction,
+        )
+    else:
+        db = DB(
+            _maybe_faulty(OSStorage(args.directory), args.fault_plan),
+            Options(),
+            background=not args.sync_compaction,
+        )
     config = ServerConfig(
         host=args.host,
         port=args.port,
@@ -329,10 +425,23 @@ def cmd_trace(args) -> int:
     workload = YCSBWorkload(
         args.mix, args.ops, args.records, value_bytes=args.value_bytes
     )
-    db = DB(
-        _maybe_faulty(MemStorage(), args.fault_plan),
-        options, compaction_spec=spec, obs=obs,
-    )
+    if args.shards is not None:
+        if args.fault_plan is not None:
+            print("trace: --fault-plan is not supported with --shards",
+                  file=sys.stderr)
+            return 2
+        from ..cluster import ShardedDB
+
+        # All shards share the cluster tracer: one timeline shows the
+        # shared compute pool interleaving every shard's compactions.
+        db = ShardedDB.in_memory(
+            args.shards, options=options, compaction_spec=spec, obs=obs
+        )
+    else:
+        db = DB(
+            _maybe_faulty(MemStorage(), args.fault_plan),
+            options, compaction_spec=spec, obs=obs,
+        )
     try:
         for key, value in workload.load_phase():
             db.put(key, value)

@@ -1,0 +1,101 @@
+"""CLUSTER manifest tests: round-trip, corruption, layout validation."""
+
+import json
+
+import pytest
+
+from repro.cluster import (
+    CLUSTER_FILE,
+    ClusterConfigError,
+    ClusterManifest,
+    HashPartitioner,
+    RangePartitioner,
+    shard_dir_name,
+)
+from repro.devices import MemStorage
+
+
+def test_shard_dir_names():
+    assert shard_dir_name(0) == "shard-00"
+    assert shard_dir_name(7) == "shard-07"
+    assert shard_dir_name(12) == "shard-12"
+
+
+def test_round_trip_hash():
+    root = MemStorage()
+    m = ClusterManifest(4, HashPartitioner(4, seed=9).spec())
+    m.save(root)
+    loaded = ClusterManifest.load(root)
+    assert loaded.n_shards == 4
+    assert loaded.partitioner() == HashPartitioner(4, seed=9)
+    assert loaded.shard_names() == [f"shard-{i:02d}" for i in range(4)]
+
+
+def test_round_trip_range():
+    root = MemStorage()
+    splits = [b"\x00\xffbinary", b"zzz"]
+    ClusterManifest(3, RangePartitioner(splits).spec()).save(root)
+    assert ClusterManifest.load(root).partitioner() == RangePartitioner(splits)
+
+
+def test_save_is_atomic_no_tmp_left():
+    root = MemStorage()
+    ClusterManifest(2, HashPartitioner(2).spec()).save(root)
+    assert root.exists(CLUSTER_FILE)
+    assert not root.exists(CLUSTER_FILE + ".tmp")
+
+
+def test_resave_overwrites():
+    root = MemStorage()
+    ClusterManifest(2, HashPartitioner(2).spec()).save(root)
+    ClusterManifest(2, HashPartitioner(2, seed=5).spec()).save(root)
+    assert ClusterManifest.load(root).partitioner() == HashPartitioner(2, 5)
+
+
+def test_load_missing_raises():
+    with pytest.raises(ClusterConfigError, match="no CLUSTER"):
+        ClusterManifest.load(MemStorage())
+
+
+def _write_raw(root, blob: bytes) -> None:
+    with root.create(CLUSTER_FILE) as f:
+        f.append(blob)
+        f.sync()
+
+
+def test_load_rejects_bit_flip():
+    root = MemStorage()
+    ClusterManifest(2, HashPartitioner(2).spec()).save(root)
+    with root.open(CLUSTER_FILE) as f:
+        blob = bytearray(f.read_all())
+    wrapper = json.loads(bytes(blob))
+    wrapper["data"] = wrapper["data"].replace('"n_shards": 2', '"n_shards": 3')
+    _write_raw(root, json.dumps(wrapper).encode())
+    with pytest.raises(ClusterConfigError, match="checksum"):
+        ClusterManifest.load(root)
+
+
+def test_load_rejects_garbage():
+    root = MemStorage()
+    _write_raw(root, b"\x00\x01not json at all")
+    with pytest.raises(ClusterConfigError, match="damaged"):
+        ClusterManifest.load(root)
+
+
+def test_load_rejects_future_format_version():
+    root = MemStorage()
+    m = ClusterManifest(2, HashPartitioner(2).spec(), format_version=99)
+    m.save(root)
+    with pytest.raises(ClusterConfigError, match="format_version"):
+        ClusterManifest.load(root)
+
+
+def test_validate_against():
+    m = ClusterManifest(4, HashPartitioner(4).spec())
+    m.validate_against(4, HashPartitioner(4))  # no raise
+    with pytest.raises(ClusterConfigError, match="4 shards"):
+        m.validate_against(2, HashPartitioner(2))
+    with pytest.raises(ClusterConfigError, match="partitioner mismatch"):
+        m.validate_against(4, HashPartitioner(4, seed=1))
+    with pytest.raises(ClusterConfigError, match="partitioner mismatch"):
+        m.validate_against(4, RangePartitioner([b"a", b"b", b"c"]))

@@ -1,0 +1,102 @@
+"""Partitioner unit tests: routing, grouping, spec round-trips."""
+
+import pytest
+
+from repro.cluster import (
+    HashPartitioner,
+    RangePartitioner,
+    partitioner_from_spec,
+)
+
+
+class TestHashPartitioner:
+    def test_routes_within_range(self):
+        p = HashPartitioner(4)
+        for i in range(1000):
+            assert 0 <= p.shard_of(b"key%d" % i) < 4
+
+    def test_deterministic(self):
+        a, b = HashPartitioner(8), HashPartitioner(8)
+        keys = [b"k%d" % i for i in range(200)]
+        assert [a.shard_of(k) for k in keys] == [b.shard_of(k) for k in keys]
+
+    def test_reasonably_balanced(self):
+        p = HashPartitioner(4)
+        counts = [0] * 4
+        for i in range(4000):
+            counts[p.shard_of(b"key%06d" % i)] += 1
+        for n in counts:
+            assert 600 < n < 1400, counts
+
+    def test_seed_changes_assignment(self):
+        a, b = HashPartitioner(4, seed=0), HashPartitioner(4, seed=99)
+        keys = [b"k%d" % i for i in range(100)]
+        assert [a.shard_of(k) for k in keys] != [b.shard_of(k) for k in keys]
+
+    def test_single_shard(self):
+        p = HashPartitioner(1)
+        assert p.shard_of(b"anything") == 0
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            HashPartitioner(0)
+
+    def test_spec_round_trip(self):
+        p = HashPartitioner(4, seed=7)
+        q = partitioner_from_spec(p.spec())
+        assert q == p
+        assert [q.shard_of(b"k%d" % i) for i in range(50)] == [
+            p.shard_of(b"k%d" % i) for i in range(50)
+        ]
+
+
+class TestRangePartitioner:
+    def test_split_semantics(self):
+        # splits are the *first* key of the next shard.
+        p = RangePartitioner([b"h", b"p"])
+        assert p.n_shards == 3
+        assert p.shard_of(b"a") == 0
+        assert p.shard_of(b"g\xff") == 0
+        assert p.shard_of(b"h") == 1
+        assert p.shard_of(b"o") == 1
+        assert p.shard_of(b"p") == 2
+        assert p.shard_of(b"z") == 2
+
+    def test_rejects_unsorted_splits(self):
+        with pytest.raises(ValueError):
+            RangePartitioner([b"p", b"h"])
+        with pytest.raises(ValueError):
+            RangePartitioner([b"h", b"h"])
+        with pytest.raises(ValueError):
+            RangePartitioner([])
+
+    def test_spec_round_trip(self):
+        p = RangePartitioner([b"b", b"\xff\x00"])
+        q = partitioner_from_spec(p.spec())
+        assert q == p
+        assert q.shard_of(b"\xff\x01") == 2
+
+
+class TestGroupKeys:
+    def test_positions_cover_all_keys(self):
+        p = HashPartitioner(4)
+        keys = [b"key%03d" % i for i in range(57)]
+        groups = p.group_keys(keys)
+        seen = sorted(pos for positions in groups.values() for pos in positions)
+        assert seen == list(range(len(keys)))
+
+    def test_groups_agree_with_shard_of(self):
+        p = RangePartitioner([b"key020", b"key040"])
+        keys = [b"key%03d" % i for i in range(60)]
+        for shard, positions in p.group_keys(keys).items():
+            for pos in positions:
+                assert p.shard_of(keys[pos]) == shard
+
+
+def test_from_spec_rejects_unknown_kind():
+    with pytest.raises(ValueError):
+        partitioner_from_spec({"kind": "consistent-hash", "n_shards": 3})
+
+
+def test_cross_kind_inequality():
+    assert HashPartitioner(2) != RangePartitioner([b"m"])

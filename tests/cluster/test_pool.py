@@ -1,0 +1,90 @@
+"""SharedComputePool tests: bounded occupancy, metrics, lifecycle."""
+
+import threading
+import time
+
+import pytest
+
+from repro.cluster import SharedComputePool
+from repro.obs import MetricsRegistry
+
+
+def test_executes_and_returns_results():
+    with SharedComputePool(2) as pool:
+        futures = [pool.submit(lambda x: x * x, i) for i in range(20)]
+        assert [f.result() for f in futures] == [i * i for i in range(20)]
+
+
+def test_propagates_exceptions():
+    def boom():
+        raise ValueError("compute failed")
+
+    with SharedComputePool(1) as pool:
+        future = pool.submit(boom)
+        with pytest.raises(ValueError, match="compute failed"):
+            future.result()
+
+
+def test_occupancy_never_exceeds_workers():
+    metrics = MetricsRegistry()
+    barrier = threading.Barrier(2, timeout=5)
+
+    def task():
+        try:
+            barrier.wait()  # force two tasks to overlap
+        except threading.BrokenBarrierError:
+            pass
+        time.sleep(0.01)
+
+    with SharedComputePool(2, metrics=metrics) as pool:
+        futures = [pool.submit(task) for _ in range(12)]
+        for f in futures:
+            f.result()
+    snap = metrics.snapshot()
+    assert snap["gauges"]["cluster.pool.workers"] == 2
+    assert 1 <= snap["gauges"]["cluster.pool.max_active"] <= 2
+    assert snap["counters"]["cluster.pool.tasks"] == 12
+    assert snap["gauges"]["cluster.pool.active"] == 0
+    assert snap["histograms"]["cluster.pool.exec_seconds"]["count"] == 12
+
+
+def test_many_submitters_one_pool():
+    # N "shards" submitting concurrently still share the worker cap.
+    metrics = MetricsRegistry()
+    pool = SharedComputePool(3, metrics=metrics)
+    errors = []
+
+    def shard_load():
+        try:
+            futures = [pool.submit(sum, range(1000)) for _ in range(25)]
+            assert all(f.result() == 499500 for f in futures)
+        except Exception as exc:  # pragma: no cover - assertion carrier
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=shard_load, name=f"shard-load-{i}")
+        for i in range(6)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    pool.shutdown()
+    assert not errors
+    snap = metrics.snapshot()
+    assert snap["counters"]["cluster.pool.tasks"] == 150
+    assert snap["gauges"]["cluster.pool.max_active"] <= 3
+
+
+def test_shutdown_is_idempotent_and_rejects_new_work():
+    pool = SharedComputePool(1)
+    pool.submit(lambda: None).result()
+    pool.shutdown()
+    pool.shutdown()
+    with pytest.raises(RuntimeError, match="shut down"):
+        pool.submit(lambda: None)
+
+
+def test_rejects_bad_worker_count():
+    with pytest.raises(ValueError):
+        SharedComputePool(0)

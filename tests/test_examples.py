@@ -16,6 +16,7 @@ EXAMPLES = [
     "examples/bottleneck_analysis.py",
     "examples/pipeline_visualizer.py",
     "examples/server_quickstart.py",
+    "examples/cluster_quickstart.py",
 ]
 
 
