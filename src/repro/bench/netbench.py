@@ -41,7 +41,13 @@ from ..obs import LatencyHistogram
 from ..server.server import ServerConfig, ServerThread
 from ..workload.ycsb import INSERT, RMW, UPDATE, YCSBWorkload
 
-__all__ = ["NetBenchResult", "run_net_benchmark", "run_scaling", "main"]
+__all__ = [
+    "NetBenchResult",
+    "main",
+    "run_net_benchmark",
+    "run_replication_bench",
+    "run_scaling",
+]
 
 
 @dataclass
@@ -61,6 +67,10 @@ class NetBenchResult:
     server_stats: dict = field(repr=False, default_factory=dict)
     #: engine shard count (1 = plain DB, >1 = repro.cluster.ShardedDB)
     shards: int = 1
+    #: follower replicas attached to the primary (0 = no replication)
+    replicas: int = 0
+    #: the primary's write ack level (0, N, or -1 = majority)
+    repl_acks: int = 0
 
     def percentile_ms(self, p: float) -> float:
         return self.latency.percentile(p) * 1e3
@@ -71,6 +81,9 @@ class NetBenchResult:
 
     def summary(self) -> str:
         shard_note = f" shards={self.shards}" if self.shards > 1 else ""
+        if self.replicas:
+            acks = "majority" if self.repl_acks < 0 else self.repl_acks
+            shard_note += f" replicas={self.replicas} acks={acks}"
         return (
             f"ycsb-{self.mix}: {self.n_ops} ops over "
             f"{self.connections} connections{shard_note} in "
@@ -136,6 +149,8 @@ def run_net_benchmark(
     seed: int = 0,
     shards: int = 1,
     pool_workers: Optional[int] = None,
+    replicas: int = 0,
+    repl_acks: "int | str" = 0,
 ) -> NetBenchResult:
     """Load a keyspace, then run ``n_ops`` of YCSB mix ``mix`` through
     ``connections`` concurrent closed-loop socket clients.
@@ -149,10 +164,22 @@ def run_net_benchmark(
     :class:`repro.cluster.ShardedDB` instead of one DB (same wire
     protocol; ``pool_workers`` caps the cluster's shared compaction
     compute pool).  ``storage`` cannot be combined with ``shards``.
+
+    ``replicas`` > 0 attaches that many in-memory loopback followers
+    to the (single-shard) primary, and every write the clients issue
+    must collect ``repl_acks`` follower acks (``"majority"`` = -1)
+    before the server says OK — the knob the replication benchmark
+    sweeps.
     """
     workload = YCSBWorkload(
         mix, n_ops, record_count, value_bytes=value_bytes, seed=seed
     )
+    acks = -1 if repl_acks == "majority" else int(repl_acks)
+    hub = None
+    followers: list = []
+    follower_servers: list[ServerThread] = []
+    if replicas > 0 and shards > 1:
+        raise ValueError("pass replicas or shards>1, not both")
     if shards > 1:
         if storage is not None:
             raise ValueError("pass shards>1 or storage, not both")
@@ -166,13 +193,55 @@ def run_net_benchmark(
             pool_workers=pool_workers,
         )
     else:
+        opts = options or Options()
+        if replicas > 0 and opts.wal_retain_bytes == 0:
+            import dataclasses
+
+            opts = dataclasses.replace(
+                opts, wal_retain_bytes=8 * 1024 * 1024
+            )
         db = DB(
             storage if storage is not None else MemStorage(),
-            options or Options(),
+            opts,
             compaction_spec=compaction_spec,
             background=True,
         )
-    handle = ServerThread(db, server_config).start()
+    if replicas > 0:
+        from ..replication import ReplicationHub
+
+        hub = ReplicationHub(db)
+        server_config = server_config or ServerConfig()
+        server_config.repl_acks = acks
+    handle = ServerThread(db, server_config, hub=hub).start()
+    if replicas > 0:
+        from ..replication import Follower
+
+        for i in range(replicas):
+            fstorage = MemStorage()
+
+            def _factory(fstorage=fstorage):
+                return DB(fstorage, Options(), background=True)
+
+            fdb = _factory()
+            follower = Follower(
+                fdb, fstorage, _factory,
+                handle.host, handle.port, f"bench-f{i}",
+            ).start()
+            followers.append(follower)
+            follower_servers.append(
+                ServerThread(
+                    fdb,
+                    ServerConfig(read_only=True),
+                    own_db=False,
+                    follower=follower,
+                ).start()
+            )
+    if replicas > 0:
+        # Let every follower subscribe before the load phase, so
+        # ack-gated writes never stall on an empty follower set.
+        deadline = time.monotonic() + 10.0
+        while hub.n_followers < replicas and time.monotonic() < deadline:
+            time.sleep(0.01)
     histogram = LatencyHistogram()
     counts: dict[str, int] = {}
     lock = threading.Lock()
@@ -216,6 +285,11 @@ def run_net_benchmark(
             probe.close()
     finally:
         handle.stop()
+        for server in follower_servers:
+            server.stop()
+        for follower in followers:
+            follower.stop()
+            follower.db.close()
     if errors:
         raise RuntimeError(f"{len(errors)} connection(s) failed: {errors[0]}")
     stall_retries = counts.pop("_stall_retries", 0)
@@ -231,6 +305,8 @@ def run_net_benchmark(
         latency=histogram,
         server_stats=server_stats,
         shards=shards,
+        replicas=replicas,
+        repl_acks=acks,
     )
 
 
@@ -326,6 +402,66 @@ def run_scaling(
     }
 
 
+def run_replication_bench(
+    ack_levels: Optional[list] = None,
+    replicas: int = 2,
+    mix: str = "a",
+    n_ops: int = 4000,
+    record_count: int = 1000,
+    value_bytes: int = 100,
+    connections: int = 4,
+    seed: int = 0,
+) -> dict:
+    """Sweep the write ack level over a 1-primary/N-follower loopback.
+
+    The first run is the single-node baseline (no replication); then
+    the identical workload repeats with ``replicas`` followers at each
+    ack level.  The returned dict is the ``BENCH_replication.json``
+    payload: throughput, latency percentiles, and stall retries per
+    level — the measured price of each durability step (local only →
+    1 follower → majority).
+    """
+    levels = ack_levels if ack_levels is not None else [0, 1, "majority"]
+    runs = []
+    for replica_count, level in [(0, 0)] + [(replicas, lv) for lv in levels]:
+        result = run_net_benchmark(
+            mix=mix,
+            n_ops=n_ops,
+            record_count=record_count,
+            value_bytes=value_bytes,
+            connections=connections,
+            seed=seed,
+            replicas=replica_count,
+            repl_acks=level,
+        )
+        repl = result.server_stats.get("repl", {})
+        runs.append(
+            {
+                "replicas": replica_count,
+                "ack_level": str(level) if replica_count else "baseline",
+                "ops_per_second": result.ops_per_second,
+                "wall_seconds": result.wall_seconds,
+                "p50_ms": result.percentile_ms(50),
+                "p95_ms": result.percentile_ms(95),
+                "p99_ms": result.percentile_ms(99),
+                "stall_retries": result.stall_retries,
+                "followers": repl.get("followers", []),
+            }
+        )
+    base = runs[0]["ops_per_second"] or 1.0
+    for entry in runs:
+        entry["throughput_vs_baseline"] = entry["ops_per_second"] / base
+    return {
+        "benchmark": "netbench-replication",
+        "mix": mix,
+        "n_ops": n_ops,
+        "record_count": record_count,
+        "connections": connections,
+        "replicas": replicas,
+        "runs": runs,
+    }
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="netbench",
@@ -356,10 +492,51 @@ def main(argv: Optional[list[str]] = None) -> int:
              "(e.g. 1,2,4) instead of a single run",
     )
     parser.add_argument(
+        "--replicas", type=int, default=0,
+        help="attach N in-memory loopback followers to the primary",
+    )
+    parser.add_argument(
+        "--repl-acks", metavar="N|majority", default="0",
+        help="follower acks per write when --replicas > 0 "
+             "(default 0; 'majority' = cluster majority)",
+    )
+    parser.add_argument(
+        "--replication-sweep", action="store_true",
+        help="run the ack-level sweep (baseline, then --replicas "
+             "followers at ack 0/1/majority) instead of a single run",
+    )
+    parser.add_argument(
         "--json-out", metavar="PATH", default=None,
-        help="write the scaling result table as JSON (with --scaling)",
+        help="write the result table as JSON "
+             "(with --scaling or --replication-sweep)",
     )
     args = parser.parse_args(argv)
+
+    if args.replication_sweep:
+        table = run_replication_bench(
+            replicas=args.replicas or 2,
+            mix=args.mix,
+            n_ops=args.ops,
+            record_count=args.records,
+            value_bytes=args.value_bytes,
+            connections=args.connections,
+            seed=args.seed,
+        )
+        for entry in table["runs"]:
+            print(
+                f"replicas={entry['replicas']} acks={entry['ack_level']}: "
+                f"{entry['ops_per_second']:,.0f} ops/s "
+                f"({entry['throughput_vs_baseline']:.2f}x of baseline) "
+                f"p99={entry['p99_ms']:.2f}ms "
+                f"stall_retries={entry['stall_retries']}"
+            )
+        if args.json_out:
+            import json
+
+            with open(args.json_out, "w") as fh:
+                json.dump(table, fh, indent=2, sort_keys=True)
+            print(f"wrote {args.json_out}")
+        return 0
 
     if args.scaling is not None:
         shard_counts = [int(n) for n in args.scaling.split(",") if n.strip()]
@@ -401,6 +578,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         seed=args.seed,
         shards=args.shards,
         pool_workers=args.pool_workers,
+        replicas=args.replicas,
+        repl_acks=args.repl_acks,
     )
     print(result.summary())
     db_stats = result.server_stats.get("db", {})

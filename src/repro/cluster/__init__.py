@@ -38,6 +38,7 @@ from .partitioner import (
     partitioner_from_spec,
 )
 from .pool import SharedComputePool
+from .shard import ShardLike
 from .sharded import ClusterSnapshot, ShardedDB
 
 __all__ = [
@@ -49,6 +50,7 @@ __all__ = [
     "HashPartitioner",
     "Partitioner",
     "RangePartitioner",
+    "ShardLike",
     "ShardedDB",
     "SharedComputePool",
     "partitioner_from_spec",

@@ -181,6 +181,48 @@ class ShardedDB:
 
     # ----------------------------------------------------- constructors
     @classmethod
+    def from_shards(
+        cls,
+        shards: Sequence,
+        partitioner: Optional[Partitioner] = None,
+        obs: Optional[Observability] = None,
+    ):
+        """Compose a cluster from already-open :class:`ShardLike` shards.
+
+        Unlike the storage-based constructor this takes *any* mix of
+        shard implementations — local :class:`repro.db.DB` instances,
+        :class:`repro.replication.RemoteShard` connections to other
+        processes, :class:`repro.replication.ReplicatedShard` replica
+        sets — and only routes between them.  No CLUSTER manifest is
+        written (the caller owns topology persistence), no shared
+        compute pool is created (remote shards compact in their own
+        process), and ``close()`` closes the supplied shards.
+
+        Shards without ``cursor``/``snapshot`` support (the remote
+        ones) degrade scans to a heap merge of per-shard scans and
+        make :meth:`snapshot` raise ``NotImplementedError``.
+        """
+        if len(shards) < 1:
+            raise ValueError("need at least one shard")
+        self = cls.__new__(cls)
+        self.root = None
+        self.obs = obs or Observability()
+        self.partitioner = partitioner or HashPartitioner(len(shards))
+        if self.partitioner.n_shards != len(shards):
+            raise ClusterConfigError(
+                f"partitioner covers {self.partitioner.n_shards} shards "
+                f"but {len(shards)} shards supplied"
+            )
+        self.manifest = None
+        self.options = Options()
+        self.compaction_spec = None
+        self.pool = None
+        self._background = False
+        self._closed = False
+        self.shards = list(shards)
+        return self
+
+    @classmethod
     def open_path(cls, path: str, n_shards: Optional[int] = None, **kwargs):
         """Open a cluster rooted at directory ``path``.
 
@@ -300,6 +342,10 @@ class ShardedDB:
 
     def snapshot(self) -> ClusterSnapshot:
         """Pin a snapshot on every shard (shard order, no global freeze)."""
+        if not all(hasattr(shard, "snapshot") for shard in self.shards):
+            raise NotImplementedError(
+                "cluster contains remote shards, which cannot pin snapshots"
+            )
         snaps: list[Snapshot] = []
         try:
             for shard in self.shards:
@@ -317,12 +363,41 @@ class ShardedDB:
         self, snapshot: Optional[ClusterSnapshot] = None
     ) -> ClusterCursor:
         """A k-way-merge cursor over per-shard snapshot-pinned cursors."""
+        if not all(hasattr(shard, "cursor") for shard in self.shards):
+            raise NotImplementedError(
+                "cluster contains remote shards, which have no cursors; "
+                "scan()/scan_reverse() heap-merge instead"
+            )
         return ClusterCursor(
             [
                 shard.cursor(snapshot=self._shard_snapshot(snapshot, i))
                 for i, shard in enumerate(self.shards)
             ]
         )
+
+    def _merged_scan(
+        self,
+        start: Optional[bytes],
+        end: Optional[bytes],
+        snapshot: Optional[ClusterSnapshot],
+        reverse: bool,
+    ) -> Iterator[tuple[bytes, bytes]]:
+        """Heap merge of per-shard scans (the cursorless fallback).
+
+        Shards partition the keyspace, so per-shard streams never
+        carry the same key and a plain key merge is the global order.
+        """
+        import heapq
+
+        streams = [
+            (
+                shard.scan_reverse(start, end, snapshot=snapshot)
+                if reverse
+                else shard.scan(start, end, snapshot=snapshot)
+            )
+            for shard in self.shards
+        ]
+        return heapq.merge(*streams, key=lambda pair: pair[0], reverse=reverse)
 
     def scan(
         self,
@@ -332,7 +407,10 @@ class ShardedDB:
         limit: Optional[int] = None,
     ) -> Iterator[tuple[bytes, bytes]]:
         """Globally ordered iteration over ``[start, end)`` across shards."""
-        items = self.cursor(snapshot).items(start, end)
+        if all(hasattr(shard, "cursor") for shard in self.shards):
+            items = self.cursor(snapshot).items(start, end)
+        else:
+            items = self._merged_scan(start, end, snapshot, reverse=False)
         return items if limit is None else islice(items, limit)
 
     def scan_reverse(
@@ -343,7 +421,10 @@ class ShardedDB:
         limit: Optional[int] = None,
     ) -> Iterator[tuple[bytes, bytes]]:
         """The ``[start, end)`` window in descending global key order."""
-        items = self.cursor(snapshot).items_reverse(start, end)
+        if all(hasattr(shard, "cursor") for shard in self.shards):
+            items = self.cursor(snapshot).items_reverse(start, end)
+        else:
+            items = self._merged_scan(start, end, snapshot, reverse=True)
         return items if limit is None else islice(items, limit)
 
     def items(self) -> Iterator[tuple[bytes, bytes]]:
@@ -437,7 +518,12 @@ class ShardedDB:
         """
         return merge_shard_snapshots(
             self.obs.metrics.snapshot(),
-            [shard.obs.metrics.snapshot() for shard in self.shards],
+            [
+                shard.obs.metrics.snapshot()
+                if getattr(shard, "obs", None) is not None
+                else {}
+                for shard in self.shards
+            ],
         )
 
     def num_files(self, level: int) -> int:

@@ -44,7 +44,7 @@ from ..lsm.table_builder import TableBuilder
 from ..lsm.table_format import TableCorruption
 from ..lsm.table_reader import Table
 from ..lsm.version import FileMetaData, sstable_name
-from ..lsm.wal import LogReader, LogWriter, WriteBatch
+from ..lsm.wal import LogReader, LogWriter, WalRetention, WriteBatch
 from ..obs import Observability
 from .manifest import ManifestWriter, VersionEdit, recover_version, set_current
 
@@ -164,6 +164,15 @@ class DB:
             sync_every if sync_every is not None else self.options.wal_sync_interval
         )
         self._batches_since_sync = 0
+        # Replication hooks: listeners observe every durable write
+        # batch (``fn(base_seq, last_seq, record)`` under the DB lock);
+        # retention keeps retired WALs around for follower catch-up.
+        self._wal_listeners: list = []
+        self._retention: Optional[WalRetention] = (
+            WalRetention(self.storage, self.options.wal_retain_bytes)
+            if self.options.wal_retain_bytes > 0
+            else None
+        )
 
         # -- recovery --------------------------------------------------
         version, next_file, last_seq, log_number, _ = recover_version(
@@ -191,10 +200,12 @@ class DB:
             self.storage.create(self._wal_name(self._wal_number)),
             metrics=self.obs.metrics,
         )
+        self._wal_first_seq = self._sequence + 1
         boot = VersionEdit(
             log_number=self._wal_number,
             next_file_number=self._next_file,
             last_sequence=self._sequence,
+            repl_epoch=self.version.repl_epoch,
         )
         for level, meta in self.version.all_files():
             boot.add_file(level, meta)
@@ -357,6 +368,9 @@ class DB:
             self.stats.writes += len(batch)
             if self.observer is not None:
                 self.observer.on_write(batch, len(encoded))
+            self._notify_wal_listeners(
+                base_seq, base_seq + len(batch) - 1, encoded
+            )
             if self.memtable.approximate_bytes >= self.options.memtable_bytes:
                 self._flush_memtable()
                 self._after_shape_change()
@@ -418,12 +432,14 @@ class DB:
             number = meta.number
             # Switch WAL before publishing the flush.
             old_wal_number = self._wal_number
+            old_wal_first_seq = self._wal_first_seq
             self._wal.close()
             self._wal_number = self._new_file_number()
             self._wal = LogWriter(
                 self.storage.create(self._wal_name(self._wal_number)),
                 metrics=self.obs.metrics,
             )
+            self._wal_first_seq = self._sequence + 1
             edit = VersionEdit(
                 log_number=self._wal_number,
                 next_file_number=self._next_file,
@@ -431,7 +447,21 @@ class DB:
             ).add_file(0, meta)
             self._apply_edit(edit)
             self._crash_point("flush.installed")
-            self.storage.delete(self._wal_name(old_wal_number))
+            old_wal_name = self._wal_name(old_wal_number)
+            if (
+                self._retention is not None
+                and old_wal_first_seq <= self._sequence
+            ):
+                # Keep the retired WAL for follower catch-up instead of
+                # deleting it; the retention prunes oldest-first.
+                self._retention.add(
+                    old_wal_name,
+                    old_wal_first_seq,
+                    self._sequence,
+                    self.storage.file_size(old_wal_name),
+                )
+            else:
+                self.storage.delete(old_wal_name)
             self.memtable = MemTable(seed=number)
         self.stats.flushes += 1
         self.obs.metrics.counter("db.flushes").inc()
@@ -448,6 +478,109 @@ class DB:
             self._check_open()
             self._flush_memtable()
             self._after_shape_change()
+
+    # ------------------------------------------------------ replication
+    @property
+    def last_sequence(self) -> int:
+        """Sequence of the most recent write (racy lock-free read)."""
+        return self._sequence
+
+    @property
+    def repl_epoch(self) -> int:
+        """Replication fencing epoch (bumped by ``dbtool promote``)."""
+        return self.version.repl_epoch
+
+    def set_repl_epoch(self, epoch: int) -> None:
+        """Persist a new fencing epoch (synced manifest edit)."""
+        with self._lock:
+            self._check_open()
+            if epoch < self.version.repl_epoch:
+                raise ValueError(
+                    f"epoch may not move backwards "
+                    f"({epoch} < {self.version.repl_epoch})"
+                )
+            self._apply_edit(VersionEdit(repl_epoch=epoch))
+
+    def add_wal_listener(self, fn) -> None:
+        """Register ``fn(base_seq, last_seq, record)``; called under the
+        DB lock after each batch reaches the WAL.  Keep it fast."""
+        with self._lock:
+            self._wal_listeners.append(fn)
+
+    def remove_wal_listener(self, fn) -> None:
+        with self._lock:
+            if fn in self._wal_listeners:
+                self._wal_listeners.remove(fn)
+
+    def _notify_wal_listeners(
+        self, base_seq: int, last_seq: int, record: bytes
+    ) -> None:
+        for fn in self._wal_listeners:
+            fn(base_seq, last_seq, record)
+
+    @property
+    def wal_retention(self) -> Optional[WalRetention]:
+        """The retired-WAL retention index (None unless enabled)."""
+        return self._retention
+
+    def sync_wal(self) -> None:
+        """Force the live WAL durable (follower ack barrier)."""
+        with self._lock:
+            self._check_open()
+            self._wal.sync()
+            self._batches_since_sync = 0
+
+    def apply_replicated(self, record: bytes) -> bool:
+        """Apply one shipped WAL record (an encoded batch) verbatim.
+
+        The record carries its own base sequence from the primary.
+        Records at or below the local sequence are skipped (duplicate
+        delivery after a reconnect); a gap — base sequence beyond
+        local+1 — raises ValueError so the follower resubscribes
+        rather than silently diverging.  Returns True when applied.
+        """
+        batch, base_seq = WriteBatch.decode(record)
+        with self._lock:
+            self._check_open()
+            last_seq = base_seq + len(batch) - 1
+            if last_seq <= self._sequence:
+                return False  # duplicate redelivery
+            if base_seq != self._sequence + 1:
+                raise ValueError(
+                    f"replication gap: record starts at {base_seq}, "
+                    f"local sequence is {self._sequence}"
+                )
+            self._crash_point("wal.append")
+            self._wal.add_record(record)
+            self._batches_since_sync += 1
+            for offset, (kind, key, value) in enumerate(batch):
+                self.memtable.add(base_seq + offset, kind, key, value)
+            self._sequence = last_seq
+            self.stats.writes += len(batch)
+            self._notify_wal_listeners(base_seq, last_seq, record)
+            if self.memtable.approximate_bytes >= self.options.memtable_bytes:
+                self._flush_memtable()
+                self._after_shape_change()
+            return True
+
+    def checkpoint_files(self) -> tuple[int, list[tuple[int, FileMetaData, "ReadableFile"]]]:
+        """Open a consistent snapshot of the tree for SST streaming.
+
+        Flushes the memtable so every write ≤ the returned sequence is
+        in some SSTable, then opens a read handle per live table.  The
+        handles stay valid even if compaction deletes the files while
+        the caller streams (POSIX/MemStorage semantics), so the DB
+        lock is not held during the transfer.  Caller closes handles.
+        """
+        with self._lock:
+            self._check_open()
+            self._flush_memtable()
+            last_seq = self._sequence
+            files = [
+                (level, meta, self.storage.open(meta.name))
+                for level, meta in self.version.all_files()
+            ]
+        return last_seq, files
 
     def _apply_edit(self, edit: VersionEdit) -> None:
         # Synced: an edit that deletes a WAL's data (flush) or an

@@ -14,6 +14,7 @@ Edit wire format: a sequence of varint-tagged fields::
     3 last_sequence       varint
     4 new file            level, number, size, len+smallest, len+largest
     5 deleted file        level, number
+    6 repl_epoch          varint (replication fencing epoch)
 """
 
 from __future__ import annotations
@@ -37,6 +38,7 @@ _TAG_NEXT_FILE = 2
 _TAG_LAST_SEQUENCE = 3
 _TAG_NEW_FILE = 4
 _TAG_DELETED_FILE = 5
+_TAG_REPL_EPOCH = 6
 
 
 @dataclass
@@ -48,6 +50,7 @@ class VersionEdit:
     last_sequence: Optional[int] = None
     new_files: list[tuple[int, FileMetaData]] = field(default_factory=list)
     deleted_files: list[tuple[int, int]] = field(default_factory=list)
+    repl_epoch: Optional[int] = None
 
     def add_file(self, level: int, meta: FileMetaData) -> "VersionEdit":
         self.new_files.append((level, meta))
@@ -68,6 +71,9 @@ class VersionEdit:
         if self.last_sequence is not None:
             out += encode_varint64(_TAG_LAST_SEQUENCE)
             out += encode_varint64(self.last_sequence)
+        if self.repl_epoch is not None:
+            out += encode_varint64(_TAG_REPL_EPOCH)
+            out += encode_varint64(self.repl_epoch)
         for level, meta in self.new_files:
             out += encode_varint64(_TAG_NEW_FILE)
             out += encode_varint64(level)
@@ -96,6 +102,8 @@ class VersionEdit:
                 edit.next_file_number, pos = decode_varint64(blob, pos)
             elif tag == _TAG_LAST_SEQUENCE:
                 edit.last_sequence, pos = decode_varint64(blob, pos)
+            elif tag == _TAG_REPL_EPOCH:
+                edit.repl_epoch, pos = decode_varint64(blob, pos)
             elif tag == _TAG_NEW_FILE:
                 level, pos = decode_varint64(blob, pos)
                 number, pos = decode_varint64(blob, pos)
@@ -125,6 +133,8 @@ class VersionEdit:
             version.remove_file(level, number)
         for level, meta in self.new_files:
             version.add_file(level, meta)
+        if self.repl_epoch is not None:
+            version.repl_epoch = self.repl_epoch
 
 
 class ManifestWriter:

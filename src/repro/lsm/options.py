@@ -36,6 +36,11 @@ class Options:
     # WAL group size: the engine syncs the log every `wal_sync_interval`
     # batches (0 = never sync; 1 = sync each batch).
     wal_sync_interval: int = 0
+    # Replication log shipping: retain up to this many bytes of retired
+    # WAL files after flush (0 = delete retired WALs immediately, the
+    # classic behaviour) so a lagging follower can replay from them
+    # instead of taking a full snapshot.
+    wal_retain_bytes: int = 0
     paranoid_checks: bool = True
     # Transient-I/O handling: a compaction hit by a retryable error
     # (repro.devices.faults.TransientIOError) is re-run up to
@@ -73,3 +78,5 @@ class Options:
             raise ValueError("compaction_retries must be >= 0")
         if self.compaction_retry_backoff_s < 0:
             raise ValueError("compaction_retry_backoff_s must be >= 0")
+        if self.wal_retain_bytes < 0:
+            raise ValueError("wal_retain_bytes must be >= 0")

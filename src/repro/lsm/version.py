@@ -62,6 +62,9 @@ class Version:
         self.files: list[list[FileMetaData]] = [
             [] for _ in range(options.num_levels)
         ]
+        #: Replication fencing epoch (bumped by ``dbtool promote``);
+        #: persisted via the manifest's REPL_EPOCH edit tag.
+        self.repl_epoch = 0
 
     # -- mutation (the DB applies edits under its own lock) ----------
     def add_file(self, level: int, meta: FileMetaData) -> None:

@@ -36,6 +36,9 @@ __all__ = [
     "LogReader",
     "LogCorruption",
     "WriteBatch",
+    "WalRetention",
+    "batch_seq_bounds",
+    "iter_wal_batches",
 ]
 
 BLOCK_SIZE = 32 * 1024
@@ -224,6 +227,13 @@ class WriteBatch:
                 out += value
         return bytes(out)
 
+    @staticmethod
+    def seq_bounds(blob: bytes) -> tuple[int, int]:
+        """``(base_seq, count)`` from an encoded batch's fixed header,
+        without parsing the ops.  The batch spans sequences
+        ``base_seq .. base_seq + count - 1``."""
+        return batch_seq_bounds(blob)
+
     @classmethod
     def decode(cls, blob: bytes) -> tuple["WriteBatch", int]:
         """Parse an encoded batch → ``(batch, starting_sequence)``."""
@@ -257,3 +267,99 @@ class WriteBatch:
         if pos != len(blob):
             raise ValueError("trailing bytes after batch ops")
         return batch, sequence
+
+
+# ----------------------------------------------------- replication aids
+def batch_seq_bounds(blob: bytes) -> tuple[int, int]:
+    """``(base_seq, count)`` of an encoded batch without parsing ops."""
+    if len(blob) < WriteBatch._BATCH_HEADER:
+        raise ValueError("batch blob too short")
+    return get_fixed64(blob, 0), get_fixed32(blob, 8)
+
+
+def iter_wal_batches(file: ReadableFile) -> Iterator[tuple[int, int, bytes]]:
+    """Yield ``(base_seq, count, record)`` for each batch in a WAL file.
+
+    A torn tail is tolerated exactly as in recovery; interior
+    corruption raises :class:`LogCorruption`.  This is the primary's
+    replay path when a follower subscribes from a sequence that has
+    already been rotated out of the live WAL but is still retained.
+    """
+    for record in LogReader(file):
+        base_seq, count = batch_seq_bounds(record)
+        yield base_seq, count, record
+
+
+class WalRetention:
+    """Byte-capped set of retired WAL files kept for log shipping.
+
+    When the memtable flushes, the engine normally deletes the old WAL
+    file — its contents are durable in an SSTable.  With replication a
+    follower may still need those records, so retired logs are kept
+    (up to ``retain_bytes``) and indexed by the sequence range they
+    cover.  Pruning is oldest-first; a follower whose requested
+    sequence falls before the retained floor must take a snapshot.
+
+    Not thread-safe: callers hold the DB mutex.
+    """
+
+    def __init__(self, storage, retain_bytes: int) -> None:
+        self._storage = storage
+        self._cap = retain_bytes
+        # Ordered oldest → newest: (name, first_seq, last_seq, bytes).
+        self._files: list[tuple[str, int, int, int]] = []
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(entry[3] for entry in self._files)
+
+    @property
+    def floor_seq(self) -> int:
+        """Lowest sequence any retained file covers (0 when empty)."""
+        return self._files[0][1] if self._files else 0
+
+    @property
+    def ceiling_seq(self) -> int:
+        """Highest sequence any retained file covers (0 when empty)."""
+        return self._files[-1][2] if self._files else 0
+
+    def file_names(self) -> list[str]:
+        return [entry[0] for entry in self._files]
+
+    def add(self, name: str, first_seq: int, last_seq: int, size: int) -> None:
+        """Retain a retired WAL covering ``first_seq..last_seq``, then
+        prune oldest-first back under the byte cap (always keeping the
+        just-added file so a single oversized WAL still bridges)."""
+        self._files.append((name, first_seq, last_seq, size))
+        while len(self._files) > 1 and self.total_bytes > self._cap:
+            self._drop_oldest()
+
+    def _drop_oldest(self) -> None:
+        name, *_ = self._files.pop(0)
+        try:
+            self._storage.delete(name)
+        except FileNotFoundError:
+            pass
+
+    def covers(self, start_seq: int) -> bool:
+        """True when retained files can replay from ``start_seq`` on
+        (i.e. ``start_seq`` is at or above the retained floor)."""
+        if not self._files:
+            return False
+        return start_seq >= self.floor_seq
+
+    def records_from(self, start_seq: int) -> Iterator[tuple[int, int, bytes]]:
+        """Replay ``(base_seq, count, record)`` with last sequence ≥
+        ``start_seq`` from the retained files, oldest first."""
+        for name, first_seq, last_seq, _ in list(self._files):
+            if last_seq < start_seq:
+                continue
+            with self._storage.open(name) as file:
+                for base_seq, count, record in iter_wal_batches(file):
+                    if base_seq + count - 1 < start_seq:
+                        continue
+                    yield base_seq, count, record
+
+    def clear(self) -> None:
+        while self._files:
+            self._drop_oldest()

@@ -1,0 +1,33 @@
+"""Typed failures of the replication subsystem."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReplicationError",
+    "FencedError",
+    "CatchupLostError",
+    "ProtocolTooOldError",
+]
+
+
+class ReplicationError(RuntimeError):
+    """Base class for replication failures."""
+
+
+class FencedError(ReplicationError):
+    """The peer's fencing epoch is newer than ours.
+
+    Raised on the primary when a subscriber presents a higher epoch —
+    the subscriber was promoted, this node must not keep acting as a
+    primary for it.
+    """
+
+
+class CatchupLostError(ReplicationError):
+    """A subscriber's position fell out of the primary's retained log
+    mid-stream; the catch-up must restart (usually via snapshot)."""
+
+
+class ProtocolTooOldError(ReplicationError):
+    """The remote server negotiated a protocol major without
+    replication support (a pre-versioning or protocol-1 server)."""

@@ -175,6 +175,19 @@ class SyncClient:
     def ping(self, payload: bytes = b"") -> bytes:
         return _ResponseHandler.unwrap(self._call(P.OP_PING, payload))
 
+    def hello(self, ack_level: Optional[int] = None) -> tuple[int, int]:
+        """Negotiate the protocol version over PING.
+
+        Returns the server's ``(major, minor)``; a pre-versioning
+        server echoes the hello verbatim and is reported as ``(1, 0)``.
+        ``ack_level`` optionally pins how many follower acks writes on
+        this connection must collect (-1 = majority) — ignored by
+        servers without a replication hub.
+        """
+        body = self.ping(P.encode_hello_body(ack_level=ack_level))
+        negotiated = P.decode_hello_ack(body)
+        return negotiated if negotiated is not None else (1, 0)
+
     def get(self, key: bytes) -> Optional[bytes]:
         return _ResponseHandler.result(
             P.OP_GET, self._call(P.OP_GET, P.encode_lp(key))
@@ -222,6 +235,10 @@ class SyncClient:
         from ..codec.varint import decode_varint64
 
         return decode_varint64(result, 0)[0]
+
+    def flush(self) -> None:
+        """Force the server's memtable to disk (protocol ≥ 2 only)."""
+        _ResponseHandler.unwrap(self._call(P.OP_FLUSH))
 
     # ------------------------------------------------------ pipelining
     def pipeline(self) -> "SyncPipeline":
@@ -458,6 +475,17 @@ class AsyncClient:
 
         result = _ResponseHandler.unwrap(await self._call(P.OP_COMPACT))
         return decode_varint64(result, 0)[0]
+
+    async def flush(self) -> None:
+        _ResponseHandler.unwrap(await self._call(P.OP_FLUSH))
+
+    async def hello(self, ack_level: Optional[int] = None) -> tuple[int, int]:
+        """Async counterpart of :meth:`SyncClient.hello`."""
+        body = _ResponseHandler.unwrap(
+            await self._call(P.OP_PING, P.encode_hello_body(ack_level=ack_level))
+        )
+        negotiated = P.decode_hello_ack(body)
+        return negotiated if negotiated is not None else (1, 0)
 
     async def close(self) -> None:
         if self._closed:

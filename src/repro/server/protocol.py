@@ -59,6 +59,10 @@ __all__ = [
     "OP_SCAN",
     "OP_STATS",
     "OP_COMPACT",
+    "OP_REPL_SUBSCRIBE",
+    "OP_REPL_SHIP",
+    "OP_REPL_ACK",
+    "OP_FLUSH",
     "OPCODE_NAMES",
     "WRITE_OPCODES",
     "ST_OK",
@@ -67,7 +71,19 @@ __all__ = [
     "ST_BAD_REQUEST",
     "ST_SERVER_ERROR",
     "ST_SHUTTING_DOWN",
+    "ST_FENCED",
     "STATUS_NAMES",
+    "PROTOCOL_MAJOR",
+    "PROTOCOL_MINOR",
+    "HELLO_MAGIC",
+    "SUB_MODE_WAL",
+    "SUB_MODE_SNAPSHOT",
+    "SHIP_RECORDS",
+    "SHIP_SNAP_BEGIN",
+    "SHIP_SNAP_FILE",
+    "SHIP_SNAP_CHUNK",
+    "SHIP_SNAP_END",
+    "SHIP_GOODBYE",
     "FRAME_OVERHEAD",
     "MAX_FRAME_BYTES",
     "ProtocolError",
@@ -89,6 +105,23 @@ __all__ = [
     "decode_scan_body",
     "encode_scan_result",
     "decode_scan_result",
+    "encode_hello_body",
+    "decode_hello_body",
+    "encode_hello_ack",
+    "decode_hello_ack",
+    "encode_subscribe_body",
+    "decode_subscribe_body",
+    "encode_subscribe_ack",
+    "decode_subscribe_ack",
+    "encode_ship_records",
+    "encode_ship_snap_begin",
+    "encode_ship_snap_file",
+    "encode_ship_snap_chunk",
+    "encode_ship_snap_end",
+    "encode_ship_goodbye",
+    "decode_ship_body",
+    "encode_repl_ack_body",
+    "decode_repl_ack_body",
 ]
 
 # ------------------------------------------------------------- opcodes
@@ -100,6 +133,10 @@ OP_BATCH = 0x05
 OP_SCAN = 0x06
 OP_STATS = 0x07
 OP_COMPACT = 0x08
+OP_REPL_SUBSCRIBE = 0x09
+OP_REPL_SHIP = 0x0A
+OP_REPL_ACK = 0x0B
+OP_FLUSH = 0x0C
 
 OPCODE_NAMES = {
     OP_PING: "PING",
@@ -110,6 +147,10 @@ OPCODE_NAMES = {
     OP_SCAN: "SCAN",
     OP_STATS: "STATS",
     OP_COMPACT: "COMPACT",
+    OP_REPL_SUBSCRIBE: "REPL_SUBSCRIBE",
+    OP_REPL_SHIP: "REPL_SHIP",
+    OP_REPL_ACK: "REPL_ACK",
+    OP_FLUSH: "FLUSH",
 }
 
 #: Opcodes that mutate the tree and are therefore subject to the
@@ -123,6 +164,7 @@ ST_STALLED = 0x02
 ST_BAD_REQUEST = 0x03
 ST_SERVER_ERROR = 0x04
 ST_SHUTTING_DOWN = 0x05
+ST_FENCED = 0x06
 
 STATUS_NAMES = {
     ST_OK: "OK",
@@ -131,7 +173,39 @@ STATUS_NAMES = {
     ST_BAD_REQUEST: "BAD_REQUEST",
     ST_SERVER_ERROR: "SERVER_ERROR",
     ST_SHUTTING_DOWN: "SHUTTING_DOWN",
+    ST_FENCED: "FENCED",
 }
+
+# ------------------------------------------------- protocol versioning
+#: Protocol 2 added replication (REPL_* opcodes, FLUSH, FENCED) and the
+#: PING hello handshake itself.  Servers reject a hello whose *major*
+#: they do not know; minor bumps are additive and ignored.
+PROTOCOL_MAJOR = 2
+PROTOCOL_MINOR = 0
+
+#: A PING body opening with this magic is a version hello rather than
+#: opaque echo data.  The leading NUL keeps it out of the plausible
+#: space of hand-typed echo payloads.
+HELLO_MAGIC = b"\x00REPRO"
+
+#: Marker byte a protocol-2 server appends to its hello reply.  A
+#: pre-versioning server echoes the hello verbatim, so the marker is
+#: how the client tells a real negotiation from an echo.
+_HELLO_ACK_MARKER = 0x01
+
+# ------------------------------------------------- replication consts
+#: Subscribe-ack modes: the primary either tails its WAL from the
+#: requested sequence or forces a full snapshot first.
+SUB_MODE_WAL = 1
+SUB_MODE_SNAPSHOT = 2
+
+#: Ship-message kinds (first byte of a REPL_SHIP body).
+SHIP_RECORDS = 1
+SHIP_SNAP_BEGIN = 2
+SHIP_SNAP_FILE = 3
+SHIP_SNAP_CHUNK = 4
+SHIP_SNAP_END = 5
+SHIP_GOODBYE = 6
 
 #: Bytes around the payload: 4-byte length prefix + 4-byte CRC trailer.
 FRAME_OVERHEAD = 8
@@ -405,6 +479,242 @@ def decode_scan_result(body: bytes) -> tuple[list[tuple[bytes, bytes]], bool]:
     if pos != len(body):
         raise ProtocolError("trailing bytes after scan result")
     return pairs, truncated
+
+
+# ------------------------------------------------- version handshake
+# The hello rides inside PING so it is safe to send to any server:
+# a pre-versioning server treats the body as opaque echo data and
+# returns it verbatim, which the client detects by the missing ack
+# marker and reports as "server speaks protocol 1".
+def encode_hello_body(
+    major: int = PROTOCOL_MAJOR,
+    minor: int = PROTOCOL_MINOR,
+    ack_level: Optional[int] = None,
+) -> bytes:
+    """Client hello: magic + version + optional desired write ack level.
+
+    ``ack_level`` lets a replication-aware client pin how many follower
+    acks its writes on this connection must collect (-1 = majority).
+    """
+    out = bytearray(HELLO_MAGIC)
+    out += encode_varint64(major)
+    out += encode_varint64(minor)
+    if ack_level is not None:
+        out.append(1)
+        out += encode_varint64(ack_level + 1)  # shift so majority=-1 fits
+    else:
+        out.append(0)
+    return bytes(out)
+
+
+def decode_hello_body(
+    body: bytes,
+) -> Optional[tuple[int, int, Optional[int]]]:
+    """``(major, minor, ack_level)`` if ``body`` is a hello, else None."""
+    if not body.startswith(HELLO_MAGIC):
+        return None
+    pos = len(HELLO_MAGIC)
+    try:
+        major, pos = decode_varint64(body, pos)
+        minor, pos = decode_varint64(body, pos)
+        ack_level: Optional[int] = None
+        if pos < len(body) and body[pos]:
+            shifted, pos = decode_varint64(body, pos + 1)
+            ack_level = shifted - 1
+        elif pos < len(body):
+            pos += 1
+        if pos != len(body):
+            raise ValueError("trailing bytes")
+    except (ValueError, IndexError) as exc:
+        raise ProtocolError(f"malformed hello body: {exc}") from None
+    return major, minor, ack_level
+
+
+def encode_hello_ack(
+    major: int = PROTOCOL_MAJOR, minor: int = PROTOCOL_MINOR
+) -> bytes:
+    """Server reply to a hello: magic + server version + ack marker."""
+    return (
+        HELLO_MAGIC
+        + encode_varint64(major)
+        + encode_varint64(minor)
+        + bytes([_HELLO_ACK_MARKER])
+    )
+
+
+def decode_hello_ack(body: bytes) -> Optional[tuple[int, int]]:
+    """``(major, minor)`` of the server, or None if the reply is just a
+    verbatim echo from a pre-versioning server."""
+    if not body.startswith(HELLO_MAGIC):
+        return None
+    pos = len(HELLO_MAGIC)
+    try:
+        major, pos = decode_varint64(body, pos)
+        minor, pos = decode_varint64(body, pos)
+    except ValueError:
+        return None
+    if pos == len(body) - 1 and body[pos] == _HELLO_ACK_MARKER:
+        return major, minor
+    return None  # echo of our own hello → protocol-1 server
+
+
+# --------------------------------------------------- replication bodies
+# REPL_SUBSCRIBE body: varint start_seq, varint follower_epoch,
+#                      lp follower_id
+#   → OK  u8 mode, varint primary_epoch, varint primary_seq
+#   → FENCED when the follower's epoch is newer than the primary's
+# REPL_SHIP (server→client push): u8 kind, kind-specific payload
+# REPL_ACK  (client→server push): varint acked_seq
+def encode_subscribe_body(
+    start_seq: int, epoch: int, follower_id: bytes
+) -> bytes:
+    return (
+        encode_varint64(start_seq)
+        + encode_varint64(epoch)
+        + encode_lp(follower_id)
+    )
+
+
+def decode_subscribe_body(body: bytes) -> tuple[int, int, bytes]:
+    try:
+        start_seq, pos = decode_varint64(body, 0)
+        epoch, pos = decode_varint64(body, pos)
+    except ValueError as exc:
+        raise ProtocolError(f"bad subscribe body: {exc}") from None
+    follower_id, pos = decode_lp(body, pos)
+    if pos != len(body):
+        raise ProtocolError("trailing bytes after subscribe body")
+    return start_seq, epoch, follower_id
+
+
+def encode_subscribe_ack(mode: int, epoch: int, primary_seq: int) -> bytes:
+    return (
+        bytes([mode]) + encode_varint64(epoch) + encode_varint64(primary_seq)
+    )
+
+
+def decode_subscribe_ack(body: bytes) -> tuple[int, int, int]:
+    if not body:
+        raise ProtocolError("empty subscribe ack")
+    mode = body[0]
+    if mode not in (SUB_MODE_WAL, SUB_MODE_SNAPSHOT):
+        raise ProtocolError(f"unknown subscribe mode {mode}")
+    try:
+        epoch, pos = decode_varint64(body, 1)
+        primary_seq, pos = decode_varint64(body, pos)
+    except ValueError as exc:
+        raise ProtocolError(f"bad subscribe ack: {exc}") from None
+    if pos != len(body):
+        raise ProtocolError("trailing bytes after subscribe ack")
+    return mode, epoch, primary_seq
+
+
+def encode_ship_records(records) -> bytes:
+    """``records`` is an iterable of encoded WriteBatch records; each
+    embeds its own base sequence, so none is repeated here."""
+    records = list(records)
+    out = bytearray([SHIP_RECORDS])
+    out += encode_varint32(len(records))
+    for record in records:
+        out += encode_lp(record)
+    return bytes(out)
+
+
+def encode_ship_snap_begin(last_seq: int, n_files: int) -> bytes:
+    return (
+        bytes([SHIP_SNAP_BEGIN])
+        + encode_varint64(last_seq)
+        + encode_varint64(n_files)
+    )
+
+
+def encode_ship_snap_file(
+    level: int, name: str, size: int, smallest: bytes, largest: bytes
+) -> bytes:
+    """``smallest``/``largest`` are the table's internal key bounds —
+    the follower needs them to rebuild its manifest without re-reading
+    every shipped table."""
+    return (
+        bytes([SHIP_SNAP_FILE])
+        + encode_varint64(level)
+        + encode_lp(name.encode("utf-8"))
+        + encode_varint64(size)
+        + encode_lp(smallest)
+        + encode_lp(largest)
+    )
+
+
+def encode_ship_snap_chunk(data: bytes) -> bytes:
+    return bytes([SHIP_SNAP_CHUNK]) + encode_lp(data)
+
+
+def encode_ship_snap_end(last_seq: int) -> bytes:
+    return bytes([SHIP_SNAP_END]) + encode_varint64(last_seq)
+
+
+def encode_ship_goodbye(reason: str) -> bytes:
+    return bytes([SHIP_GOODBYE]) + encode_lp(reason.encode("utf-8"))
+
+
+def decode_ship_body(body: bytes) -> tuple:
+    """Decode one REPL_SHIP body → ``(kind, ...fields)``.
+
+    Shapes: ``(SHIP_RECORDS, [record, ...])``,
+    ``(SHIP_SNAP_BEGIN, last_seq, n_files)``,
+    ``(SHIP_SNAP_FILE, level, name, size, smallest, largest)``,
+    ``(SHIP_SNAP_CHUNK, data)``, ``(SHIP_SNAP_END, last_seq)``,
+    ``(SHIP_GOODBYE, reason)``.
+    """
+    if not body:
+        raise ProtocolError("empty ship body")
+    kind = body[0]
+    try:
+        if kind == SHIP_RECORDS:
+            count, pos = decode_varint64(body, 1)
+            records = []
+            for _ in range(count):
+                record, pos = decode_lp(body, pos)
+                records.append(record)
+            if pos != len(body):
+                raise ProtocolError("trailing bytes after ship records")
+            return (kind, records)
+        if kind == SHIP_SNAP_BEGIN:
+            last_seq, pos = decode_varint64(body, 1)
+            n_files, pos = decode_varint64(body, pos)
+            return (kind, last_seq, n_files)
+        if kind == SHIP_SNAP_FILE:
+            level, pos = decode_varint64(body, 1)
+            name, pos = decode_lp(body, pos)
+            size, pos = decode_varint64(body, pos)
+            smallest, pos = decode_lp(body, pos)
+            largest, pos = decode_lp(body, pos)
+            return (kind, level, name.decode("utf-8"), size, smallest, largest)
+        if kind == SHIP_SNAP_CHUNK:
+            data, pos = decode_lp(body, 1)
+            return (kind, data)
+        if kind == SHIP_SNAP_END:
+            last_seq, pos = decode_varint64(body, 1)
+            return (kind, last_seq)
+        if kind == SHIP_GOODBYE:
+            reason, pos = decode_lp(body, 1)
+            return (kind, reason.decode("utf-8"))
+    except ValueError as exc:
+        raise ProtocolError(f"bad ship body: {exc}") from None
+    raise ProtocolError(f"unknown ship kind {kind}")
+
+
+def encode_repl_ack_body(acked_seq: int) -> bytes:
+    return encode_varint64(acked_seq)
+
+
+def decode_repl_ack_body(body: bytes) -> int:
+    try:
+        acked_seq, pos = decode_varint64(body, 0)
+    except ValueError as exc:
+        raise ProtocolError(f"bad repl ack: {exc}") from None
+    if pos != len(body):
+        raise ProtocolError("trailing bytes after repl ack")
+    return acked_seq
 
 
 # ------------------------------------------------------ stream helper

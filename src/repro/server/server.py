@@ -56,6 +56,9 @@ __all__ = ["ServerConfig", "KVServer", "ServerThread", "serve_forever"]
 
 _log = logging.getLogger("repro.server")
 
+#: Snapshot streaming chunk size (well under MAX_FRAME_BYTES).
+_SNAP_CHUNK_BYTES = 1 * 1024 * 1024
+
 
 @dataclass
 class ServerConfig:
@@ -75,6 +78,14 @@ class ServerConfig:
     stall_retry_ms: int = 25
     #: Grace period for live connections to finish during stop().
     drain_timeout_s: float = 10.0
+    #: Refuse write opcodes (follower replicas serve reads only).
+    read_only: bool = False
+    #: Default follower acks a write must collect before OK
+    #: (0 = primary durability only, -1 = cluster majority); a client
+    #: hello can override per connection.
+    repl_acks: int = 0
+    #: How long a write waits for follower acks before STALLED.
+    repl_ack_timeout_s: float = 5.0
 
     def validate(self) -> None:
         if self.worker_threads < 1:
@@ -83,6 +94,10 @@ class ServerConfig:
             raise ValueError("max_inflight_per_conn must be >= 1")
         if self.scan_limit_max < 1:
             raise ValueError("scan_limit_max must be >= 1")
+        if self.repl_acks < -1:
+            raise ValueError("repl_acks must be >= -1 (-1 = majority)")
+        if self.repl_ack_timeout_s <= 0:
+            raise ValueError("repl_ack_timeout_s must be > 0")
 
 
 class KVServer:
@@ -100,12 +115,22 @@ class KVServer:
         config: Optional[ServerConfig] = None,
         metrics: Optional[ServerMetrics] = None,
         own_db: bool = True,
+        hub=None,
+        follower=None,
     ) -> None:
+        """``hub`` (a :class:`repro.replication.ReplicationHub`) makes
+        this server a replication primary: it accepts REPL_SUBSCRIBE,
+        streams WAL records/snapshots, and gates writes on follower
+        acks.  ``follower`` (a :class:`repro.replication.Follower`)
+        marks it a replica: its status is surfaced via STATS and it is
+        stopped before the DB drains on shutdown."""
         self.db = db
         self.config = config or ServerConfig()
         self.config.validate()
         self.metrics = metrics or ServerMetrics()
         self.own_db = own_db
+        self.hub = hub
+        self.follower = follower
         self._server: Optional[asyncio.base_events.Server] = None
         self._conn_tasks: set[asyncio.Task] = set()
         self._closing = False
@@ -139,6 +164,15 @@ class KVServer:
         if self._server is None:
             return
         self._closing = True
+        if self.hub is not None:
+            # Wake every subscriber ship loop with a GOODBYE so
+            # follower tails exit cleanly instead of seeing a reset.
+            self.hub.shutdown("server shutting down")
+        if self.follower is not None:
+            # Stop tailing the primary before the local DB drains.
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.follower.stop
+            )
         self._server.close()
         await self._server.wait_closed()
         if self._conn_tasks:
@@ -164,6 +198,10 @@ class KVServer:
         if self.own_db:
             self.db.close()
 
+    def swap_db(self, new_db) -> None:
+        """Switch the serving engine (follower snapshot install)."""
+        self.db = new_db
+
     # -------------------------------------------------------- connections
     async def _on_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -176,8 +214,11 @@ class KVServer:
             maxsize=self.config.max_inflight_per_conn
         )
         writer_task = asyncio.create_task(self._write_responses(queue, writer))
+        # Mutable per-connection state: the hello handshake stores the
+        # connection's negotiated write ack level here.
+        state: dict = {"writer_task": writer_task}
         try:
-            await self._read_requests(reader, queue)
+            await self._read_requests(reader, writer, queue, state)
         finally:
             try:
                 await queue.put(None)
@@ -193,7 +234,11 @@ class KVServer:
             self._conn_tasks.discard(task)
 
     async def _read_requests(
-        self, reader: asyncio.StreamReader, queue: asyncio.Queue
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        queue: asyncio.Queue,
+        state: dict,
     ) -> None:
         while True:
             try:
@@ -210,11 +255,21 @@ class KVServer:
                 # no way to resynchronise, so drop the connection.
                 self.metrics.record_protocol_error()
                 return
+            if request.opcode == P.OP_REPL_SUBSCRIBE:
+                # The connection inverts into a push stream: flush the
+                # pipelined responses, then this coroutine owns the
+                # socket until the subscription ends.
+                await queue.put(None)
+                await state["writer_task"]
+                await self._serve_subscription(reader, writer, request)
+                return
             # Bounded queue: blocks when the pipeline is full, which
             # stops reading this socket until responses drain.
             await queue.put(
                 asyncio.create_task(
-                    self._handle_request(request, P.FRAME_OVERHEAD + len(payload))
+                    self._handle_request(
+                        request, P.FRAME_OVERHEAD + len(payload), state
+                    )
                 )
             )
 
@@ -242,7 +297,9 @@ class KVServer:
                 broken = True
 
     # ----------------------------------------------------------- dispatch
-    async def _handle_request(self, request: P.Request, bytes_in: int) -> bytes:
+    async def _handle_request(
+        self, request: P.Request, bytes_in: int, state: dict
+    ) -> bytes:
         """Execute one request; returns the encoded response frame."""
         t0 = time.perf_counter()
         status = P.ST_SERVER_ERROR
@@ -261,7 +318,7 @@ class KVServer:
             else:
                 loop = asyncio.get_running_loop()
                 status, body = await loop.run_in_executor(
-                    self._pool, self._execute, request
+                    self._pool, self._execute, request, state
                 )
         except P.ProtocolError as exc:
             status, body = P.ST_BAD_REQUEST, P.encode_lp(str(exc).encode())
@@ -299,6 +356,10 @@ class KVServer:
         """
         if request.opcode not in P.WRITE_OPCODES:
             return False
+        if self.hub is not None and not self.hub.write_admissible():
+            # Replication admission control: every follower lags too
+            # far behind; refuse writes until the stream catches up.
+            return True
         if getattr(self.db, "shard_for_key", None) is None:
             return self.db.write_stalled()
         try:
@@ -307,11 +368,30 @@ class KVServer:
             return False
         return self.db.write_stalled(keys=keys)
 
-    def _execute(self, request: P.Request) -> tuple[int, bytes]:
+    def _execute(self, request: P.Request, state: dict) -> tuple[int, bytes]:
         """Run one opcode against the DB (worker thread)."""
         op, body = request.opcode, request.body
         if op == P.OP_PING:
-            return P.ST_OK, body
+            hello = P.decode_hello_body(body)
+            if hello is None:
+                return P.ST_OK, body  # pre-versioning client: pure echo
+            major, _minor, ack_level = hello
+            if major > P.PROTOCOL_MAJOR:
+                return P.ST_BAD_REQUEST, P.encode_lp(
+                    f"unsupported protocol major {major} (this server "
+                    f"speaks {P.PROTOCOL_MAJOR}.{P.PROTOCOL_MINOR})".encode()
+                )
+            if ack_level is not None:
+                state["ack_level"] = ack_level
+            return P.ST_OK, P.encode_hello_ack()
+        if self.config.read_only and op in P.WRITE_OPCODES:
+            return P.ST_BAD_REQUEST, P.encode_lp(
+                b"read-only replica: send writes to the primary"
+            )
+        if op in (P.OP_REPL_SHIP, P.OP_REPL_ACK):
+            raise P.ProtocolError(
+                "replication stream opcode outside a REPL_SUBSCRIBE stream"
+            )
         if op == P.OP_GET:
             key, _ = P.decode_lp(body)
             value = self.db.get(key)
@@ -322,11 +402,11 @@ class KVServer:
             key, pos = P.decode_lp(body)
             value, _ = P.decode_lp(body, pos)
             self.db.put(key, value)
-            return P.ST_OK, b""
+            return self._write_done(state, b"")
         if op == P.OP_DELETE:
             key, _ = P.decode_lp(body)
             self.db.delete(key)
-            return P.ST_OK, b""
+            return self._write_done(state, b"")
         if op == P.OP_BATCH:
             batch = WriteBatch()
             ops = P.decode_batch_body(body)
@@ -336,7 +416,10 @@ class KVServer:
                 else:
                     batch.delete(entry[1])
             self.db.write(batch)
-            return P.ST_OK, P.encode_varint64(len(ops))
+            return self._write_done(state, P.encode_varint64(len(ops)))
+        if op == P.OP_FLUSH:
+            self.db.flush()
+            return P.ST_OK, b""
         if op == P.OP_SCAN:
             start, end, limit, reverse = P.decode_scan_body(body)
             cap = self.config.scan_limit_max
@@ -364,6 +447,27 @@ class KVServer:
             n = self.db.compact_range()
             return P.ST_OK, P.encode_varint64(n)
         raise P.ProtocolError(f"unhandled opcode 0x{op:02x}")
+
+    def _write_done(self, state: dict, ok_body: bytes) -> tuple[int, bytes]:
+        """Gate a locally-applied write on the connection's ack level.
+
+        The write already hit this node's WAL; when the required
+        follower acks do not arrive in time the client sees STALLED and
+        retries — the retry re-applies an identical overwrite, so the
+        at-least-once semantics are safe by idempotence.
+        """
+        if self.hub is None:
+            return P.ST_OK, ok_body
+        level = state.get("ack_level")
+        if level is None:
+            level = self.config.repl_acks
+        need = self.hub.resolve_need(level)
+        if need <= 0 or self.hub.wait_for_acks(
+            self.db.last_sequence, need, self.config.repl_ack_timeout_s
+        ):
+            return P.ST_OK, ok_body
+        self.metrics.record_stall_rejection()
+        return P.ST_STALLED, P.encode_varint64(self.config.stall_retry_ms)
 
     def _stats_dict(self) -> dict:
         db_stats = self.db.stats
@@ -394,7 +498,201 @@ class KVServer:
                 "stalled_shards": self.db.stalled_shards(),
                 "shards": self.db.shard_stats(),
             }
+        if self.hub is not None:
+            out["repl"] = {
+                "role": "primary",
+                "epoch": self.db.repl_epoch,
+                "last_sequence": self.db.last_sequence,
+                "ack_level_default": self.config.repl_acks,
+                "followers": self.hub.followers_status(),
+            }
+        elif self.follower is not None:
+            out["repl"] = self.follower.status()
         return out
+
+    # ------------------------------------------------------- replication
+    async def _serve_subscription(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        request: P.Request,
+    ) -> None:
+        """Own the connection as a push stream after REPL_SUBSCRIBE.
+
+        The server pushes ``REPL_SHIP`` request frames; the follower
+        pushes ``REPL_ACK`` request frames back.  Neither direction
+        carries responses from here on.
+        """
+        from ..replication.errors import FencedError
+
+        async def refuse(status: int, message: str) -> None:
+            writer.write(
+                P.encode_response(
+                    status, request.request_id,
+                    P.encode_lp(message.encode()),
+                )
+            )
+            await writer.drain()
+
+        if self.hub is None:
+            await refuse(
+                P.ST_BAD_REQUEST, "this server is not a replication primary"
+            )
+            return
+        try:
+            start_seq, epoch, follower_id = P.decode_subscribe_body(
+                request.body
+            )
+        except P.ProtocolError as exc:
+            await refuse(P.ST_BAD_REQUEST, str(exc))
+            return
+        try:
+            mode, sub = self.hub.subscribe(
+                follower_id.decode("utf-8", "replace"), start_seq, epoch
+            )
+        except FencedError as exc:
+            await refuse(P.ST_FENCED, str(exc))
+            return
+        mode_code = (
+            P.SUB_MODE_SNAPSHOT if mode == "snapshot" else P.SUB_MODE_WAL
+        )
+        loop = asyncio.get_running_loop()
+        # Dedicated single thread: hub.pull parks on a condition
+        # variable, and parking it in the shared pool would starve
+        # request workers of one thread per follower.
+        ship_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repl-ship"
+        )
+        ack_task = asyncio.create_task(self._read_acks(reader, sub))
+        try:
+            writer.write(
+                P.encode_response(
+                    P.ST_OK,
+                    request.request_id,
+                    P.encode_subscribe_ack(
+                        mode_code, self.db.repl_epoch, self.db.last_sequence
+                    ),
+                )
+            )
+            await writer.drain()
+            if mode == "snapshot" and not await self._stream_snapshot(
+                writer, sub
+            ):
+                return
+            while True:
+                kind, payload = await loop.run_in_executor(
+                    ship_pool, self.hub.pull, sub
+                )
+                if kind == "idle":
+                    continue
+                if kind == "records":
+                    writer.write(
+                        P.encode_request(
+                            P.OP_REPL_SHIP, 0, P.encode_ship_records(payload)
+                        )
+                    )
+                    await writer.drain()
+                elif kind == "gap":
+                    # The buffer was evicted out from under this
+                    # follower: restart it from a full snapshot.
+                    if not await self._stream_snapshot(writer, sub):
+                        return
+                else:  # goodbye
+                    writer.write(
+                        P.encode_request(
+                            P.OP_REPL_SHIP,
+                            0,
+                            P.encode_ship_goodbye(str(payload)),
+                        )
+                    )
+                    await writer.drain()
+                    return
+        except OSError:  # follower went away; reconnect catches up
+            return
+        finally:
+            ack_task.cancel()
+            try:
+                await ack_task
+            except asyncio.CancelledError:
+                pass
+            self.hub.unsubscribe(sub)
+            ship_pool.shutdown(wait=False)
+
+    async def _read_acks(self, reader: asyncio.StreamReader, sub) -> None:
+        """Drain REPL_ACK frames pushed by the subscribed follower."""
+        try:
+            while True:
+                header = await reader.readexactly(4)
+                length = P.frame_length(header, self.config.max_frame_bytes)
+                payload = P.decode_frame(
+                    length, await reader.readexactly(length + 4)
+                )
+                ack = P.decode_request(payload)
+                if ack.opcode != P.OP_REPL_ACK:
+                    return  # protocol violation: drop the stream
+                self.hub.record_ack(sub, P.decode_repl_ack_body(ack.body))
+        except (asyncio.IncompleteReadError, ConnectionError, P.ProtocolError):
+            return
+
+    async def _stream_snapshot(self, writer, sub) -> bool:
+        """Ship the full SST tree; False when the peer vanished."""
+        loop = asyncio.get_running_loop()
+        last_seq, files = await loop.run_in_executor(
+            self._pool, self.db.checkpoint_files
+        )
+        try:
+            writer.write(
+                P.encode_request(
+                    P.OP_REPL_SHIP,
+                    0,
+                    P.encode_ship_snap_begin(last_seq, len(files)),
+                )
+            )
+            for level, meta, handle in files:
+                writer.write(
+                    P.encode_request(
+                        P.OP_REPL_SHIP,
+                        0,
+                        P.encode_ship_snap_file(
+                            level,
+                            meta.name,
+                            meta.file_size,
+                            meta.smallest,
+                            meta.largest,
+                        ),
+                    )
+                )
+                offset = 0
+                while offset < meta.file_size:
+                    n = min(_SNAP_CHUNK_BYTES, meta.file_size - offset)
+                    chunk = await loop.run_in_executor(
+                        self._pool, handle.pread, offset, n
+                    )
+                    offset += n
+                    writer.write(
+                        P.encode_request(
+                            P.OP_REPL_SHIP,
+                            0,
+                            P.encode_ship_snap_chunk(chunk),
+                        )
+                    )
+                    await writer.drain()
+            writer.write(
+                P.encode_request(
+                    P.OP_REPL_SHIP, 0, P.encode_ship_snap_end(last_seq)
+                )
+            )
+            await writer.drain()
+        except OSError:
+            return False
+        finally:
+            for _, _, handle in files:
+                try:
+                    handle.close()
+                except OSError:
+                    pass
+        self.hub.reset_after_snapshot(sub, last_seq)
+        return True
 
 
 # ----------------------------------------------------------- embedding
@@ -415,8 +713,12 @@ class ServerThread:
         config: Optional[ServerConfig] = None,
         metrics: Optional[ServerMetrics] = None,
         own_db: bool = True,
+        hub=None,
+        follower=None,
     ) -> None:
-        self.server = KVServer(db, config, metrics, own_db=own_db)
+        self.server = KVServer(
+            db, config, metrics, own_db=own_db, hub=hub, follower=follower
+        )
         self._thread = threading.Thread(
             target=self._run, name="kv-server", daemon=True
         )
@@ -480,13 +782,19 @@ def serve_forever(
     db: DB,
     config: Optional[ServerConfig] = None,
     metrics: Optional[ServerMetrics] = None,
+    hub=None,
+    follower=None,
 ) -> None:
     """Blocking entry point (``dbtool serve``): run until interrupted."""
 
     async def _main() -> None:
         import signal
 
-        server = KVServer(db, config, metrics)
+        server = KVServer(db, config, metrics, hub=hub, follower=follower)
+        if follower is not None:
+            # Snapshot install replaces the follower's DB; the server
+            # must serve the replacement.
+            follower.bind_db_swap(server.swap_db)
         await server.start()
         print(f"serving on {server.host}:{server.port}", flush=True)
         stop_signal = asyncio.Event()

@@ -11,6 +11,13 @@ Commands (all take a database directory):
 * ``dump <dir>``     — print live key/value pairs (optionally a range).
 * ``compact <dir>``  — run compactions until the tree is quiescent.
 * ``serve <dir>``    — expose the database over TCP (repro.server).
+  Plain-DB serves are replication primaries (followers may subscribe;
+  ``--repl-acks`` sets the write durability level); ``--replica-of
+  HOST:PORT`` serves as a read-only follower instead.
+* ``promote <dir>``  — bump a stopped follower's fencing epoch so it
+  becomes the primary (manual failover; see docs/REPLICATION.md).
+* ``repl-status HOST:PORT...`` — probe replica endpoints, print the
+  role map (exit 1 when no primary is reachable).
 * ``trace <out>``    — run a small in-memory YCSB load with tracing
   enabled and write a Chrome trace-event JSON (Perfetto-loadable)
   showing the S1–S7 compaction pipeline (takes an output path, not a
@@ -118,6 +125,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards", type=int, default=None, metavar="N",
         help="serve an N-shard cluster rooted at the directory "
              "(auto-detected from a CLUSTER manifest when omitted)",
+    )
+    srv.add_argument(
+        "--replica-of", metavar="HOST:PORT", default=None,
+        help="serve as a read-only follower replicating from this "
+             "primary (incompatible with --shards)",
+    )
+    srv.add_argument(
+        "--repl-acks", metavar="N|majority", default="0",
+        help="follower acks a write collects before OK when serving "
+             "as a primary (default 0; 'majority' = cluster majority)",
+    )
+    srv.add_argument(
+        "--repl-retain-bytes", type=int, default=8 * 1024 * 1024,
+        help="retired-WAL bytes retained for follower catch-up when "
+             "serving as a primary (default 8 MiB; 0 disables)",
+    )
+    srv.add_argument(
+        "--follower-id", default=None,
+        help="stable follower identity for --replica-of "
+             "(default: the database directory name)",
+    )
+
+    pro = sub.add_parser(
+        "promote",
+        help="promote a (stopped) follower directory: bump its fencing "
+             "epoch so it outranks the old primary",
+    )
+    pro.add_argument("directory", help="database directory")
+
+    rst = sub.add_parser(
+        "repl-status",
+        help="probe replica endpoints and print the role map",
+    )
+    rst.add_argument(
+        "endpoints", nargs="+", metavar="HOST:PORT",
+        help="servers to probe (primary and followers)",
     )
 
     trc = sub.add_parser(
@@ -366,11 +409,48 @@ def cmd_sst(args) -> int:
     return 0
 
 
+def _parse_endpoint(text: str) -> tuple[str, int]:
+    host, _, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        raise argparse.ArgumentTypeError(
+            f"expected HOST:PORT, got {text!r}"
+        )
+    return host, int(port)
+
+
 def cmd_serve(args) -> int:
     from ..server import ServerConfig, serve_forever
 
     n_shards = _cluster_n_shards(args.directory, args.shards)
-    if n_shards is not None:
+    repl_acks = (
+        -1 if args.repl_acks == "majority" else int(args.repl_acks)
+    )
+    hub = None
+    follower = None
+    if args.replica_of is not None:
+        if n_shards is not None:
+            print("serve: --replica-of is not supported with --shards",
+                  file=sys.stderr)
+            return 2
+        import os
+
+        from ..replication import Follower
+
+        primary_host, primary_port = _parse_endpoint(args.replica_of)
+        background = not args.sync_compaction
+
+        def _factory(directory=args.directory, background=background):
+            return DB(OSStorage(directory), Options(), background=background)
+
+        db = _factory()
+        follower_id = args.follower_id or os.path.basename(
+            os.path.abspath(args.directory)
+        )
+        follower = Follower(
+            db, db.storage, _factory,
+            primary_host, primary_port, follower_id,
+        ).start()
+    elif n_shards is not None:
         if args.fault_plan is not None:
             print("serve: --fault-plan is not supported with --shards",
                   file=sys.stderr)
@@ -383,21 +463,69 @@ def cmd_serve(args) -> int:
             background=not args.sync_compaction,
         )
     else:
+        from ..replication import ReplicationHub
+
         db = DB(
             _maybe_faulty(OSStorage(args.directory), args.fault_plan),
-            Options(),
+            Options(wal_retain_bytes=args.repl_retain_bytes),
             background=not args.sync_compaction,
         )
+        # Every plain-DB serve is primary-capable: followers may
+        # subscribe whether or not any exist yet.
+        hub = ReplicationHub(db)
     config = ServerConfig(
         host=args.host,
         port=args.port,
         worker_threads=args.workers,
         max_inflight_per_conn=args.max_inflight,
+        read_only=follower is not None,
+        repl_acks=repl_acks,
     )
     try:
-        serve_forever(db, config)
+        serve_forever(db, config, hub=hub, follower=follower)
+    finally:
+        if follower is not None:
+            follower.stop()
+            follower.db.close()
+        db.close()
+    return 0
+
+
+def cmd_promote(args) -> int:
+    """Fence off the old primary: bump this replica's epoch.
+
+    Run against a *stopped* follower directory (the failover runbook
+    in docs/REPLICATION.md).  After promotion the old primary's hub
+    refuses this node's subscriptions (ST_FENCED) and clients elect
+    this node, whose epoch is now highest.
+    """
+    db = _open_db(args.directory)
+    try:
+        old = db.repl_epoch
+        db.set_repl_epoch(old + 1)
+        print(f"promoted: fencing epoch {old} -> {old + 1} "
+              f"(last sequence {db.last_sequence})")
     finally:
         db.close()
+    return 0
+
+
+def cmd_repl_status(args) -> int:
+    import json
+
+    from ..replication import ReplicatedShard
+
+    shard = ReplicatedShard(
+        [_parse_endpoint(e) for e in args.endpoints], timeout=5.0
+    )
+    try:
+        status = shard.status()
+    finally:
+        shard.close()
+    print(json.dumps(status, indent=2, sort_keys=True))
+    if status["primary"] is None:
+        print("repl-status: no reachable primary", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -490,6 +618,8 @@ _COMMANDS = {
     "compact": cmd_compact,
     "sst": cmd_sst,
     "serve": cmd_serve,
+    "promote": cmd_promote,
+    "repl-status": cmd_repl_status,
     "trace": cmd_trace,
     "analyze": cmd_analyze,
 }

@@ -1,0 +1,149 @@
+"""Primary crash → promote → zero acked-write loss.
+
+The crash-matrix-style failover check: a primary running on
+fault-injection storage crashes at a WAL crash point mid-stream.
+Every write that was *acked at ack=1* must survive on the follower;
+``dbtool promote`` fences the old primary and ``verify_db`` proves
+the promoted store is internally consistent.
+"""
+
+import time
+
+import pytest
+
+from repro.db import DB
+from repro.db.verify import verify_db
+from repro.devices import (
+    FaultPlan,
+    FaultyStorage,
+    MemStorage,
+    OSStorage,
+    SimulatedCrash,
+)
+from repro.lsm import Options
+from repro.replication import FencedError, Follower, ReplicationHub
+from repro.server.client import SyncClient
+from repro.server.server import ServerConfig, ServerThread
+from repro.tools.dbtool import main as dbtool_main
+
+
+def _wait(predicate, timeout=10.0, what="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.01)
+    raise AssertionError(f"timed out waiting for {what}")
+
+
+def test_primary_crash_promote_no_acked_loss(tmp_path):
+    # Primary on faulty storage: the 300th wal.append never returns —
+    # the process "dies" with the storage frozen at its durable state.
+    plan = FaultPlan(crash_at="wal.append", crash_skip=300)
+    pstorage = FaultyStorage(MemStorage(), plan)
+    primary = DB(
+        pstorage, Options(wal_retain_bytes=8 * 1024 * 1024)
+    )
+    hub = ReplicationHub(primary)
+    config = ServerConfig(repl_acks=1, repl_ack_timeout_s=10.0)
+
+    fdir = str(tmp_path / "follower")
+    fstorage = OSStorage(fdir)
+    fdb = DB(fstorage, Options())
+
+    acked = []
+    with ServerThread(primary, config, own_db=False, hub=hub) as handle:
+        follower = Follower(
+            fdb, fstorage, lambda: DB(fstorage, Options()),
+            handle.host, handle.port, "survivor", retry_interval_s=0.05,
+        ).start()
+        _wait(lambda: hub.n_followers == 1, what="follower subscribed")
+
+        # Acked writes through the wire: OK response ⇒ the follower
+        # synced the record to its own WAL first.
+        client = SyncClient(handle.host, handle.port)
+        for i in range(250):
+            key = f"acked{i:04d}".encode()
+            client.put(key, f"v{i}".encode())
+            acked.append(key)
+        client.close()
+
+        # The crash: SimulatedCrash is a BaseException, fired here on
+        # the test thread (a wire write would tear down the server's
+        # worker instead, which a real kill -9 would not do).
+        with pytest.raises(SimulatedCrash):
+            for i in range(100):
+                primary.put(f"unacked{i:04d}".encode(), b"x")
+        assert pstorage.crashed
+
+        # Wait out any in-flight shipped records, then take the
+        # follower down cleanly for promotion.
+        time.sleep(0.3)
+        follower.stop()
+        applied_db = follower.db
+        applied_seq = applied_db.last_sequence
+        assert applied_seq >= len(acked)
+        applied_db.close()
+
+        # The dead primary's storage is frozen; keep server teardown
+        # away from it.
+        primary._closed = True
+
+    # Failover runbook: promote the stopped follower directory.
+    assert dbtool_main(["promote", fdir]) == 0
+
+    # The promoted store: consistent, epoch-fenced, zero acked loss.
+    report = verify_db(OSStorage(fdir), Options())
+    assert report.ok, report.errors
+
+    promoted = DB(OSStorage(fdir), Options())
+    try:
+        assert promoted.repl_epoch == 1
+        missing = [k for k in acked if promoted.get(k) is None]
+        assert not missing, f"lost {len(missing)} acked writes: {missing[:5]}"
+
+        # The fencing epoch now refuses the old primary's stream: a
+        # hub for the (hypothetically revived) old primary rejects a
+        # subscription carrying the newer epoch.
+        with pytest.raises(FencedError):
+            hub.subscribe("survivor", 1, follower_epoch=promoted.repl_epoch)
+    finally:
+        promoted.close()
+
+
+def test_acked_writes_durable_on_follower_before_ok(tmp_path):
+    """The ack barrier is durable, not just applied: kill -9 the
+    follower (reopen its directory cold) and every acked write must
+    recover from its WAL."""
+    primary = DB(MemStorage(), Options(wal_retain_bytes=8 * 1024 * 1024))
+    hub = ReplicationHub(primary)
+    config = ServerConfig(repl_acks=1, repl_ack_timeout_s=10.0)
+
+    fdir = str(tmp_path / "f1")
+    fstorage = OSStorage(fdir)
+    fdb = DB(fstorage, Options())
+
+    with ServerThread(primary, config, own_db=False, hub=hub) as handle:
+        follower = Follower(
+            fdb, fstorage, lambda: DB(fstorage, Options()),
+            handle.host, handle.port, "f1", retry_interval_s=0.05,
+        ).start()
+        _wait(lambda: hub.n_followers == 1, what="follower subscribed")
+
+        client = SyncClient(handle.host, handle.port)
+        for i in range(50):
+            client.put(f"dur{i:03d}".encode(), f"v{i}".encode())
+        client.close()
+
+        # Simulate kill -9: abandon the follower DB without closing
+        # it (no flush, no graceful WAL finish), then reopen cold.
+        follower.stop()
+
+    reopened = DB(OSStorage(fdir), Options())
+    try:
+        for i in range(50):
+            assert reopened.get(f"dur{i:03d}".encode()) == f"v{i}".encode()
+    finally:
+        reopened.close()
+    fdb.close()
+    primary.close()

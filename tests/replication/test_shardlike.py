@@ -1,0 +1,128 @@
+"""ShardLike protocol conformance.
+
+``ShardedDB.from_shards`` accepts anything satisfying
+:class:`repro.cluster.ShardLike`; this file pins the contract for all
+three implementations — local :class:`DB`, the wire-level
+:class:`RemoteShard`, and the failover-aware :class:`ReplicatedShard` —
+and exercises a mixed local+remote cluster through the protocol.
+"""
+
+import inspect
+
+import pytest
+
+from repro.cluster import ShardLike, ShardedDB
+from repro.db import DB
+from repro.devices import MemStorage
+from repro.lsm import Options
+from repro.replication import RemoteShard, ReplicatedShard
+from repro.server.server import ServerThread
+
+from tests.helpers import small_options
+
+#: Every member ShardedDB actually calls on its shards.
+_PROTOCOL_MEMBERS = [
+    name for name in dir(ShardLike)
+    if not name.startswith("_")
+]
+
+
+@pytest.fixture
+def served_db():
+    db = DB(MemStorage(), small_options())
+    with ServerThread(db) as handle:
+        yield handle
+
+
+def _assert_conforms(shard) -> None:
+    assert isinstance(shard, ShardLike)
+    for name in _PROTOCOL_MEMBERS:
+        assert hasattr(shard, name), f"missing member {name!r}"
+
+
+def test_protocol_members_are_nonempty():
+    # Guard against the Protocol silently degenerating to object().
+    for expected in ("put", "get", "scan", "write_stalled", "stats"):
+        assert expected in _PROTOCOL_MEMBERS
+
+
+def test_local_db_conforms():
+    db = DB(MemStorage(), Options())
+    try:
+        _assert_conforms(db)
+    finally:
+        db.close()
+
+
+def test_remote_shard_conforms(served_db):
+    shard = RemoteShard(served_db.host, served_db.port)
+    try:
+        _assert_conforms(shard)
+    finally:
+        shard.close()
+
+
+def test_replicated_shard_conforms(served_db):
+    shard = ReplicatedShard([(served_db.host, served_db.port)], ack_level=0)
+    try:
+        _assert_conforms(shard)
+    finally:
+        shard.close()
+
+
+def test_remote_shard_signature_compatible_with_db():
+    """RemoteShard methods must accept the call shapes DB accepts."""
+    for name in _PROTOCOL_MEMBERS:
+        db_attr = getattr(DB, name, None)
+        remote_attr = getattr(RemoteShard, name, None)
+        if not callable(db_attr) or not callable(remote_attr):
+            continue
+        db_params = list(inspect.signature(db_attr).parameters)
+        remote_params = list(inspect.signature(remote_attr).parameters)
+        missing = [
+            p for p in db_params
+            if p not in remote_params and p not in ("self", "kwargs")
+        ]
+        assert not missing, f"{name} lacks params {missing}"
+
+
+def test_mixed_cluster_from_shards(served_db, tmp_path):
+    local = DB(MemStorage(), small_options())
+    remote = RemoteShard(served_db.host, served_db.port)
+    cluster = ShardedDB.from_shards([local, remote])
+    try:
+        for i in range(60):
+            cluster.put(f"key{i:03d}".encode(), f"val{i:03d}".encode())
+        for i in range(60):
+            assert cluster.get(f"key{i:03d}".encode()) == f"val{i:03d}".encode()
+
+        # Both shards actually received data (hash routing split it).
+        assert local.stats.writes > 0
+
+        got = [k for k, _ in cluster.scan()]
+        assert got == sorted(f"key{i:03d}".encode() for i in range(60))
+        rev = [k for k, _ in cluster.scan_reverse()]
+        assert rev == got[::-1]
+
+        values = cluster.multi_get([b"key000", b"key059", b"missing"])
+        assert values == [b"val000", b"val059", None]
+
+        # Point-in-time snapshots need every shard to support them;
+        # RemoteShard cannot, so the cluster must refuse loudly.
+        with pytest.raises(NotImplementedError):
+            cluster.snapshot()
+
+        stats = cluster.stats
+        assert stats.writes >= 60
+    finally:
+        cluster.close()
+
+
+def test_from_shards_partitioner_mismatch():
+    from repro.cluster import ClusterConfigError, HashPartitioner
+
+    a, b = DB(MemStorage(), Options()), DB(MemStorage(), Options())
+    with pytest.raises(ClusterConfigError):
+        ShardedDB.from_shards([a, b], partitioner=HashPartitioner(3))
+    a.close()
+    b.close()
