@@ -45,6 +45,7 @@ __all__ = [
     "NetBenchResult",
     "main",
     "run_net_benchmark",
+    "run_obs_overhead",
     "run_replication_bench",
     "run_scaling",
 ]
@@ -71,6 +72,12 @@ class NetBenchResult:
     replicas: int = 0
     #: the primary's write ack level (0, N, or -1 = majority)
     repl_acks: int = 0
+    #: live Prometheus scrapes completed during the run phase
+    scrapes: int = 0
+    #: total exposition samples those scrapes parsed
+    scrape_samples: int = 0
+    #: spans the traced clients recorded (0 when tracing was off)
+    client_spans: int = 0
 
     def percentile_ms(self, p: float) -> float:
         return self.latency.percentile(p) * 1e3
@@ -105,12 +112,15 @@ def _drive(
     counts: dict[str, int],
     lock: threading.Lock,
     errors: list,
+    tracer=None,
 ) -> None:
     """One closed-loop connection: apply a workload shard, timing ops."""
     local_counts: dict[str, int] = {}
     local_lat: list[float] = []
-    client = SyncClient(host, port)
+    client = SyncClient(host, port, tracer=tracer)
     try:
+        if tracer is not None:
+            client.hello()  # negotiate 2.1 so trace ids go on the wire
         for op in shard:
             t0 = time.perf_counter()
             if op.kind in (UPDATE, INSERT):
@@ -151,6 +161,9 @@ def run_net_benchmark(
     pool_workers: Optional[int] = None,
     replicas: int = 0,
     repl_acks: "int | str" = 0,
+    obs=None,
+    trace_clients: bool = False,
+    scrape_interval_s: Optional[float] = None,
 ) -> NetBenchResult:
     """Load a keyspace, then run ``n_ops`` of YCSB mix ``mix`` through
     ``connections`` concurrent closed-loop socket clients.
@@ -170,6 +183,14 @@ def run_net_benchmark(
     must collect ``repl_acks`` follower acks (``"majority"`` = -1)
     before the server says OK — the knob the replication benchmark
     sweeps.
+
+    Telemetry knobs (the obs-overhead benchmark sweeps these): ``obs``
+    is an :class:`repro.obs.Observability` for the server DB (enabled
+    tracer / event log), ``trace_clients`` gives every connection its
+    own enabled tracer so each op carries a trace id end to end, and
+    ``scrape_interval_s`` runs a live Prometheus scrape loop against
+    the METRICS opcode for the whole run phase — telemetry measured
+    under load, not at rest.
     """
     workload = YCSBWorkload(
         mix, n_ops, record_count, value_bytes=value_bytes, seed=seed
@@ -191,6 +212,7 @@ def run_net_benchmark(
             compaction_spec=compaction_spec,
             background=True,
             pool_workers=pool_workers,
+            **({"obs": obs} if obs is not None else {}),
         )
     else:
         opts = options or Options()
@@ -205,6 +227,7 @@ def run_net_benchmark(
             opts,
             compaction_spec=compaction_spec,
             background=True,
+            **({"obs": obs} if obs is not None else {}),
         )
     if replicas > 0:
         from ..replication import ReplicationHub
@@ -261,22 +284,60 @@ def run_net_benchmark(
         finally:
             loader.close()
 
+        client_tracer = None
+        if trace_clients:
+            from ..obs import Tracer
+
+            client_tracer = Tracer(enabled=True)
+
+        # Optional live scrape loop: a Prometheus pull against the
+        # METRICS opcode every interval, concurrent with the load.
+        scrape_stop = threading.Event()
+        scrape_counts = {"scrapes": 0, "samples": 0}
+        scraper = None
+        if scrape_interval_s is not None:
+            from ..obs import parse_prometheus
+
+            def _scrape_loop() -> None:
+                probe = SyncClient(handle.host, handle.port)
+                try:
+                    while not scrape_stop.is_set():
+                        series = parse_prometheus(probe.metrics("prom"))
+                        scrape_counts["scrapes"] += 1
+                        scrape_counts["samples"] += sum(
+                            len(s) for s in series.values()
+                        )
+                        scrape_stop.wait(scrape_interval_s)
+                except (ConnectionError, OSError):
+                    pass
+                finally:
+                    probe.close()
+
+            scraper = threading.Thread(
+                target=_scrape_loop, name="netbench-scrape", daemon=True
+            )
+
         # Run phase: one thread + one connection per shard.
         threads = [
             threading.Thread(
                 target=_drive,
                 args=(shard, handle.host, handle.port, histogram, counts,
-                      lock, errors),
+                      lock, errors, client_tracer),
                 name=f"netbench-{i}",
             )
             for i, shard in enumerate(workload.split(connections))
         ]
         t0 = time.perf_counter()
+        if scraper is not None:
+            scraper.start()
         for thread in threads:
             thread.start()
         for thread in threads:
             thread.join()
         wall = time.perf_counter() - t0
+        if scraper is not None:
+            scrape_stop.set()
+            scraper.join(timeout=5)
 
         probe = SyncClient(handle.host, handle.port)
         try:
@@ -307,6 +368,9 @@ def run_net_benchmark(
         shards=shards,
         replicas=replicas,
         repl_acks=acks,
+        scrapes=scrape_counts["scrapes"],
+        scrape_samples=scrape_counts["samples"],
+        client_spans=len(client_tracer) if client_tracer is not None else 0,
     )
 
 
@@ -462,6 +526,87 @@ def run_replication_bench(
     }
 
 
+def run_obs_overhead(
+    mix: str = "a",
+    n_ops: int = 4000,
+    record_count: int = 1000,
+    value_bytes: int = 100,
+    connections: int = 4,
+    seed: int = 0,
+    scrape_interval_s: float = 0.2,
+) -> dict:
+    """Measure what telemetry costs at the network edge.
+
+    Three identical runs: ``off`` (the default path — registry counters
+    only, no scraping, tracing, or events), ``metrics`` (a live
+    Prometheus scrape loop pulling the METRICS opcode throughout the
+    run), and ``metrics+tracing`` (scraping plus an enabled server
+    tracer, an event log, and traced clients stamping every request
+    with a trace id).  The returned dict is the
+    ``BENCH_obs_overhead.json`` payload; ``throughput_vs_off`` per run
+    is the headline — the ``off`` path must stay within noise of the
+    untelemetered baseline.
+    """
+    from ..obs import EventLog, Observability, Tracer
+
+    common = dict(
+        mix=mix,
+        n_ops=n_ops,
+        record_count=record_count,
+        value_bytes=value_bytes,
+        connections=connections,
+        seed=seed,
+    )
+    runs = []
+    events_seen = {"n": 0}
+    for mode in ("off", "metrics", "metrics+tracing"):
+        kwargs = dict(common)
+        if mode != "off":
+            kwargs["scrape_interval_s"] = scrape_interval_s
+        if mode == "metrics+tracing":
+            events_seen["n"] = 0
+            kwargs["obs"] = Observability(
+                tracer=Tracer(enabled=True),
+                events=EventLog(
+                    lambda record: events_seen.__setitem__(
+                        "n", events_seen["n"] + 1
+                    ),
+                    slow_op_threshold_s=None,
+                ),
+            )
+            kwargs["trace_clients"] = True
+        result = run_net_benchmark(**kwargs)
+        runs.append(
+            {
+                "mode": mode,
+                "ops_per_second": result.ops_per_second,
+                "wall_seconds": result.wall_seconds,
+                "p50_ms": result.percentile_ms(50),
+                "p95_ms": result.percentile_ms(95),
+                "p99_ms": result.percentile_ms(99),
+                "stall_retries": result.stall_retries,
+                "scrapes": result.scrapes,
+                "scrape_samples": result.scrape_samples,
+                "client_spans": result.client_spans,
+                "events_emitted": (
+                    events_seen["n"] if mode == "metrics+tracing" else 0
+                ),
+            }
+        )
+    base = runs[0]["ops_per_second"] or 1.0
+    for entry in runs:
+        entry["throughput_vs_off"] = entry["ops_per_second"] / base
+    return {
+        "benchmark": "netbench-obs-overhead",
+        "mix": mix,
+        "n_ops": n_ops,
+        "record_count": record_count,
+        "connections": connections,
+        "scrape_interval_s": scrape_interval_s,
+        "runs": runs,
+    }
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="netbench",
@@ -506,11 +651,43 @@ def main(argv: Optional[list[str]] = None) -> int:
              "followers at ack 0/1/majority) instead of a single run",
     )
     parser.add_argument(
+        "--obs-overhead", action="store_true",
+        help="run the telemetry-overhead sweep (off / live metrics "
+             "scraping / scraping+tracing+events) instead of a "
+             "single run",
+    )
+    parser.add_argument(
         "--json-out", metavar="PATH", default=None,
         help="write the result table as JSON "
              "(with --scaling or --replication-sweep)",
     )
     args = parser.parse_args(argv)
+
+    if args.obs_overhead:
+        table = run_obs_overhead(
+            mix=args.mix,
+            n_ops=args.ops,
+            record_count=args.records,
+            value_bytes=args.value_bytes,
+            connections=args.connections,
+            seed=args.seed,
+        )
+        for entry in table["runs"]:
+            print(
+                f"{entry['mode']}: {entry['ops_per_second']:,.0f} ops/s "
+                f"({entry['throughput_vs_off']:.2f}x of off) "
+                f"p99={entry['p99_ms']:.2f}ms "
+                f"scrapes={entry['scrapes']} "
+                f"client_spans={entry['client_spans']} "
+                f"events={entry['events_emitted']}"
+            )
+        if args.json_out:
+            import json
+
+            with open(args.json_out, "w") as fh:
+                json.dump(table, fh, indent=2, sort_keys=True)
+            print(f"wrote {args.json_out}")
+        return 0
 
     if args.replication_sweep:
         table = run_replication_bench(

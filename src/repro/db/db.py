@@ -382,6 +382,11 @@ class DB:
 
             self.stats.write_stalls += 1
             self.obs.metrics.counter("db.write_stalls").inc()
+            events = self.obs.events
+            if events.enabled:
+                events.emit(
+                    "stall.enter", l0_files=self.version.num_files(0)
+                )
             t0 = time.perf_counter()
             with self.obs.tracer.span("write-stall", cat="stall"):
                 if self._background:
@@ -397,9 +402,14 @@ class DB:
                             ) from self._bg_error
                 else:
                     self._compact_until_quiet()
-            self.obs.metrics.histogram("db.stall_seconds").record(
-                time.perf_counter() - t0
-            )
+            stalled = time.perf_counter() - t0
+            self.obs.metrics.histogram("db.stall_seconds").record(stalled)
+            if events.enabled:
+                events.emit(
+                    "stall.exit",
+                    seconds=round(stalled, 6),
+                    l0_files=self.version.num_files(0),
+                )
 
     # ---------------------------------------------------------- flush
     def _build_table_from_memtable(self) -> FileMetaData:
@@ -466,9 +476,16 @@ class DB:
         self.stats.flushes += 1
         self.obs.metrics.counter("db.flushes").inc()
         self.obs.metrics.counter("db.flush_bytes").inc(meta.file_size)
-        self.obs.metrics.histogram("db.flush_seconds").record(
-            time.perf_counter() - t0
-        )
+        flush_s = time.perf_counter() - t0
+        self.obs.metrics.histogram("db.flush_seconds").record(flush_s)
+        events = self.obs.events
+        if events.enabled:
+            events.emit(
+                "flush",
+                bytes=meta.file_size,
+                seconds=round(flush_s, 6),
+                l0_files=self.version.num_files(0),
+            )
         if self.observer is not None:
             self.observer.on_flush(meta)
 
@@ -499,7 +516,10 @@ class DB:
                     f"epoch may not move backwards "
                     f"({epoch} < {self.version.repl_epoch})"
                 )
+            old = self.version.repl_epoch
             self._apply_edit(VersionEdit(repl_epoch=epoch))
+            if self.obs.events.enabled:
+                self.obs.events.emit("fence", epoch=epoch, previous=old)
 
     def add_wal_listener(self, fn) -> None:
         """Register ``fn(base_seq, last_seq, record)``; called under the
@@ -591,6 +611,15 @@ class DB:
         self._crash_point("manifest.append")
         self._manifest.append(edit, sync=True)
         edit.apply(self.version)
+        # Tree-shape gauges for live scrapes: edits are per
+        # flush/compaction, so the two gauge writes are cheap.
+        self.obs.metrics.gauge("db.l0_files").set(self.version.num_files(0))
+        self.obs.metrics.gauge("db.live_files").set(
+            sum(
+                self.version.num_files(lv)
+                for lv in range(self.options.num_levels)
+            )
+        )
 
     def _after_shape_change(self) -> None:
         if self._background:
@@ -680,6 +709,15 @@ class DB:
             upper.sort(key=lambda m: m.number, reverse=True)
         drop_deletes = self._can_drop_deletes(task)
         smallest_snapshot = self._smallest_snapshot()
+        events = self.obs.events
+        if events.enabled:
+            events.emit(
+                "compaction.start",
+                level=task.level,
+                output_level=task.output_level,
+                inputs=len(task.all_inputs()),
+                input_bytes=sum(m.file_size for m in task.all_inputs()),
+            )
 
         # Transient I/O errors get bounded retries with exponential
         # backoff; corrupt inputs are quarantined and the task aborts
@@ -717,6 +755,13 @@ class DB:
                 delay = self.options.compaction_retry_backoff_s * (
                     2 ** (attempt - 1)
                 )
+                if events.enabled:
+                    events.emit(
+                        "compaction.retry",
+                        level=task.level,
+                        attempt=attempt,
+                        backoff_s=delay,
+                    )
                 if delay > 0:
                     with self._unlocked() if unlock else nullcontext():
                         time.sleep(delay)
@@ -726,6 +771,12 @@ class DB:
                     # No input is individually corrupt (e.g. damage in
                     # an already-deleted cache entry): nothing to heal.
                     raise
+                if events.enabled:
+                    events.emit(
+                        "compaction.quarantine",
+                        level=task.level,
+                        cause=str(exc),
+                    )
                 return
 
         self._crash_point("compaction.outputs_written")
@@ -754,6 +805,15 @@ class DB:
         metrics.counter("compaction.input_bytes").inc(stats.input_bytes)
         metrics.counter("compaction.output_bytes").inc(stats.output_bytes)
         metrics.histogram("compaction.seconds").record(elapsed)
+        if events.enabled:
+            events.emit(
+                "compaction.end",
+                level=task.level,
+                output_level=task.output_level,
+                outputs=len(outputs),
+                output_bytes=stats.output_bytes,
+                seconds=round(elapsed, 6),
+            )
         self._record_compaction(
             {
                 "level": task.level,

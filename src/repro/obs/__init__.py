@@ -1,4 +1,4 @@
-"""Unified observability: metrics registry + span tracer.
+"""Unified observability: metrics registry + span tracer + event log.
 
 One import point for the engine's introspection layer:
 
@@ -8,52 +8,93 @@ One import point for the engine's introspection layer:
   uses).
 * :class:`Tracer` — begin/end spans with thread attribution, exported
   as Chrome trace-event JSON (Perfetto / ``chrome://tracing``) or the
-  ASCII gantt format of :mod:`repro.bench.gantt`.
-* :class:`Observability` — the pair, as one object a :class:`repro.db.DB`
-  owns and every layer below records into.
+  ASCII gantt format of :mod:`repro.bench.gantt`; :func:`trace_context`
+  binds a cross-process ``(trace_id, span_id)`` to a thread so spans
+  link across the wire (protocol v2.1 request frames carry the ids).
+* :class:`EventLog` — structured JSONL lifecycle events (flush,
+  compaction retry/quarantine, stall boundaries, replication fencing)
+  plus a slow-op log (:mod:`repro.obs.events`).
+* :mod:`repro.obs.export` — Prometheus text / JSON exposition of a
+  registry snapshot and merged multi-process Chrome traces.
+* :class:`Observability` — the bundle, as one object a
+  :class:`repro.db.DB` owns and every layer below records into.
 
-See ``docs/OBSERVABILITY.md`` for the metric-name catalogue and trace
-format notes.
+See ``docs/OBSERVABILITY.md`` for the metric-name catalogue, the
+exposition formats, and trace/event schema notes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .events import NULL_EVENTS, EventLog
+from .export import (
+    merge_chrome_traces,
+    parse_prometheus,
+    render_json,
+    render_prometheus,
+    write_merged_chrome_trace,
+)
 from .registry import (
     Counter,
     Gauge,
     Histogram,
     LatencyHistogram,
     MetricsRegistry,
+    merge_histogram_snapshots,
     merge_shard_snapshots,
 )
-from .tracer import NULL_TRACER, Span, Tracer, pipeline_overlap
+from .tracer import (
+    NULL_TRACER,
+    Span,
+    Tracer,
+    current_trace_context,
+    new_span_id,
+    new_trace_id,
+    pipeline_overlap,
+    trace_context,
+)
 
 __all__ = [
     "Counter",
+    "EventLog",
     "Gauge",
     "Histogram",
     "LatencyHistogram",
     "MetricsRegistry",
+    "NULL_EVENTS",
     "NULL_TRACER",
     "Observability",
     "Span",
     "Tracer",
+    "current_trace_context",
+    "merge_chrome_traces",
+    "merge_histogram_snapshots",
     "merge_shard_snapshots",
+    "new_span_id",
+    "new_trace_id",
+    "parse_prometheus",
     "pipeline_overlap",
+    "render_json",
+    "render_prometheus",
+    "trace_context",
+    "write_merged_chrome_trace",
 ]
 
 
 @dataclass
 class Observability:
-    """A DB's observability bundle: one registry, one tracer.
+    """A DB's observability bundle: registry + tracer + event log.
 
-    The default tracer is *disabled* (metrics are always cheap enough
-    to keep on; tracing allocates per span).  Pass
+    The default tracer is *disabled* and the default event log has no
+    sink (metrics are always cheap enough to keep on; tracing allocates
+    per span, events serialise JSON).  Pass
     ``Observability(tracer=Tracer(enabled=True))`` to capture a
-    timeline — ``dbtool trace`` does exactly that.
+    timeline — ``dbtool trace`` does exactly that — and
+    ``Observability(events=EventLog("events.jsonl"))`` to stream
+    lifecycle events.
     """
 
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
     tracer: Tracer = field(default_factory=lambda: Tracer(enabled=False))
+    events: EventLog = field(default_factory=EventLog)

@@ -1,0 +1,255 @@
+"""Metrics exposition and multi-process trace export.
+
+This is the boundary where `repro.obs` stops being in-process state and
+becomes telemetry another system can consume:
+
+* :func:`render_prometheus` — a :meth:`MetricsRegistry.snapshot` dict
+  as Prometheus text exposition format (``# TYPE`` lines, ``_total``
+  counters, full ``_bucket``/``_count``/``_sum`` histogram series from
+  the snapshot's cumulative buckets).  Shard-dimensioned names
+  (``cluster.shard3.wal.bytes``) become a ``shard="3"`` label so a
+  scraper can aggregate across shards natively.
+* :func:`parse_prometheus` — a small strict parser for the same format,
+  used by tests/CI to prove the endpoint's output actually parses, and
+  by ``dbtool scrape --check``.
+* :func:`render_json` — the JSON flavour of the same exposition.
+* :func:`merge_chrome_traces` — stitch per-process Chrome traces
+  (client, primary, follower) into one file with per-process tracks;
+  spans stamped with the same ``trace_id`` (see
+  :func:`repro.obs.tracer.trace_context`) line up across processes.
+
+Latency histograms snapshot in milliseconds (``*_ms`` keys); the
+Prometheus rendering converts them to base-unit seconds and suffixes
+the metric name ``_seconds``, per Prometheus naming conventions.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import Iterable, Optional
+
+__all__ = [
+    "merge_chrome_traces",
+    "parse_prometheus",
+    "prometheus_metric_name",
+    "render_json",
+    "render_prometheus",
+    "write_merged_chrome_trace",
+]
+
+EXPOSITION_VERSION = 1
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_SHARD = re.compile(r"^cluster\.shard(\d+)\.(.+)$")
+
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)(?:\s+\d+)?$"
+)
+_LABEL = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>[^"]*)"$')
+
+
+def prometheus_metric_name(name: str, prefix: str = "repro") -> str:
+    """A dotted registry name as a legal Prometheus metric name."""
+    sanitized = _NAME_OK.sub("_", name.replace(".", "_"))
+    return f"{prefix}_{sanitized}" if prefix else sanitized
+
+
+def _split_shard(name: str) -> tuple[str, Optional[str]]:
+    """``cluster.shard<i>.<rest>`` -> (``<rest>``, ``"<i>"``)."""
+    m = _SHARD.match(name)
+    if m is None:
+        return name, None
+    return m.group(2), m.group(1)
+
+
+def _fmt(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_str(shard: Optional[str], extra: Optional[dict] = None) -> str:
+    parts = []
+    if shard is not None:
+        parts.append(f'shard="{shard}"')
+    for key, value in (extra or {}).items():
+        parts.append(f'{key}="{value}"')
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def render_prometheus(snapshot: dict, prefix: str = "repro") -> str:
+    """Render a registry snapshot in Prometheus text exposition format.
+
+    ``snapshot`` is the ``{"counters": .., "gauges": .., "histograms":
+    ..}`` shape produced by :meth:`MetricsRegistry.snapshot` /
+    :func:`merge_shard_snapshots`.  One ``# TYPE`` line per metric
+    family; families are emitted sorted so the output is deterministic
+    and diffable.
+    """
+    # family name -> (type, [(labels, value) ...]) for scalar families,
+    # or (type, [histogram sample lines]) for histogram families.
+    families: dict[str, tuple[str, list[str]]] = {}
+
+    def add(family: str, ftype: str, line: str) -> None:
+        entry = families.setdefault(family, (ftype, []))
+        if entry[0] != ftype:
+            raise ValueError(
+                f"metric family {family!r} rendered as both "
+                f"{entry[0]} and {ftype}"
+            )
+        entry[1].append(line)
+
+    for name, value in snapshot.get("counters", {}).items():
+        bare, shard = _split_shard(name)
+        family = prometheus_metric_name(bare, prefix) + "_total"
+        add(family, "counter",
+            f"{family}{_labels_str(shard)} {_fmt(value)}")
+
+    for name, value in snapshot.get("gauges", {}).items():
+        bare, shard = _split_shard(name)
+        family = prometheus_metric_name(bare, prefix)
+        add(family, "gauge",
+            f"{family}{_labels_str(shard)} {_fmt(value)}")
+
+    for name, hist in snapshot.get("histograms", {}).items():
+        bare, shard = _split_shard(name)
+        milliseconds = "buckets_ms" in hist or "sum_ms" in hist
+        family = prometheus_metric_name(bare, prefix)
+        if milliseconds and not family.endswith("_seconds"):
+            family += "_seconds"
+        scale = 1e-3 if milliseconds else 1.0
+        count = hist.get("count", 0)
+        total = hist.get("sum_ms" if milliseconds else "sum", 0.0) * scale
+        buckets = hist.get("buckets_ms" if milliseconds else "buckets", [])
+        for le, cum in buckets:
+            labels = _labels_str(shard, {"le": _fmt(le * scale)})
+            add(family, "histogram", f"{family}_bucket{labels} {cum}")
+        labels = _labels_str(shard, {"le": "+Inf"})
+        add(family, "histogram", f"{family}_bucket{labels} {count}")
+        add(family, "histogram",
+            f"{family}_count{_labels_str(shard)} {count}")
+        add(family, "histogram",
+            f"{family}_sum{_labels_str(shard)} {_fmt(total)}")
+
+    lines = []
+    for family in sorted(families):
+        ftype, samples = families[family]
+        lines.append(f"# TYPE {family} {ftype}")
+        lines.extend(samples)
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse Prometheus text exposition into ``{name: [(labels, value)]}``.
+
+    Strict about what this repo emits (and the common subset every
+    scraper accepts): ``# TYPE``/``# HELP`` comment lines, then
+    ``name{labels} value`` samples.  Raises ``ValueError`` on any
+    malformed line — this is the validator CI runs against the live
+    endpoint.
+    """
+    samples: dict[str, list[tuple[dict, float]]] = {}
+    types: dict[str, str] = {}
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) < 4 or parts[3] not in (
+                    "counter", "gauge", "histogram", "summary", "untyped"
+                ):
+                    raise ValueError(f"line {lineno}: bad TYPE line: {raw!r}")
+                if parts[2] in types:
+                    raise ValueError(
+                        f"line {lineno}: duplicate TYPE for {parts[2]!r}"
+                    )
+                types[parts[2]] = parts[3]
+            continue
+        m = _SAMPLE_LINE.match(line)
+        if m is None:
+            raise ValueError(f"line {lineno}: unparseable sample: {raw!r}")
+        labels: dict = {}
+        if m.group("labels"):
+            for pair in m.group("labels").split(","):
+                lm = _LABEL.match(pair.strip())
+                if lm is None:
+                    raise ValueError(
+                        f"line {lineno}: bad label pair {pair!r}"
+                    )
+                labels[lm.group("key")] = lm.group("value")
+        text_value = m.group("value")
+        try:
+            value = float(text_value)
+        except ValueError:
+            if text_value == "+Inf":
+                value = math.inf
+            elif text_value == "-Inf":
+                value = -math.inf
+            elif text_value == "NaN":
+                value = math.nan
+            else:
+                raise ValueError(
+                    f"line {lineno}: bad sample value {text_value!r}"
+                ) from None
+        samples.setdefault(m.group("name"), []).append((labels, value))
+    return samples
+
+
+def render_json(snapshot: dict, extra: Optional[dict] = None) -> str:
+    """The JSON flavour of the exposition: versioned envelope + snapshot."""
+    doc = {"version": EXPOSITION_VERSION, "metrics": snapshot}
+    if extra:
+        doc.update(extra)
+    return json.dumps(doc, sort_keys=True)
+
+
+# ------------------------------------------------------- trace merging
+
+def merge_chrome_traces(traces: Iterable[tuple[str, dict]]) -> dict:
+    """Merge per-process Chrome traces into one multi-process trace.
+
+    ``traces`` is ``[(label, chrome_trace_dict), ...]`` — e.g.
+    ``[("client", ...), ("primary", ...), ("follower-1", ...)]``.  Each
+    input gets its own pid track (1..n) with a ``process_name``
+    metadata record, so Perfetto shows one named lane per process.
+    Event timestamps are kept as recorded: each process's tracer epoch
+    is its own zero, which is what matters for *within*-request
+    causality (spans sharing a ``trace_id`` arg link logically, not by
+    wall clock).
+    """
+    events: list = []
+    for pid, (label, trace) in enumerate(traces, start=1):
+        events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": label},
+        })
+        for event in trace.get("traceEvents", []):
+            merged = dict(event)
+            merged["pid"] = pid
+            events.append(merged)
+    return {"displayTimeUnit": "ms", "traceEvents": events}
+
+
+def write_merged_chrome_trace(
+    path: str, traces: Iterable[tuple[str, dict]]
+) -> int:
+    """Write a merged trace to ``path``; returns the "X" event count."""
+    merged = merge_chrome_traces(traces)
+    with open(path, "w") as f:
+        json.dump(merged, f, indent=None, separators=(",", ":"))
+    return sum(1 for e in merged["traceEvents"] if e.get("ph") == "X")

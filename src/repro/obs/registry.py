@@ -39,6 +39,7 @@ __all__ = [
     "Histogram",
     "LatencyHistogram",
     "MetricsRegistry",
+    "merge_histogram_snapshots",
     "merge_shard_snapshots",
 ]
 
@@ -79,6 +80,31 @@ class Gauge:
 
     def __repr__(self) -> str:
         return f"Gauge({self.value})"
+
+
+def _bucket_percentile(
+    buckets: list, count: int, vmin: float, vmax: float, p: float
+) -> float:
+    """Percentile estimate from cumulative ``[le, cum]`` bucket pairs.
+
+    The same interpolation :meth:`Histogram.percentile` performs on the
+    live counts, but operating on a snapshot's bucket list — so merged
+    snapshots (:func:`merge_histogram_snapshots`) can re-derive
+    cluster-wide percentiles.
+    """
+    if count <= 0:
+        return 0.0
+    rank = p / 100.0 * count
+    prev_le: Optional[float] = None
+    prev_cum = 0
+    for le, cum in buckets:
+        if cum >= rank:
+            lo = prev_le if prev_le is not None else vmin
+            fraction = (rank - prev_cum) / (cum - prev_cum)
+            est = lo + (le - lo) * fraction
+            return min(max(est, vmin), vmax)
+        prev_le, prev_cum = le, cum
+    return vmax
 
 
 class Histogram:
@@ -159,18 +185,42 @@ class Histogram:
             return self.total / self.count if self.count else 0.0
 
     def snapshot(self) -> dict:
-        """Summary dict in the histogram's raw units."""
+        """Summary dict in the histogram's raw units.
+
+        Besides the summary statistics, the snapshot carries the
+        cumulative ``sum`` and the non-empty ``buckets`` as
+        ``[upper_bound, cumulative_count]`` pairs, so a scraper can
+        derive rates/averages between two snapshots and a Prometheus
+        exposition can render ``_bucket``/``_count``/``_sum`` series
+        (see :mod:`repro.obs.export`).  The empty shape stays
+        ``{"count": 0}`` for backward compatibility.
+        """
         if self.count == 0:
             return {"count": 0}
-        return {
-            "count": self.count,
-            "mean": self.mean(),
-            "min": self.vmin,
-            "max": self.vmax,
-            "p50": self.percentile(50),
-            "p95": self.percentile(95),
-            "p99": self.percentile(99),
+        with self._lock:
+            counts = list(self.counts)
+            count = self.count
+            total = self.total
+            vmin = self.vmin
+            vmax = self.vmax
+        buckets: list[list] = []
+        cumulative = 0
+        for index, n in enumerate(counts):
+            if n == 0:
+                continue
+            cumulative += n
+            buckets.append([self._bucket_upper(index), cumulative])
+        snap = {
+            "count": count,
+            "sum": total,
+            "mean": total / count,
+            "min": vmin,
+            "max": vmax,
         }
+        for p in (50, 95, 99):
+            snap[f"p{p}"] = _bucket_percentile(buckets, count, vmin, vmax, p)
+        snap["buckets"] = buckets
+        return snap
 
 
 class LatencyHistogram(Histogram):
@@ -203,14 +253,17 @@ class LatencyHistogram(Histogram):
         """Summary dict (latencies in milliseconds, for STATS/JSON)."""
         if self.count == 0:
             return {"count": 0}
+        base = super().snapshot()
         return {
-            "count": self.count,
-            "mean_ms": self.mean() * 1e3,
-            "min_ms": self.vmin * 1e3,
-            "max_ms": self.vmax * 1e3,
-            "p50_ms": self.percentile(50) * 1e3,
-            "p95_ms": self.percentile(95) * 1e3,
-            "p99_ms": self.percentile(99) * 1e3,
+            "count": base["count"],
+            "mean_ms": base["mean"] * 1e3,
+            "min_ms": base["min"] * 1e3,
+            "max_ms": base["max"] * 1e3,
+            "p50_ms": base["p50"] * 1e3,
+            "p95_ms": base["p95"] * 1e3,
+            "p99_ms": base["p99"] * 1e3,
+            "sum_ms": base["sum"] * 1e3,
+            "buckets_ms": [[le * 1e3, cum] for le, cum in base["buckets"]],
         }
 
 
@@ -309,6 +362,61 @@ class MetricsRegistry:
         return "\n".join(lines) if lines else "(no metrics)"
 
 
+def merge_histogram_snapshots(snapshots: list[dict]) -> dict:
+    """Merge histogram *snapshot* dicts into one combined snapshot.
+
+    Counts, sums, and buckets add; min/max combine; percentiles are
+    re-estimated from the merged cumulative buckets — so a cluster-wide
+    p99 is derived from the full distribution, not averaged from
+    per-shard percentiles (which would be meaningless).  Handles both
+    the raw-unit shape (``sum``/``buckets``) and the latency wire shape
+    (``sum_ms``/``buckets_ms``); empty snapshots merge to
+    ``{"count": 0}``.
+    """
+    snaps = [s for s in snapshots if s and s.get("count")]
+    if not snaps:
+        return {"count": 0}
+    suffix = "_ms" if any("buckets_ms" in s for s in snaps) else ""
+    bucket_key = "buckets" + suffix
+    count = 0
+    total = 0.0
+    vmin = math.inf
+    vmax = 0.0
+    incremental: dict[float, int] = {}
+    for s in snaps:
+        count += s["count"]
+        # Pre-`sum` snapshots (older producers) fall back to mean*count.
+        total += s.get(
+            "sum" + suffix, s.get("mean" + suffix, 0.0) * s["count"]
+        )
+        vmin = min(vmin, s.get("min" + suffix, math.inf))
+        vmax = max(vmax, s.get("max" + suffix, 0.0))
+        prev = 0
+        for le, cum in s.get(bucket_key, []):
+            incremental[le] = incremental.get(le, 0) + (cum - prev)
+            prev = cum
+    buckets: list[list] = []
+    cumulative = 0
+    for le in sorted(incremental):
+        cumulative += incremental[le]
+        buckets.append([le, cumulative])
+    if not math.isfinite(vmin):
+        vmin = 0.0
+    merged = {
+        "count": count,
+        "mean" + suffix: total / count,
+        "min" + suffix: vmin,
+        "max" + suffix: vmax,
+    }
+    for p in (50, 95, 99):
+        merged[f"p{p}" + suffix] = _bucket_percentile(
+            buckets, count, vmin, vmax, p
+        )
+    merged["sum" + suffix] = total
+    merged[bucket_key] = buckets
+    return merged
+
+
 def merge_shard_snapshots(
     cluster_snapshot: dict,
     shard_snapshots: list[dict],
@@ -318,14 +426,15 @@ def merge_shard_snapshots(
 
     Every per-shard metric appears as ``<prefix><i>.<name>`` (e.g.
     ``cluster.shard0.flush.bytes``); counters and gauges additionally
-    roll up as sums under their bare name.  Histograms are *not* rolled
-    up — their snapshots are pre-aggregated summaries (percentiles
-    don't sum); consumers wanting a cluster-wide distribution should
-    read the per-shard entries.  ``cluster_snapshot`` (the cluster's
-    own registry, e.g. ``cluster.pool.*``) rides along unprefixed and
-    wins any name collision with a rollup.
+    roll up as sums under their bare name.  Histograms roll up via
+    :func:`merge_histogram_snapshots` — bucket counts add and
+    percentiles are re-estimated from the merged buckets (never
+    averaged).  ``cluster_snapshot`` (the cluster's own registry, e.g.
+    ``cluster.pool.*``) rides along unprefixed and wins any name
+    collision with a rollup.
     """
     out: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+    histogram_groups: dict[str, list[dict]] = {}
     for i, snap in enumerate(shard_snapshots):
         for kind in ("counters", "gauges"):
             for name, value in snap.get(kind, {}).items():
@@ -333,6 +442,9 @@ def merge_shard_snapshots(
                 out[kind][name] = out[kind].get(name, 0) + value
         for name, value in snap.get("histograms", {}).items():
             out["histograms"][f"{prefix}{i}.{name}"] = value
+            histogram_groups.setdefault(name, []).append(value)
+    for name, group in histogram_groups.items():
+        out["histograms"][name] = merge_histogram_snapshots(group)
     for kind in ("counters", "gauges", "histograms"):
         out[kind].update(cluster_snapshot.get(kind, {}))
         out[kind] = dict(sorted(out[kind].items()))

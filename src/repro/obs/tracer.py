@@ -21,16 +21,76 @@ instrumentation can stay in place on hot paths.
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from ..analysis.locksan import make_lock
 
-__all__ = ["Span", "Tracer", "NULL_TRACER", "pipeline_overlap"]
+__all__ = [
+    "Span",
+    "Tracer",
+    "NULL_TRACER",
+    "current_trace_context",
+    "new_span_id",
+    "new_trace_id",
+    "pipeline_overlap",
+    "trace_context",
+]
+
+
+# --------------------------------------------------------------- trace ids
+#
+# Distributed tracing needs ids that survive process boundaries: a
+# *trace id* names one end-to-end request (minted by the client, carried
+# in v2.1 request frames), and *span ids* name the nodes of its tree so
+# a child span can point at its parent across a merged multi-process
+# trace.  Ids are 48-bit ints — compact as varints on the wire, and the
+# per-process random base makes span ids collision-free across the
+# client / primary / follower processes that end up in one merged trace.
+
+_SPAN_ID_BASE = int.from_bytes(os.urandom(3), "big") << 24
+_span_counter = itertools.count(1)
+_context = threading.local()
+
+
+def new_trace_id() -> int:
+    """A fresh random 48-bit trace id (non-zero)."""
+    return int.from_bytes(os.urandom(6), "big") or 1
+
+
+def new_span_id() -> int:
+    """A fresh span id, unique within and across processes."""
+    # next() on itertools.count is atomic under the GIL.
+    return _SPAN_ID_BASE + next(_span_counter)
+
+
+def current_trace_context() -> Optional[tuple[int, int]]:
+    """The calling thread's ``(trace_id, parent_span_id)``, or None."""
+    return getattr(_context, "value", None)
+
+
+@contextmanager
+def trace_context(trace_id: int, span_id: int):
+    """Bind a trace context to the calling thread.
+
+    While bound, every span recorded on this thread is stamped with
+    ``trace_id``/``span_id``/``parent_span_id`` args and nested spans
+    chain their parent ids — this is how a server worker thread links
+    the DB/stall/replication spans it triggers back to the client span
+    that sent the request.
+    """
+    prev = getattr(_context, "value", None)
+    _context.value = (trace_id, span_id)
+    try:
+        yield
+    finally:
+        _context.value = prev
 
 
 @dataclass(frozen=True)
@@ -66,9 +126,16 @@ _NULL_SPAN = _NullSpan()
 
 
 class _SpanScope:
-    """Context manager that appends one Span on exit."""
+    """Context manager that appends one Span on exit.
 
-    __slots__ = ("_tracer", "_name", "_cat", "_args", "_start")
+    When the calling thread carries a trace context the span is stamped
+    with ``trace_id``/``span_id``/``parent_span_id`` and becomes the
+    parent of any span nested inside it; with no context bound the
+    extra cost is a single ``getattr``.
+    """
+
+    __slots__ = ("_tracer", "_name", "_cat", "_args", "_start",
+                 "_ctx", "_span_id")
 
     def __init__(self, tracer: "Tracer", name: str, cat: str, args: dict):
         self._tracer = tracer
@@ -77,21 +144,35 @@ class _SpanScope:
         self._args = args
 
     def __enter__(self) -> "_SpanScope":
+        ctx = getattr(_context, "value", None)
+        self._ctx = ctx
+        if ctx is not None:
+            self._span_id = new_span_id()
+            _context.value = (ctx[0], self._span_id)
         self._start = self._tracer._clock()
         return self
 
     def __exit__(self, *exc) -> bool:
         tracer = self._tracer
+        end = tracer._clock()
         thread = threading.current_thread()
+        args = self._args
+        ctx = self._ctx
+        if ctx is not None:
+            _context.value = ctx
+            args = dict(args)
+            args["trace_id"] = ctx[0]
+            args["span_id"] = self._span_id
+            args["parent_span_id"] = ctx[1]
         tracer._append(
             Span(
                 name=self._name,
                 cat=self._cat,
                 start=self._start - tracer._epoch,
-                end=tracer._clock() - tracer._epoch,
+                end=end - tracer._epoch,
                 thread=thread.name,
                 tid=thread.ident or 0,
-                args=self._args,
+                args=args,
             )
         )
         return False

@@ -143,6 +143,13 @@ class Follower:
                 return
             except _Resubscribe as exc:
                 logger.info("resubscribing to primary: %s", exc)
+                events = self.db.obs.events
+                if events.enabled:
+                    events.emit(
+                        "follower.resubscribe",
+                        follower=self.follower_id,
+                        reason=str(exc),
+                    )
                 continue
             except (OSError, ConnectionError, P.ProtocolError) as exc:
                 if self._stop.is_set():
@@ -348,6 +355,14 @@ class Follower:
             if self._on_db_swap is not None:
                 self._on_db_swap(self.db)
         self.db.obs.metrics.counter("repl.snapshots_installed").inc()
+        events = self.db.obs.events
+        if events.enabled:
+            events.emit(
+                "follower.snapshot",
+                follower=self.follower_id,
+                seq=install_seq,
+                files=n_files,
+            )
         logger.info("snapshot installed at seq %d", install_seq)
         self._send_frame(
             sock,

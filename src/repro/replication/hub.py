@@ -23,6 +23,7 @@ instead of silently queueing them.
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from typing import Optional
 
@@ -43,7 +44,10 @@ MAX_PULL_BYTES = 1 * 1024 * 1024
 class Subscriber:
     """One follower's position in the stream (owned by the hub)."""
 
-    __slots__ = ("follower_id", "next_seq", "acked_seq", "preload", "live")
+    __slots__ = (
+        "follower_id", "next_seq", "acked_seq", "preload", "live",
+        "acked_at",
+    )
 
     def __init__(self, follower_id: str, next_seq: int) -> None:
         self.follower_id = follower_id
@@ -52,6 +56,8 @@ class Subscriber:
         #: records replayed from retained WAL files at subscribe time.
         self.preload: deque[bytes] = deque()
         self.live = True
+        #: monotonic time of the last ack advance (health reporting).
+        self.acked_at = time.monotonic()
 
 
 class ReplicationHub:
@@ -69,31 +75,42 @@ class ReplicationHub:
         writes are refused with STALLED until the followers catch up."""
         self._db = db
         self._metrics = db.obs.metrics
+        self._events = db.obs.events
         self._cap = buffer_bytes
         self.ack_timeout_s = ack_timeout_s
         self.max_follower_lag = max_follower_lag
         self._lock = make_lock("repl.hub")
         self._cond = threading.Condition(self._lock)
-        # Ring of (base_seq, last_seq, record), oldest first.
-        self._buffer: deque[tuple[int, int, bytes]] = deque()
+        # Ring of (base_seq, last_seq, record, append_time), oldest
+        # first; append_time (monotonic) feeds the lag-seconds gauge.
+        self._buffer: deque[tuple[int, int, bytes, float]] = deque()
         self._buffer_bytes = 0
+        # Append time of the newest record evicted from the ring: a
+        # follower whose position fell off the ring lags at least this
+        # long.
+        self._evicted_time: Optional[float] = None
         # Sequence the next buffered record must start at (buffer floor
         # when the ring is empty).
         self._next_seq = db.last_sequence + 1
         self._subscribers: list[Subscriber] = []
         self._shutdown_reason: Optional[str] = None
+        self._ack_wait_hist = self._metrics.histogram("repl.ack_wait_seconds")
+        self._metrics.gauge("repl.epoch").set(db.repl_epoch)
         db.add_wal_listener(self._on_record)
 
     # ------------------------------------------------------ ingestion
     def _on_record(self, base_seq: int, last_seq: int, record: bytes) -> None:
         # Called under the DB lock; keep it allocation-light.
         with self._cond:
-            self._buffer.append((base_seq, last_seq, record))
+            self._buffer.append(
+                (base_seq, last_seq, record, time.monotonic())
+            )
             self._buffer_bytes += len(record)
             self._next_seq = last_seq + 1
             while self._buffer_bytes > self._cap and len(self._buffer) > 1:
-                _, _, old = self._buffer.popleft()
+                _, _, old, old_time = self._buffer.popleft()
                 self._buffer_bytes -= len(old)
+                self._evicted_time = old_time
             self._update_lag_gauge()
             self._cond.notify_all()
 
@@ -155,6 +172,14 @@ class ReplicationHub:
             ] + [sub]
             self._update_lag_gauge()
             self._cond.notify_all()
+        if self._events.enabled:
+            self._events.emit(
+                "repl.subscribe",
+                follower=follower_id,
+                mode=mode,
+                start_seq=start_seq,
+                epoch=epoch,
+            )
         return mode, sub
 
     def reset_after_snapshot(self, sub: Subscriber, last_seq: int) -> None:
@@ -225,7 +250,7 @@ class ReplicationHub:
             return out
         if sub.next_seq < self._buffer_floor():
             return None  # evicted out from under the subscriber
-        for base_seq, last_seq, record in self._buffer:
+        for base_seq, last_seq, record, _t in self._buffer:
             if last_seq < sub.next_seq:
                 continue
             if len(out) >= max_records or size >= max_bytes:
@@ -240,6 +265,7 @@ class ReplicationHub:
         with self._cond:
             if acked_seq > sub.acked_seq:
                 sub.acked_seq = acked_seq
+                sub.acked_at = time.monotonic()
                 self._metrics.counter("repl.acks").inc()
                 self._update_lag_gauge()
                 self._cond.notify_all()
@@ -257,27 +283,37 @@ class ReplicationHub:
         self, seq: int, need: int, timeout: Optional[float] = None
     ) -> bool:
         """Block until ``need`` followers acked ``seq``; False on
-        timeout (the caller surfaces STALLED to the client)."""
+        timeout (the caller surfaces STALLED to the client).
+
+        Every wait — satisfied or timed out — records into the
+        ``repl.ack_wait_seconds`` histogram, so the exposition shows
+        the durability tax ack-gated writes actually pay.
+        """
         if need <= 0:
             return True
         if timeout is None:
             timeout = self.ack_timeout_s
-        import time
-
-        deadline = time.monotonic() + timeout
-        with self._cond:
-            while True:
-                have = sum(
-                    1
-                    for s in self._subscribers
-                    if s.live and s.acked_seq >= seq
-                )
-                if have >= need:
-                    return True
-                remaining = deadline - time.monotonic()
-                if remaining <= 0 or self._shutdown_reason is not None:
-                    return False
-                self._cond.wait(timeout=remaining)
+        start = time.monotonic()
+        deadline = start + timeout
+        try:
+            with self._cond:
+                while True:
+                    have = sum(
+                        1
+                        for s in self._subscribers
+                        if s.live and s.acked_seq >= seq
+                    )
+                    if have >= need:
+                        return True
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or self._shutdown_reason is not None:
+                        self._metrics.counter(
+                            "repl.ack_wait_timeouts"
+                        ).inc()
+                        return False
+                    self._cond.wait(timeout=remaining)
+        finally:
+            self._ack_wait_hist.record(time.monotonic() - start)
 
     def majority_need(self) -> int:
         """Follower acks required for a cluster majority (primary
@@ -309,23 +345,64 @@ class ReplicationHub:
             return True
         return self.lag_records() <= self.max_follower_lag
 
+    def _lag_seconds(self, sub: Subscriber, now: float) -> float:
+        """Age of the oldest record ``sub`` has not acked (lock held).
+
+        0 when fully caught up; when the follower's position already
+        fell off the ring, the newest *evicted* record's age is the
+        best lower bound available.
+        """
+        if sub.acked_seq >= self._next_seq - 1:
+            return 0.0
+        for _base, last, _record, appended in self._buffer:
+            if last > sub.acked_seq:
+                return max(0.0, now - appended)
+        if self._evicted_time is not None:
+            return max(0.0, now - self._evicted_time)
+        return 0.0
+
     def _update_lag_gauge(self) -> None:
         # Callers hold the condition lock.
         last = self._db.last_sequence
-        lags = [
-            max(0, last - s.acked_seq) for s in self._subscribers if s.live
-        ]
+        now = time.monotonic()
+        lags = []
+        lag_seconds = []
+        for s in self._subscribers:
+            if not s.live:
+                continue
+            lags.append(max(0, last - s.acked_seq))
+            lag_seconds.append(self._lag_seconds(s, now))
         self._metrics.gauge("repl.lag_records").set(max(lags) if lags else 0)
+        self._metrics.gauge("repl.lag_seconds").set(
+            max(lag_seconds) if lag_seconds else 0.0
+        )
+        self._metrics.gauge("repl.ring_records").set(len(self._buffer))
+        self._metrics.gauge("repl.ring_bytes").set(self._buffer_bytes)
+        self._metrics.gauge("repl.followers").set(len(lags))
+
+    def refresh_gauges(self) -> None:
+        """Recompute the health gauges now (scrape time).
+
+        The gauges otherwise update on write/ack activity; an idle
+        primary with a dead follower would keep reporting the stale
+        last-event lag, so the exposition path refreshes first.
+        """
+        with self._cond:
+            self._update_lag_gauge()
+        self._metrics.gauge("repl.epoch").set(self._db.repl_epoch)
 
     # ------------------------------------------------------------ admin
     def followers_status(self) -> list[dict]:
         last = self._db.last_sequence
+        now = time.monotonic()
         with self._cond:
             return [
                 {
                     "id": s.follower_id,
                     "acked_seq": s.acked_seq,
                     "lag_records": max(0, last - s.acked_seq),
+                    "lag_seconds": round(self._lag_seconds(s, now), 6),
+                    "acked_age_seconds": round(max(0.0, now - s.acked_at), 6),
                 }
                 for s in self._subscribers
                 if s.live
@@ -338,13 +415,17 @@ class ReplicationHub:
 
     def shutdown(self, reason: str = "server shutting down") -> None:
         """Wake every ship loop with a GOODBYE (graceful stop)."""
+        first = False
         with self._cond:
             if self._shutdown_reason is None:
                 self._shutdown_reason = reason
+                first = True
                 self._metrics.counter("repl.goodbyes").inc(
                     sum(1 for s in self._subscribers if s.live)
                 )
             self._cond.notify_all()
+        if first and self._events.enabled:
+            self._events.emit("repl.goodbye", reason=reason)
 
     def detach(self) -> None:
         """Stop observing the DB (hub becomes inert)."""

@@ -16,16 +16,24 @@ and share three behaviours:
 * **Typed errors** — protocol violations raise
   :class:`ProtocolError`, engine-side failures raise
   :class:`ServerError`; a missing key is simply ``None``.
+* **Distributed tracing** — pass an enabled
+  :class:`repro.obs.Tracer` and, once :meth:`SyncClient.hello`
+  negotiates protocol ≥ 2.1, every request records a ``client:<OP>``
+  span and carries its ``(trace_id, span_id)`` in the frame head, so
+  the server's dispatch/DB/replication spans nest under it in a merged
+  Chrome trace (``repro.obs.merge_chrome_traces``).
 """
 
 from __future__ import annotations
 
 import asyncio
+import json
 import socket
 import time
 from collections import deque
 from typing import Optional
 
+from ..obs import NULL_TRACER, current_trace_context, new_trace_id, trace_context
 from . import protocol as P
 from .protocol import ProtocolError
 
@@ -118,6 +126,7 @@ class SyncClient:
         timeout: Optional[float] = 30.0,
         max_retries: int = DEFAULT_MAX_RETRIES,
         max_frame_bytes: int = P.MAX_FRAME_BYTES,
+        tracer=None,
     ) -> None:
         self.max_retries = max_retries
         self.max_frame_bytes = max_frame_bytes
@@ -126,6 +135,13 @@ class SyncClient:
         self._recv_buf = b""
         self._next_id = 0
         self.stall_retries = 0  # observable back-off count
+        # `is None`, not truthiness: an enabled-but-empty Tracer has
+        # len() == 0 and would be falsy.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: True after hello() confirms the server speaks ≥ 2.1; trace
+        #: ids are only put on the wire once this is set, so a traced
+        #: client still talks cleanly to older servers.
+        self.trace_negotiated = False
 
     # ------------------------------------------------------- transport
     def _take_id(self) -> int:
@@ -155,11 +171,40 @@ class SyncClient:
         return response
 
     def _call(self, opcode: int, body: bytes = b"") -> P.Response:
-        """One request/response, retrying STALLED with back-off."""
+        """One request/response, retrying STALLED with back-off.
+
+        With tracing negotiated and enabled, the whole exchange
+        (including stall retries) is one ``client:<OP>`` span whose
+        span id rides in the request head.
+        """
+        if not (self.trace_negotiated and self.tracer.enabled):
+            return self._call_raw(opcode, body, None, None)
+        ctx = current_trace_context()
+        trace_id = ctx[0] if ctx is not None else new_trace_id()
+        with trace_context(trace_id, ctx[1] if ctx is not None else 0):
+            name = P.OPCODE_NAMES.get(opcode, hex(opcode))
+            with self.tracer.span(f"client:{name}", cat="client"):
+                # Inside the span the context's span id is *our* span:
+                # the server's dispatch span becomes our child.
+                _, span_id = current_trace_context()
+                return self._call_raw(opcode, body, trace_id, span_id)
+
+    def _call_raw(
+        self,
+        opcode: int,
+        body: bytes,
+        trace_id: Optional[int],
+        span_id: Optional[int],
+    ) -> P.Response:
         attempts = 0
         while True:
             request_id = self._take_id()
-            self._send(P.encode_request(opcode, request_id, body))
+            self._send(
+                P.encode_request(
+                    opcode, request_id, body,
+                    trace_id=trace_id, span_id=span_id,
+                )
+            )
             response = self._recv_response(request_id)
             if response.status != P.ST_STALLED:
                 return response
@@ -186,7 +231,9 @@ class SyncClient:
         """
         body = self.ping(P.encode_hello_body(ack_level=ack_level))
         negotiated = P.decode_hello_ack(body)
-        return negotiated if negotiated is not None else (1, 0)
+        version = negotiated if negotiated is not None else (1, 0)
+        self.trace_negotiated = version >= (2, 1)
+        return version
 
     def get(self, key: bytes) -> Optional[bytes]:
         return _ResponseHandler.result(
@@ -239,6 +286,32 @@ class SyncClient:
     def flush(self) -> None:
         """Force the server's memtable to disk (protocol ≥ 2 only)."""
         _ResponseHandler.unwrap(self._call(P.OP_FLUSH))
+
+    # ------------------------------------------------------- telemetry
+    def metrics(self, fmt: str = "json"):
+        """Scrape the server's live metrics (protocol ≥ 2.1).
+
+        ``fmt="prom"`` returns Prometheus exposition text (str);
+        ``fmt="json"`` returns the parsed registry snapshot dict
+        (``{"counters": ..., "gauges": ..., "histograms": ...}``).
+        """
+        wire = (
+            P.METRICS_FMT_PROMETHEUS if fmt == "prom" else P.METRICS_FMT_JSON
+        )
+        result = _ResponseHandler.unwrap(
+            self._call(P.OP_METRICS, P.encode_metrics_body(wire))
+        )
+        blob, _ = P.decode_lp(result)
+        if fmt == "prom":
+            return blob.decode()
+        payload = json.loads(blob)
+        return payload.get("metrics", payload)
+
+    def trace_dump(self) -> dict:
+        """The server's Chrome trace (its tracer must be enabled)."""
+        result = _ResponseHandler.unwrap(self._call(P.OP_TRACE))
+        blob, _ = P.decode_lp(result)
+        return json.loads(blob)
 
     # ------------------------------------------------------ pipelining
     def pipeline(self) -> "SyncPipeline":
@@ -478,6 +551,26 @@ class AsyncClient:
 
     async def flush(self) -> None:
         _ResponseHandler.unwrap(await self._call(P.OP_FLUSH))
+
+    async def metrics(self, fmt: str = "json"):
+        """Async counterpart of :meth:`SyncClient.metrics`."""
+        wire = (
+            P.METRICS_FMT_PROMETHEUS if fmt == "prom" else P.METRICS_FMT_JSON
+        )
+        result = _ResponseHandler.unwrap(
+            await self._call(P.OP_METRICS, P.encode_metrics_body(wire))
+        )
+        blob, _ = P.decode_lp(result)
+        if fmt == "prom":
+            return blob.decode()
+        payload = json.loads(blob)
+        return payload.get("metrics", payload)
+
+    async def trace_dump(self) -> dict:
+        """Async counterpart of :meth:`SyncClient.trace_dump`."""
+        result = _ResponseHandler.unwrap(await self._call(P.OP_TRACE))
+        blob, _ = P.decode_lp(result)
+        return json.loads(blob)
 
     async def hello(self, ack_level: Optional[int] = None) -> tuple[int, int]:
         """Async counterpart of :meth:`SyncClient.hello`."""

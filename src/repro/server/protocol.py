@@ -17,6 +17,19 @@ Request payload::
 
     opcode:u8  request_id:varint64  body
 
+Protocol 2.1 adds optional *trace context*: a request whose opcode byte
+carries :data:`TRACE_FLAG` (the high bit — no real opcode uses it) is
+followed by two extra varints before the body::
+
+    opcode|0x80:u8  request_id:varint64  trace_id:varint64
+    span_id:varint64  body
+
+Clients only set the flag after a hello negotiated minor >= 1, so a 2.0
+server never sees it; a 2.1 server accepts both shapes on every
+connection.  The ids let the server stamp its dispatch/DB/replication
+spans with the client's trace id (:func:`repro.obs.trace_context`), so
+one merged Chrome trace links the request across processes.
+
 Response payload::
 
     status:u8  request_id:varint64  body
@@ -63,6 +76,11 @@ __all__ = [
     "OP_REPL_SHIP",
     "OP_REPL_ACK",
     "OP_FLUSH",
+    "OP_METRICS",
+    "OP_TRACE",
+    "TRACE_FLAG",
+    "METRICS_FMT_JSON",
+    "METRICS_FMT_PROMETHEUS",
     "OPCODE_NAMES",
     "WRITE_OPCODES",
     "ST_OK",
@@ -122,6 +140,8 @@ __all__ = [
     "decode_ship_body",
     "encode_repl_ack_body",
     "decode_repl_ack_body",
+    "encode_metrics_body",
+    "decode_metrics_body",
 ]
 
 # ------------------------------------------------------------- opcodes
@@ -137,6 +157,12 @@ OP_REPL_SUBSCRIBE = 0x09
 OP_REPL_SHIP = 0x0A
 OP_REPL_ACK = 0x0B
 OP_FLUSH = 0x0C
+OP_METRICS = 0x0D
+OP_TRACE = 0x0E
+
+#: High bit of the request opcode byte: set (protocol >= 2.1) when the
+#: request head carries trace-context varints before the body.
+TRACE_FLAG = 0x80
 
 OPCODE_NAMES = {
     OP_PING: "PING",
@@ -151,6 +177,8 @@ OPCODE_NAMES = {
     OP_REPL_SHIP: "REPL_SHIP",
     OP_REPL_ACK: "REPL_ACK",
     OP_FLUSH: "FLUSH",
+    OP_METRICS: "METRICS",
+    OP_TRACE: "TRACE",
 }
 
 #: Opcodes that mutate the tree and are therefore subject to the
@@ -179,9 +207,12 @@ STATUS_NAMES = {
 # ------------------------------------------------- protocol versioning
 #: Protocol 2 added replication (REPL_* opcodes, FLUSH, FENCED) and the
 #: PING hello handshake itself.  Servers reject a hello whose *major*
-#: they do not know; minor bumps are additive and ignored.
+#: they do not know; minor bumps are additive and ignored.  Minor 1
+#: (telemetry) added the METRICS/TRACE opcodes and the TRACE_FLAG
+#: request head extension — all additive: a 2.0 client never sends
+#: them, and a 2.1 client only after the hello ack announces >= 2.1.
 PROTOCOL_MAJOR = 2
-PROTOCOL_MINOR = 0
+PROTOCOL_MINOR = 1
 
 #: A PING body opening with this magic is a version hello rather than
 #: opaque echo data.  The leading NUL keeps it out of the plausible
@@ -279,11 +310,18 @@ def decode_lp(buf: bytes, offset: int = 0) -> tuple[bytes, int]:
 # ------------------------------------------------- request / response
 @dataclass(frozen=True)
 class Request:
-    """One decoded request frame."""
+    """One decoded request frame.
+
+    ``trace_id``/``span_id`` are the 2.1 trace context (None when the
+    frame carried none): the client's trace id and the id of the client
+    span that sent this request.
+    """
 
     opcode: int
     request_id: int
     body: bytes = b""
+    trace_id: Optional[int] = None
+    span_id: Optional[int] = None
 
     @property
     def opcode_name(self) -> str:
@@ -322,18 +360,46 @@ def _decode_head(payload: bytes) -> tuple[int, int, bytes]:
     return first, request_id, bytes(payload[pos:])
 
 
-def encode_request(opcode: int, request_id: int, body: bytes = b"") -> bytes:
-    """Full request frame (framing included)."""
+def encode_request(
+    opcode: int,
+    request_id: int,
+    body: bytes = b"",
+    trace_id: Optional[int] = None,
+    span_id: Optional[int] = None,
+) -> bytes:
+    """Full request frame (framing included).
+
+    Passing ``trace_id`` (protocol >= 2.1 only — callers must have
+    negotiated via hello) sets :data:`TRACE_FLAG` and prepends the
+    trace-context varints to the body.
+    """
     if opcode not in OPCODE_NAMES:
         raise ProtocolError(f"unknown opcode 0x{opcode:02x}")
-    return encode_frame(_encode_head(opcode, request_id, body))
+    if trace_id is None:
+        return encode_frame(_encode_head(opcode, request_id, body))
+    ctx = (
+        encode_varint64(trace_id)
+        + encode_varint64(span_id if span_id is not None else 0)
+    )
+    return encode_frame(
+        _encode_head(opcode | TRACE_FLAG, request_id, ctx + body)
+    )
 
 
 def decode_request(payload: bytes) -> Request:
-    opcode, request_id, body = _decode_head(payload)
+    first, request_id, body = _decode_head(payload)
+    opcode = first & ~TRACE_FLAG
     if opcode not in OPCODE_NAMES:
         raise ProtocolError(f"unknown opcode 0x{opcode:02x}")
-    return Request(opcode, request_id, body)
+    trace_id = span_id = None
+    if first & TRACE_FLAG:
+        try:
+            trace_id, pos = decode_varint64(body, 0)
+            span_id, pos = decode_varint64(body, pos)
+        except ValueError as exc:
+            raise ProtocolError(f"bad trace context: {exc}") from None
+        body = body[pos:]
+    return Request(opcode, request_id, body, trace_id, span_id)
 
 
 def encode_response(status: int, request_id: int, body: bytes = b"") -> bytes:
@@ -715,6 +781,32 @@ def decode_repl_ack_body(body: bytes) -> int:
     if pos != len(body):
         raise ProtocolError("trailing bytes after repl ack")
     return acked_seq
+
+
+# ------------------------------------------------- telemetry bodies
+# METRICS body: u8 format                → OK lp exposition bytes
+#   format 0 = JSON envelope (repro.obs.export.render_json)
+#   format 1 = Prometheus text exposition
+# TRACE   body: empty                    → OK lp utf-8 Chrome-trace JSON
+#   (the serving DB's tracer, exported with Tracer.chrome_trace; empty
+#   trace when the server's tracer is disabled)
+METRICS_FMT_JSON = 0
+METRICS_FMT_PROMETHEUS = 1
+
+
+def encode_metrics_body(fmt: int = METRICS_FMT_JSON) -> bytes:
+    if fmt not in (METRICS_FMT_JSON, METRICS_FMT_PROMETHEUS):
+        raise ProtocolError(f"unknown metrics format {fmt}")
+    return bytes([fmt])
+
+
+def decode_metrics_body(body: bytes) -> int:
+    if len(body) != 1:
+        raise ProtocolError("metrics body must be one format byte")
+    fmt = body[0]
+    if fmt not in (METRICS_FMT_JSON, METRICS_FMT_PROMETHEUS):
+        raise ProtocolError(f"unknown metrics format {fmt}")
+    return fmt
 
 
 # ------------------------------------------------------ stream helper

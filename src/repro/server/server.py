@@ -49,6 +49,8 @@ from typing import Optional
 from ..db.db import DB
 from ..devices.faults import TransientIOError
 from ..lsm.wal import WriteBatch
+from ..obs import NULL_EVENTS, NULL_TRACER, trace_context
+from ..obs.export import render_json, render_prometheus
 from .metrics import ServerMetrics
 from . import protocol as P
 
@@ -131,6 +133,9 @@ class KVServer:
         self.own_db = own_db
         self.hub = hub
         self.follower = follower
+        obs = getattr(db, "obs", None)
+        self._tracer = obs.tracer if obs is not None else NULL_TRACER
+        self._events = getattr(obs, "events", None) or NULL_EVENTS
         self._server: Optional[asyncio.base_events.Server] = None
         self._conn_tasks: set[asyncio.Task] = set()
         self._closing = False
@@ -169,9 +174,11 @@ class KVServer:
             # follower tails exit cleanly instead of seeing a reset.
             self.hub.shutdown("server shutting down")
         if self.follower is not None:
-            # Stop tailing the primary before the local DB drains.
+            # Stop tailing the primary before the local DB drains; use
+            # the named worker pool, not the loop's anonymous default
+            # executor, so the blocking stop is attributable in traces.
             await asyncio.get_running_loop().run_in_executor(
-                None, self.follower.stop
+                self._pool, self.follower.stop
             )
         self._server.close()
         await self._server.wait_closed()
@@ -334,14 +341,22 @@ class KVServer:
                 f"{type(exc).__name__}: {exc}".encode()
             )
         frame = P.encode_response(status, request.request_id, body)
+        duration = time.perf_counter() - t0
         self.metrics.record(
             request.opcode,
-            time.perf_counter() - t0,
+            duration,
             bytes_in,
             len(frame),
             error=status
             in (P.ST_BAD_REQUEST, P.ST_SERVER_ERROR, P.ST_SHUTTING_DOWN),
         )
+        if self._events.enabled:
+            self._events.slow_op(
+                request.opcode_name,
+                duration,
+                status=P.STATUS_NAMES.get(status, status),
+                request_id=request.request_id,
+            )
         return frame
 
     def _stalled_for(self, request: P.Request) -> bool:
@@ -369,7 +384,27 @@ class KVServer:
         return self.db.write_stalled(keys=keys)
 
     def _execute(self, request: P.Request, state: dict) -> tuple[int, bytes]:
-        """Run one opcode against the DB (worker thread)."""
+        """Run one opcode against the DB (worker thread).
+
+        A request carrying 2.1 trace context binds it to this worker
+        thread for the duration: the ``server:<OP>`` dispatch span and
+        every engine span recorded underneath (``db:<OP>``, flush,
+        write-stall, ``repl-ack-wait``) get stamped with the client's
+        trace id and chain parent span ids (see
+        :func:`repro.obs.trace_context`).  Requests without context pay
+        nothing.
+        """
+        if request.trace_id is None:
+            return self._execute_op(request, state)
+        with trace_context(request.trace_id, request.span_id or 0):
+            with self._tracer.span(
+                f"server:{request.opcode_name}", cat="server"
+            ):
+                return self._execute_op(request, state)
+
+    def _execute_op(
+        self, request: P.Request, state: dict
+    ) -> tuple[int, bytes]:
         op, body = request.opcode, request.body
         if op == P.OP_PING:
             hello = P.decode_hello_body(body)
@@ -394,18 +429,21 @@ class KVServer:
             )
         if op == P.OP_GET:
             key, _ = P.decode_lp(body)
-            value = self.db.get(key)
+            with self._tracer.span("db:GET", cat="db"):
+                value = self.db.get(key)
             if value is None:
                 return P.ST_NOT_FOUND, b""
             return P.ST_OK, P.encode_lp(value)
         if op == P.OP_PUT:
             key, pos = P.decode_lp(body)
             value, _ = P.decode_lp(body, pos)
-            self.db.put(key, value)
+            with self._tracer.span("db:PUT", cat="db"):
+                self.db.put(key, value)
             return self._write_done(state, b"")
         if op == P.OP_DELETE:
             key, _ = P.decode_lp(body)
-            self.db.delete(key)
+            with self._tracer.span("db:DELETE", cat="db"):
+                self.db.delete(key)
             return self._write_done(state, b"")
         if op == P.OP_BATCH:
             batch = WriteBatch()
@@ -415,7 +453,8 @@ class KVServer:
                     batch.put(entry[1], entry[2])
                 else:
                     batch.delete(entry[1])
-            self.db.write(batch)
+            with self._tracer.span("db:BATCH", cat="db", n=len(ops)):
+                self.db.write(batch)
             return self._write_done(state, P.encode_varint64(len(ops)))
         if op == P.OP_FLUSH:
             self.db.flush()
@@ -443,6 +482,14 @@ class KVServer:
             return P.ST_OK, P.encode_lp(
                 json.dumps(self._stats_dict(), sort_keys=True).encode()
             )
+        if op == P.OP_METRICS:
+            fmt = P.decode_metrics_body(body) if body else P.METRICS_FMT_JSON
+            return P.ST_OK, P.encode_lp(self.exposition(fmt))
+        if op == P.OP_TRACE:
+            trace = json.dumps(
+                self._tracer.chrome_trace(), separators=(",", ":")
+            )
+            return P.ST_OK, P.encode_lp(trace.encode())
         if op == P.OP_COMPACT:
             n = self.db.compact_range()
             return P.ST_OK, P.encode_varint64(n)
@@ -462,9 +509,13 @@ class KVServer:
         if level is None:
             level = self.config.repl_acks
         need = self.hub.resolve_need(level)
-        if need <= 0 or self.hub.wait_for_acks(
-            self.db.last_sequence, need, self.config.repl_ack_timeout_s
-        ):
+        if need <= 0:
+            return P.ST_OK, ok_body
+        with self._tracer.span("repl-ack-wait", cat="repl", need=need):
+            acked = self.hub.wait_for_acks(
+                self.db.last_sequence, need, self.config.repl_ack_timeout_s
+            )
+        if acked:
             return P.ST_OK, ok_body
         self.metrics.record_stall_rejection()
         return P.ST_STALLED, P.encode_varint64(self.config.stall_retry_ms)
@@ -509,6 +560,38 @@ class KVServer:
         elif self.follower is not None:
             out["repl"] = self.follower.status()
         return out
+
+    # -------------------------------------------------------- exposition
+    def telemetry_snapshot(self) -> dict:
+        """One merged metrics snapshot: engine + server + replication.
+
+        The engine side is the DB registry (shard-dimensioned with
+        rollups when serving a :class:`~repro.cluster.ShardedDB`); the
+        server's own registry (``server.op.*``, connection counters)
+        merges on top.  Replication health gauges are refreshed first
+        so a scrape always sees current lag/ring occupancy, not values
+        from the last write.
+        """
+        if self.hub is not None:
+            self.hub.refresh_gauges()
+        if getattr(self.db, "metrics_snapshot", None) is not None:
+            snap = self.db.metrics_snapshot()
+        else:
+            snap = self.db.obs.metrics.snapshot()
+        merged = {
+            kind: dict(snap.get(kind, {}))
+            for kind in ("counters", "gauges", "histograms")
+        }
+        for kind, values in self.metrics.registry.snapshot().items():
+            merged.setdefault(kind, {}).update(values)
+        return merged
+
+    def exposition(self, fmt: int = P.METRICS_FMT_JSON) -> bytes:
+        """The METRICS opcode payload: the live exposition document."""
+        snapshot = self.telemetry_snapshot()
+        if fmt == P.METRICS_FMT_PROMETHEUS:
+            return render_prometheus(snapshot).encode()
+        return render_json(snapshot).encode()
 
     # ------------------------------------------------------- replication
     async def _serve_subscription(
@@ -559,9 +642,15 @@ class KVServer:
         loop = asyncio.get_running_loop()
         # Dedicated single thread: hub.pull parks on a condition
         # variable, and parking it in the shared pool would starve
-        # request workers of one thread per follower.
+        # request workers of one thread per follower.  Named per
+        # follower so traces and thread dumps attribute ship work to
+        # the subscriber it serves (RA104 covers bare Threads, not
+        # executor factories — name them anyway).
         ship_pool = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="repl-ship"
+            max_workers=1,
+            thread_name_prefix=(
+                f"repl-ship-{follower_id.decode('utf-8', 'replace')}"
+            ),
         )
         ack_task = asyncio.create_task(self._read_acks(reader, sub))
         try:

@@ -21,7 +21,13 @@ Commands (all take a database directory):
 * ``trace <out>``    — run a small in-memory YCSB load with tracing
   enabled and write a Chrome trace-event JSON (Perfetto-loadable)
   showing the S1–S7 compaction pipeline (takes an output path, not a
-  database directory).
+  database directory).  With ``--distributed``, stand up a live
+  1-primary/1-follower cluster instead and write one *merged* trace
+  whose client/server/DB/replication spans share trace ids.
+* ``scrape HOST:PORT`` — fetch a served database's live metrics
+  (Prometheus text or JSON; ``--check`` validates the payload).
+* ``top HOST:PORT``  — live terminal dashboard (ops/s, tail latency,
+  stall state, compaction backlog, replication lag per follower).
 * ``analyze [paths]`` — run the repo's concurrency-invariant static
   rules (``repro.analysis``) over source paths; exit 1 on findings.
 
@@ -146,6 +152,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="stable follower identity for --replica-of "
              "(default: the database directory name)",
     )
+    srv.add_argument(
+        "--events", metavar="PATH", default=None,
+        help="stream JSONL lifecycle events (flush, compaction, stall, "
+             "fence, replication) to this file",
+    )
+    srv.add_argument(
+        "--slow-op-ms", type=float, default=None, metavar="MS",
+        help="log ops at or above this latency to the event log "
+             "(stderr when --events is not given)",
+    )
+    srv.add_argument(
+        "--trace", action="store_true",
+        help="enable the span tracer; clients can pull the timeline "
+             "with the TRACE opcode (dbtool trace --distributed)",
+    )
 
     pro = sub.add_parser(
         "promote",
@@ -195,6 +216,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards", type=int, default=None, metavar="N",
         help="trace an N-shard in-memory cluster instead of one DB "
              "(all shards share one timeline)",
+    )
+    trc.add_argument(
+        "--distributed", action="store_true",
+        help="instead of an embedded DB, stand up a 1-primary/"
+             "1-follower cluster over loopback, drive it with a traced "
+             "client, and write one *merged* Chrome trace whose "
+             "client/server/DB/replication spans share trace ids",
+    )
+
+    scr = sub.add_parser(
+        "scrape",
+        help="fetch a served database's live metrics (protocol ≥ 2.1)",
+    )
+    scr.add_argument("endpoint", metavar="HOST:PORT")
+    scr.add_argument(
+        "--format", choices=["prom", "json"], default="prom",
+        help="exposition format (default Prometheus text)",
+    )
+    scr.add_argument(
+        "--check", action="store_true",
+        help="validate the payload (strict Prometheus parse / JSON "
+             "shape) and report what was scraped on stderr",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="live terminal dashboard for a served database",
+    )
+    top.add_argument("endpoint", metavar="HOST:PORT")
+    top.add_argument(
+        "--interval", type=float, default=2.0, metavar="S",
+        help="seconds between refreshes (default 2)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="print a single frame and exit (no screen clearing)",
     )
 
     ana = sub.add_parser(
@@ -418,9 +475,26 @@ def _parse_endpoint(text: str) -> tuple[str, int]:
     return host, int(port)
 
 
+def _serve_obs(args):
+    """Build the serve command's Observability from its telemetry flags."""
+    from ..obs import EventLog, Observability, Tracer
+
+    threshold = (
+        args.slow_op_ms / 1e3 if args.slow_op_ms is not None else None
+    )
+    sink = args.events
+    if sink is None and threshold is not None:
+        sink = sys.stderr  # slow-op log with no file: spill to stderr
+    return Observability(
+        tracer=Tracer(enabled=args.trace),
+        events=EventLog(sink, slow_op_threshold_s=threshold),
+    )
+
+
 def cmd_serve(args) -> int:
     from ..server import ServerConfig, serve_forever
 
+    obs = _serve_obs(args)
     n_shards = _cluster_n_shards(args.directory, args.shards)
     repl_acks = (
         -1 if args.repl_acks == "majority" else int(args.repl_acks)
@@ -440,7 +514,12 @@ def cmd_serve(args) -> int:
         background = not args.sync_compaction
 
         def _factory(directory=args.directory, background=background):
-            return DB(OSStorage(directory), Options(), background=background)
+            # One shared Observability across snapshot-install reopens:
+            # counters/events survive the DB swap.
+            return DB(
+                OSStorage(directory), Options(),
+                background=background, obs=obs,
+            )
 
         db = _factory()
         follower_id = args.follower_id or os.path.basename(
@@ -461,6 +540,7 @@ def cmd_serve(args) -> int:
             args.directory,
             n_shards=n_shards,
             background=not args.sync_compaction,
+            obs=obs,
         )
     else:
         from ..replication import ReplicationHub
@@ -469,6 +549,7 @@ def cmd_serve(args) -> int:
             _maybe_faulty(OSStorage(args.directory), args.fault_plan),
             Options(wal_retain_bytes=args.repl_retain_bytes),
             background=not args.sync_compaction,
+            obs=obs,
         )
         # Every plain-DB serve is primary-capable: followers may
         # subscribe whether or not any exist yet.
@@ -488,7 +569,74 @@ def cmd_serve(args) -> int:
             follower.stop()
             follower.db.close()
         db.close()
+        if obs.events.enabled and args.events is not None:
+            obs.events.close()
     return 0
+
+
+def cmd_scrape(args) -> int:
+    import json
+
+    from ..server.client import SyncClient
+
+    host, port = _parse_endpoint(args.endpoint)
+    client = SyncClient(host, port)
+    try:
+        major, minor = client.hello()
+        if (major, minor) < (2, 1):
+            print(f"scrape: server speaks protocol {major}.{minor}; "
+                  "METRICS needs >= 2.1", file=sys.stderr)
+            return 1
+        if args.format == "prom":
+            text = client.metrics("prom")
+            if args.check:
+                from ..obs import parse_prometheus
+
+                series = parse_prometheus(text)
+                n = sum(len(samples) for samples in series.values())
+                print(f"scrape: {n} samples in {len(series)} series, "
+                      "exposition is well-formed", file=sys.stderr)
+            print(text, end="")
+        else:
+            snap = client.metrics("json")
+            if args.check:
+                for kind in ("counters", "gauges", "histograms"):
+                    if not isinstance(snap.get(kind), dict):
+                        print(f"scrape: malformed snapshot: no {kind!r}",
+                              file=sys.stderr)
+                        return 1
+                print(f"scrape: {sum(len(snap[k]) for k in snap)} metrics",
+                      file=sys.stderr)
+            print(json.dumps(snap, indent=2, sort_keys=True))
+    finally:
+        client.close()
+    return 0
+
+
+def cmd_top(args) -> int:
+    from ..server.client import SyncClient
+    from .top import render_top, sample, top_loop
+
+    host, port = _parse_endpoint(args.endpoint)
+    client = SyncClient(host, port)
+    try:
+        major, minor = client.hello()
+        if (major, minor) < (2, 1):
+            print(f"top: server speaks protocol {major}.{minor}; "
+                  "METRICS needs >= 2.1", file=sys.stderr)
+            return 1
+        if args.once:
+            import time
+
+            before = sample(client)
+            time.sleep(min(args.interval, 0.5))
+            after = sample(client)
+            print(render_top(before, after, min(args.interval, 0.5),
+                             args.endpoint))
+            return 0
+        return top_loop(client, args.endpoint, interval_s=args.interval)
+    finally:
+        client.close()
 
 
 def cmd_promote(args) -> int:
@@ -529,7 +677,104 @@ def cmd_repl_status(args) -> int:
     return 0
 
 
+def _cmd_trace_distributed(args) -> int:
+    """One merged multi-process trace of a live replicated cluster.
+
+    Stands up a primary ``ServerThread`` (own tracer) with one tailing
+    :class:`Follower` (own tracer), drives a YCSB load through a traced
+    :class:`SyncClient` at ack=1, then merges the three timelines into
+    a single Chrome trace: the client's ``client:<OP>`` spans carry
+    trace ids that the server's dispatch/db/repl spans share, and the
+    follower's ``repl-apply`` spans land in their own process lane.
+    """
+    import time
+
+    from ..devices.vfs import MemStorage
+    from ..obs import Observability, Tracer, write_merged_chrome_trace
+    from ..replication import Follower, ReplicationHub
+    from ..server.client import SyncClient
+    from ..server.server import ServerConfig, ServerThread
+    from ..workload.ycsb import YCSBWorkload
+
+    primary = DB(
+        MemStorage(),
+        Options(wal_retain_bytes=8 * 1024 * 1024),
+        obs=Observability(tracer=Tracer(enabled=True)),
+    )
+    hub = ReplicationHub(primary)
+    follower_obs = Observability(tracer=Tracer(enabled=True))
+    client_tracer = Tracer(enabled=True)
+    config = ServerConfig(repl_acks=1, repl_ack_timeout_s=10.0)
+    with ServerThread(primary, config, own_db=False, hub=hub) as handle:
+        follower_db = DB(MemStorage(), Options(), obs=follower_obs)
+        storage = follower_db.storage
+
+        def factory():
+            return DB(storage, Options(), obs=follower_obs)
+
+        follower = Follower(
+            follower_db, storage, factory,
+            handle.host, handle.port, "follower-a",
+            retry_interval_s=0.05,
+        ).start()
+        try:
+            deadline = time.monotonic() + 10.0
+            while hub.n_followers < 1:
+                if time.monotonic() > deadline:
+                    print("trace: follower never subscribed",
+                          file=sys.stderr)
+                    return 1
+                time.sleep(0.01)
+            client = SyncClient(
+                handle.host, handle.port, tracer=client_tracer
+            )
+            client.hello()
+            workload = YCSBWorkload(
+                args.mix, args.ops, args.records,
+                value_bytes=args.value_bytes,
+            )
+            for key, value in workload.load_phase():
+                client.put(key, value)
+            counts = workload.apply_to(client)
+            target = primary.last_sequence
+            deadline = time.monotonic() + 10.0
+            while (
+                follower.db.last_sequence < target
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+            # Pull the primary's timeline over the wire (TRACE opcode)
+            # rather than reaching into the in-process object: the same
+            # path works against a genuinely remote server.
+            server_trace = client.trace_dump()
+            client.close()
+        finally:
+            follower.stop()
+            follower.db.close()
+    n = write_merged_chrome_trace(
+        args.output,
+        [
+            ("client", client_tracer.chrome_trace()),
+            ("primary", server_trace),
+            ("follower", follower_obs.tracer.chrome_trace()),
+        ],
+    )
+    traced = sum(
+        1 for s in client_tracer.spans() if s.args.get("trace_id")
+    )
+    print(f"wrote {args.output}: {n} spans across 3 process lanes "
+          f"({traced} traced client requests, ops: {counts})")
+    print("load it at https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
 def cmd_trace(args) -> int:
+    if args.distributed:
+        if args.shards is not None or args.fault_plan is not None:
+            print("trace: --distributed is incompatible with --shards "
+                  "and --fault-plan", file=sys.stderr)
+            return 2
+        return _cmd_trace_distributed(args)
     from ..core.procedures import ProcedureSpec
     from ..devices.vfs import MemStorage
     from ..obs import Observability, Tracer, pipeline_overlap
@@ -621,6 +866,8 @@ _COMMANDS = {
     "promote": cmd_promote,
     "repl-status": cmd_repl_status,
     "trace": cmd_trace,
+    "scrape": cmd_scrape,
+    "top": cmd_top,
     "analyze": cmd_analyze,
 }
 

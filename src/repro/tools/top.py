@@ -1,0 +1,156 @@
+"""``dbtool top`` — a live terminal dashboard for a served database.
+
+Polls the server's telemetry (the v2.1 METRICS opcode for the merged
+registry snapshot, STATS for the per-follower replication detail) and
+renders one compact refresh per interval: op rates, tail latency,
+stall state, compaction backlog, and replication lag.
+
+The renderer is a pure function of two consecutive samples —
+:func:`render_top` — so the display logic is unit-testable without a
+server or a terminal; :func:`top_loop` owns the polling and screen
+clearing.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+__all__ = ["render_top", "sample", "top_loop"]
+
+#: Ops shown in the rate line, in display order.
+_RATE_OPS = ("GET", "PUT", "DELETE", "BATCH", "SCAN")
+
+
+def sample(client) -> dict:
+    """One telemetry sample: merged metrics + the STATS dict."""
+    return {"metrics": client.metrics("json"), "stats": client.stats()}
+
+
+def _counter(snapshot: dict, name: str) -> float:
+    return snapshot.get("counters", {}).get(name, 0)
+
+
+def _gauge(snapshot: dict, name: str) -> Optional[float]:
+    return snapshot.get("gauges", {}).get(name)
+
+
+def _rate(prev: dict, cur: dict, name: str, dt: float) -> float:
+    return max(0.0, _counter(cur, name) - _counter(prev, name)) / dt
+
+
+def _latency_cell(metrics: dict, op: str) -> str:
+    hist = metrics.get("histograms", {}).get(f"server.op.{op}.latency")
+    if not hist or not hist.get("count"):
+        return f"{op} -"
+    return f"{op} p50={hist['p50_ms']:.2f}ms p99={hist['p99_ms']:.2f}ms"
+
+
+def render_top(prev: dict, cur: dict, dt: float, endpoint: str = "") -> str:
+    """Render one dashboard frame from two consecutive samples.
+
+    ``prev``/``cur`` are :func:`sample` dicts taken ``dt`` seconds
+    apart.  Counters are shown as rates over the window, gauges and
+    histograms as their current values (the latency percentiles are
+    cumulative since server start — tails, not a moving window).
+    """
+    pm, cm = prev["metrics"], cur["metrics"]
+    stats = cur.get("stats", {})
+    dt = max(dt, 1e-9)
+
+    rates = [
+        f"{op} {_rate(pm, cm, f'server.op.{op}.requests', dt):,.0f}/s"
+        for op in _RATE_OPS
+        if _counter(cm, f"server.op.{op}.requests")
+    ]
+    total = sum(
+        _rate(pm, cm, f"server.op.{op}.requests", dt) for op in _RATE_OPS
+    )
+    lines = [
+        f"repro top — {endpoint}  interval {dt:.1f}s",
+        f"  ops/s   {' '.join(rates) or '(idle)'}  total {total:,.0f}/s",
+    ]
+
+    lat = [
+        _latency_cell(cm, op)
+        for op in ("GET", "PUT")
+        if _counter(cm, f"server.op.{op}.requests")
+    ]
+    if lat:
+        lines.append(f"  latency {'   '.join(lat)}")
+
+    db = stats.get("db", {})
+    stalled = db.get("write_stalled_now", False)
+    stall_rej = _rate(pm, cm, "server.stall_rejections", dt)
+    l0 = _gauge(cm, "db.l0_files")
+    if l0 is None:
+        l0 = db.get("l0_files", 0)
+    lines.append(
+        f"  engine  stalled={'YES' if stalled else 'no'}"
+        f"  stall_rejections {stall_rej:,.0f}/s"
+        f"  L0 files {l0:.0f}"
+        f"  flush {_rate(pm, cm, 'db.flushes', dt):,.1f}/s"
+        f"  compactions {_rate(pm, cm, 'compaction.count', dt):,.1f}/s"
+    )
+
+    cluster = stats.get("cluster")
+    if cluster:
+        lines.append(
+            f"  cluster {cluster['n_shards']} shards, "
+            f"stalled: {cluster.get('stalled_shards', [])}"
+        )
+
+    repl = stats.get("repl")
+    if repl and repl.get("role") == "primary":
+        lines.append(
+            f"  repl    epoch {repl.get('epoch')}"
+            f"  followers {_gauge(cm, 'repl.followers') or 0:.0f}"
+            f"  lag {_gauge(cm, 'repl.lag_records') or 0:.0f} rec"
+            f" / {_gauge(cm, 'repl.lag_seconds') or 0:.3f}s"
+            f"  ring {_gauge(cm, 'repl.ring_records') or 0:.0f} rec"
+        )
+        for f in repl.get("followers", []):
+            lines.append(
+                f"    ↳ {f['id']}: lag {f.get('lag_records', '?')} rec"
+                f" / {f.get('lag_seconds', '?')}s"
+                f" acked_seq={f.get('acked_seq', '?')}"
+            )
+    elif repl:  # follower side
+        lines.append(
+            f"  repl    follower of {repl.get('primary')}"
+            f" connected={repl.get('connected')}"
+            f" applied_seq={repl.get('applied_seq')}"
+        )
+    return "\n".join(lines)
+
+
+def top_loop(
+    client,
+    endpoint: str,
+    interval_s: float = 2.0,
+    iterations: Optional[int] = None,
+    out=None,
+    clear: bool = True,
+) -> int:
+    """Poll and render until interrupted (or ``iterations`` frames)."""
+    import sys
+
+    out = out or sys.stdout
+    prev = sample(client)
+    prev_t = time.monotonic()
+    frames = 0
+    try:
+        while iterations is None or frames < iterations:
+            time.sleep(interval_s)
+            cur = sample(client)
+            now = time.monotonic()
+            frame = render_top(prev, cur, now - prev_t, endpoint)
+            if clear:
+                out.write("\x1b[2J\x1b[H")
+            out.write(frame + "\n")
+            out.flush()
+            prev, prev_t = cur, now
+            frames += 1
+    except KeyboardInterrupt:
+        pass
+    return 0

@@ -1,0 +1,102 @@
+"""The structured JSONL event log and slow-op log."""
+
+import json
+import threading
+
+from repro.obs import NULL_EVENTS, EventLog
+
+
+class TestEventLog:
+    def test_disabled_by_default(self):
+        log = EventLog()
+        assert not log.enabled
+        log.emit("flush", bytes=1)  # no sink: must be a no-op
+        assert log.emitted == 0
+
+    def test_callable_sink(self):
+        seen = []
+        log = EventLog(seen.append)
+        log.emit("flush", bytes=10, seconds=0.5)
+        assert log.enabled and log.emitted == 1
+        (record,) = seen
+        assert record["event"] == "flush"
+        assert record["bytes"] == 10
+        assert record["thread"] == threading.current_thread().name
+        assert isinstance(record["ts"], float)
+
+    def test_path_sink_writes_json_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(str(path))
+        log.emit("stall.enter", l0_files=5)
+        log.emit("stall.exit", seconds=0.1)
+        log.close()
+        lines = path.read_text().splitlines()
+        assert [json.loads(l)["event"] for l in lines] == [
+            "stall.enter", "stall.exit",
+        ]
+
+    def test_file_sink_appends(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        EventLog(str(path)).emit("a")
+        EventLog(str(path)).emit("b")
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_close_disables(self, tmp_path):
+        log = EventLog(str(tmp_path / "e.jsonl"))
+        log.close()
+        assert not log.enabled
+        log.emit("after")  # must not raise
+        log.close()  # idempotent
+
+    def test_custom_clock(self):
+        seen = []
+        log = EventLog(seen.append, clock=lambda: 123.456)
+        log.emit("x")
+        assert seen[0]["ts"] == 123.456
+
+    def test_concurrent_emits_all_land(self):
+        seen = []
+        log = EventLog(seen.append)
+
+        def work():
+            for _ in range(500):
+                log.emit("tick")
+
+        threads = [
+            threading.Thread(target=work, name=f"event-worker-{i}")
+            for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert log.emitted == 2000 and len(seen) == 2000
+
+
+class TestSlowOpLog:
+    def test_disabled_without_threshold(self):
+        seen = []
+        log = EventLog(seen.append)
+        log.slow_op("PUT", 10.0)
+        assert seen == []
+
+    def test_threshold_gates(self):
+        seen = []
+        log = EventLog(seen.append, slow_op_threshold_s=0.1)
+        log.slow_op("GET", 0.05)
+        log.slow_op("PUT", 0.25, status="OK")
+        (record,) = seen
+        assert record["event"] == "slow_op"
+        assert record["op"] == "PUT"
+        assert record["seconds"] == 0.25
+        assert record["threshold_s"] == 0.1
+        assert record["status"] == "OK"
+
+    def test_threshold_without_sink_is_noop(self):
+        log = EventLog(slow_op_threshold_s=0.0)
+        log.slow_op("GET", 1.0)
+        assert log.emitted == 0
+
+
+def test_null_events_is_disabled():
+    assert not NULL_EVENTS.enabled

@@ -1,0 +1,151 @@
+"""Exposition formats: Prometheus text, JSON, merged Chrome traces."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    merge_chrome_traces,
+    parse_prometheus,
+    render_json,
+    render_prometheus,
+    write_merged_chrome_trace,
+)
+from repro.obs.export import prometheus_metric_name
+
+
+def _snapshot():
+    registry = MetricsRegistry()
+    registry.counter("db.flushes").inc(3)
+    registry.gauge("repl.lag_records").set(7)
+    registry.histogram("compaction.seconds").record(0.5)
+    registry.latency_histogram("server.op.PUT.latency").record(0.002)
+    return registry.snapshot()
+
+
+class TestMetricNames:
+    def test_dots_become_underscores(self):
+        assert prometheus_metric_name("db.flush_bytes") == (
+            "repro_db_flush_bytes"
+        )
+
+    def test_invalid_chars_sanitised(self):
+        name = prometheus_metric_name("server.op.GET.latency")
+        assert name == "repro_server_op_GET_latency"
+
+
+class TestRenderPrometheus:
+    def test_counter_gets_total_suffix_and_type(self):
+        text = render_prometheus(_snapshot())
+        assert "# TYPE repro_db_flushes_total counter" in text
+        assert "repro_db_flushes_total 3" in text
+
+    def test_gauge(self):
+        text = render_prometheus(_snapshot())
+        assert "# TYPE repro_repl_lag_records gauge" in text
+        assert "repro_repl_lag_records 7" in text
+
+    def test_histogram_has_buckets_count_sum(self):
+        text = render_prometheus(_snapshot())
+        assert "# TYPE repro_compaction_seconds histogram" in text
+        assert 'repro_compaction_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_compaction_seconds_count 1" in text
+        assert "repro_compaction_seconds_sum 0.5" in text
+
+    def test_latency_histogram_rendered_in_seconds(self):
+        # _ms snapshots convert to base units with a _seconds family.
+        text = render_prometheus(_snapshot())
+        assert "repro_server_op_PUT_latency_seconds_count 1" in text
+        sum_line = next(
+            line for line in text.splitlines()
+            if line.startswith("repro_server_op_PUT_latency_seconds_sum")
+        )
+        assert float(sum_line.split()[1]) == pytest.approx(0.002, rel=0.01)
+
+    def test_shard_prefix_becomes_label(self):
+        registry = MetricsRegistry()
+        registry.counter("cluster.shard0.db.flushes").inc(1)
+        registry.counter("cluster.shard1.db.flushes").inc(2)
+        registry.counter("db.flushes").inc(3)  # the rollup
+        text = render_prometheus(registry.snapshot())
+        assert 'repro_db_flushes_total{shard="0"} 1' in text
+        assert 'repro_db_flushes_total{shard="1"} 2' in text
+        # One family, one TYPE line, rollup unlabelled.
+        assert text.count("# TYPE repro_db_flushes_total counter") == 1
+        assert "\nrepro_db_flushes_total 3" in text
+
+    def test_empty_histogram_renders_zero_family(self):
+        registry = MetricsRegistry()
+        registry.histogram("quiet")
+        text = render_prometheus(registry.snapshot())
+        assert 'repro_quiet_bucket{le="+Inf"} 0' in text
+        assert "repro_quiet_count 0" in text
+        parse_prometheus(text)  # still well-formed
+
+
+class TestParsePrometheus:
+    def test_roundtrip_own_output(self):
+        text = render_prometheus(_snapshot())
+        series = parse_prometheus(text)
+        assert series["repro_db_flushes_total"] == [({}, 3.0)]
+        assert series["repro_repl_lag_records"] == [({}, 7.0)]
+        buckets = series["repro_compaction_seconds_bucket"]
+        assert ({"le": "+Inf"}, 1.0) in buckets
+
+    def test_labels_parsed(self):
+        series = parse_prometheus('m_total{shard="3",x="y"} 5\n')
+        assert series["m_total"] == [({"shard": "3", "x": "y"}, 5.0)]
+
+    def test_malformed_sample_rejected(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("this is not a metric\n")
+
+    def test_malformed_type_rejected(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("# TYPE m banana\nm 1\n")
+
+    def test_duplicate_type_rejected(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("# TYPE m counter\n# TYPE m counter\nm 1\n")
+
+
+class TestRenderJson:
+    def test_envelope(self):
+        payload = json.loads(render_json(_snapshot()))
+        assert payload["version"] == 1
+        assert payload["metrics"]["counters"]["db.flushes"] == 3
+
+
+class TestMergedChromeTrace:
+    def _trace(self, name):
+        return {
+            "traceEvents": [
+                {
+                    "name": name, "cat": "x", "ph": "X",
+                    "ts": 1, "dur": 2, "pid": 1, "tid": 1, "args": {},
+                },
+            ],
+            "displayTimeUnit": "ms",
+        }
+
+    def test_merge_assigns_process_lanes(self):
+        merged = merge_chrome_traces(
+            [("client", self._trace("a")), ("server", self._trace("b"))]
+        )
+        events = merged["traceEvents"]
+        lanes = {
+            e["args"]["name"] for e in events if e["name"] == "process_name"
+        }
+        assert lanes == {"client", "server"}
+        pids = {e["pid"] for e in events if e.get("ph") == "X"}
+        assert len(pids) == 2
+
+    def test_write_merged(self, tmp_path):
+        out = tmp_path / "merged.json"
+        n = write_merged_chrome_trace(
+            str(out), [("only", self._trace("a"))]
+        )
+        assert n == 1
+        payload = json.loads(out.read_text())
+        assert any(e.get("ph") == "X" for e in payload["traceEvents"])

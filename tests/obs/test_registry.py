@@ -10,6 +10,8 @@ from repro.obs import (
     Histogram,
     LatencyHistogram,
     MetricsRegistry,
+    merge_histogram_snapshots,
+    merge_shard_snapshots,
 )
 
 
@@ -128,3 +130,106 @@ class TestMetricsRegistry:
             t.join()
         assert registry.counter("hot").value == n_threads * n_incs
         assert registry.histogram("lat").count == n_threads * n_incs
+
+
+class TestHistogramSnapshotBuckets:
+    """PR 7: snapshots carry cumulative buckets + sum (Prometheus)."""
+
+    def test_empty_snapshot_shape_unchanged(self):
+        assert Histogram().snapshot() == {"count": 0}
+
+    def test_sum_and_cumulative_buckets(self):
+        h = Histogram()
+        for v in (0.001, 0.01, 0.01, 0.1):
+            h.record(v)
+        snap = h.snapshot()
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(0.121)
+        buckets = snap["buckets"]
+        # Bucket uppers ascend, cumulative counts are monotone, and
+        # the last cumulative count equals the total.
+        uppers = [le for le, _ in buckets]
+        cums = [c for _, c in buckets]
+        assert uppers == sorted(uppers)
+        assert cums == sorted(cums)
+        assert cums[-1] == 4
+
+    def test_latency_snapshot_buckets_in_ms(self):
+        h = LatencyHistogram()
+        h.record(0.002)
+        snap = h.snapshot()
+        assert snap["sum_ms"] == pytest.approx(2.0, rel=0.01)
+        (bucket,) = snap["buckets_ms"]
+        le_ms, cum = bucket
+        assert cum == 1 and 1.0 < le_ms < 4.0
+
+
+class TestMergeHistogramSnapshots:
+    def test_merge_two(self):
+        a, b = Histogram(), Histogram()
+        for v in (0.001, 0.002):
+            a.record(v)
+        for v in (0.1, 0.2, 0.4):
+            b.record(v)
+        merged = merge_histogram_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["count"] == 5
+        assert merged["sum"] == pytest.approx(0.703)
+        assert merged["min"] == pytest.approx(0.001)
+        assert merged["max"] == pytest.approx(0.4)
+        # p50 of {1ms,2ms,100ms,200ms,400ms} lies in the upper group.
+        assert 0.05 < merged["p50"] <= 0.4
+
+    def test_merge_empties(self):
+        assert merge_histogram_snapshots([]) == {"count": 0}
+        assert merge_histogram_snapshots(
+            [{"count": 0}, {"count": 0}]
+        ) == {"count": 0}
+
+    def test_merge_ms_variant(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        a.record(0.001)
+        b.record(0.003)
+        merged = merge_histogram_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["count"] == 2
+        assert merged["sum_ms"] == pytest.approx(4.0, rel=0.01)
+        assert merged["buckets_ms"][-1][1] == 2
+
+    def test_merge_percentiles_close_to_pooled(self):
+        import random
+
+        rng = random.Random(7)
+        values = [rng.uniform(0.001, 1.0) for _ in range(2000)]
+        parts = [Histogram(), Histogram(), Histogram()]
+        for i, v in enumerate(values):
+            parts[i % 3].record(v)
+        pooled = Histogram()
+        for v in values:
+            pooled.record(v)
+        merged = merge_histogram_snapshots([p.snapshot() for p in parts])
+        for p in ("p50", "p95", "p99"):
+            assert merged[p] == pytest.approx(
+                pooled.snapshot()[p], rel=0.15
+            )
+
+
+class TestMergeShardSnapshotsHistograms:
+    def test_histograms_rolled_up(self):
+        shard0, shard1 = MetricsRegistry(), MetricsRegistry()
+        shard0.histogram("db.flush_seconds").record(0.01)
+        shard1.histogram("db.flush_seconds").record(0.04)
+        cluster = MetricsRegistry()
+        cluster.counter("cluster.pool.jobs").inc(3)
+        merged = merge_shard_snapshots(
+            cluster.snapshot(), [shard0.snapshot(), shard1.snapshot()]
+        )
+        # The cluster's own registry rides along unprefixed.
+        assert merged["counters"]["cluster.pool.jobs"] == 3
+        # Per-shard series keep their prefix...
+        assert (
+            merged["histograms"]["cluster.shard0.db.flush_seconds"]["count"]
+            == 1
+        )
+        # ...and the bare name is the cross-shard rollup.
+        rollup = merged["histograms"]["db.flush_seconds"]
+        assert rollup["count"] == 2
+        assert rollup["sum"] == pytest.approx(0.05)

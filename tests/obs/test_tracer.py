@@ -3,7 +3,16 @@
 import json
 import time
 
-from repro.obs import NULL_TRACER, Span, Tracer, pipeline_overlap
+from repro.obs import (
+    NULL_TRACER,
+    Span,
+    Tracer,
+    current_trace_context,
+    new_span_id,
+    new_trace_id,
+    pipeline_overlap,
+    trace_context,
+)
 
 
 def make_span(name, cat, start, end, subtask=None, thread="t", tid=1):
@@ -116,6 +125,62 @@ class TestChromeTraceExport:
         text = tracer.render_gantt(width=30)
         assert "read" in text and "compute" in text and "write" in text
         assert "busy:" in text
+
+
+class TestTraceContext:
+    """PR 7: thread-local trace contexts link spans across processes."""
+
+    def test_ids_fresh_and_nonzero(self):
+        assert new_trace_id() != 0
+        assert new_trace_id() != new_trace_id()  # 48-bit: no collision
+        assert new_span_id() != new_span_id()
+
+    def test_no_context_by_default(self):
+        assert current_trace_context() is None
+        tracer = Tracer()
+        with tracer.span("plain"):
+            pass
+        (span,) = tracer.spans()
+        assert "trace_id" not in span.args  # no stamping without context
+
+    def test_context_binds_and_restores(self):
+        with trace_context(42, 7):
+            assert current_trace_context() == (42, 7)
+            with trace_context(43, 8):
+                assert current_trace_context() == (43, 8)
+            assert current_trace_context() == (42, 7)
+        assert current_trace_context() is None
+
+    def test_spans_stamped_with_context(self):
+        tracer = Tracer()
+        with trace_context(42, 7):
+            with tracer.span("op"):
+                pass
+        (span,) = tracer.spans()
+        assert span.args["trace_id"] == 42
+        assert span.args["parent_span_id"] == 7
+        assert span.args["span_id"] not in (0, 7)
+
+    def test_nested_spans_chain_parent_ids(self):
+        tracer = Tracer()
+        with trace_context(42, 7):
+            with tracer.span("outer"):
+                outer_ctx = current_trace_context()
+                with tracer.span("inner"):
+                    pass
+        inner, outer = tracer.spans()  # inner recorded first
+        assert outer.args["parent_span_id"] == 7
+        assert inner.args["parent_span_id"] == outer.args["span_id"]
+        assert outer_ctx == (42, outer.args["span_id"])
+        # Exiting the outer span restored the original parent.
+        assert inner.args["trace_id"] == outer.args["trace_id"] == 42
+
+    def test_context_restored_after_span_exit(self):
+        tracer = Tracer()
+        with trace_context(1, 2):
+            with tracer.span("a"):
+                pass
+            assert current_trace_context() == (1, 2)
 
 
 class TestPipelineOverlap:

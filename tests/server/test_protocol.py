@@ -132,3 +132,64 @@ class TestBodies:
         assert P.decode_scan_result(body) == (pairs, True)
         body = P.encode_scan_result([], truncated=False)
         assert P.decode_scan_result(body) == ([], False)
+
+
+class TestTraceContext:
+    """Protocol 2.1: optional trace-context varints behind TRACE_FLAG."""
+
+    def test_traced_request_roundtrip(self):
+        frame = P.encode_request(
+            P.OP_PUT, 9, b"body", trace_id=0xABCDEF, span_id=77
+        )
+        request = P.decode_request(next(P.iter_frames(frame)))
+        assert request.opcode == P.OP_PUT
+        assert request.opcode_name == "PUT"
+        assert request.body == b"body"
+        assert (request.trace_id, request.span_id) == (0xABCDEF, 77)
+
+    def test_untraced_request_has_none_context(self):
+        frame = P.encode_request(P.OP_PUT, 9, b"body")
+        request = P.decode_request(next(P.iter_frames(frame)))
+        assert request.trace_id is None and request.span_id is None
+        # No TRACE_FLAG → no extra varints on the wire.
+        assert len(frame) < len(
+            P.encode_request(P.OP_PUT, 9, b"body", trace_id=1, span_id=1)
+        )
+
+    def test_trace_id_without_span_id_defaults_zero(self):
+        frame = P.encode_request(P.OP_GET, 1, b"k", trace_id=5)
+        request = P.decode_request(next(P.iter_frames(frame)))
+        assert (request.trace_id, request.span_id) == (5, 0)
+
+    def test_truncated_trace_context_rejected(self):
+        # TRACE_FLAG set but the varints are missing entirely.
+        payload = bytes([P.OP_PING | P.TRACE_FLAG, 0x01, 0x80])
+        with pytest.raises(ProtocolError, match="trace context"):
+            P.decode_request(payload)
+
+    def test_flagged_unknown_opcode_still_rejected(self):
+        with pytest.raises(ProtocolError, match="opcode"):
+            P.decode_request(bytes([0x7F | P.TRACE_FLAG, 0x01, 0x00, 0x00]))
+
+    def test_no_opcode_uses_the_flag_bit(self):
+        assert all(op & P.TRACE_FLAG == 0 for op in P.OPCODE_NAMES)
+
+
+class TestMetricsTraceOpcodes:
+    def test_opcodes_registered(self):
+        assert P.OPCODE_NAMES[P.OP_METRICS] == "METRICS"
+        assert P.OPCODE_NAMES[P.OP_TRACE] == "TRACE"
+        assert P.OP_METRICS not in P.WRITE_OPCODES
+        assert P.OP_TRACE not in P.WRITE_OPCODES
+
+    def test_metrics_body_roundtrip(self):
+        for fmt in (P.METRICS_FMT_JSON, P.METRICS_FMT_PROMETHEUS):
+            assert P.decode_metrics_body(P.encode_metrics_body(fmt)) == fmt
+
+    def test_metrics_body_bad_format_rejected(self):
+        with pytest.raises(ProtocolError, match="format"):
+            P.encode_metrics_body(9)
+        with pytest.raises(ProtocolError, match="format"):
+            P.decode_metrics_body(b"\x09")
+        with pytest.raises(ProtocolError, match="one format byte"):
+            P.decode_metrics_body(b"")
