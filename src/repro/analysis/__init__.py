@@ -1,26 +1,40 @@
-"""Concurrency-invariant static analysis + dynamic lock-order sanitizer.
+"""Concurrency & durability verification: static passes + sanitizers.
 
 The pipelined compaction design (Eq. 2: ``B_pcp = l / max(t1, Σt2..6,
 t7)``) moves every correctness property of this repo into threading
 code: the PCP backends' queue handoffs, the DB's stall/flush locking,
 the asyncio server's backpressure.  Generic linters cannot see an
 un-context-managed ``Lock.acquire()``, a lock-order inversion against
-the DB mutex, or a wall-clock ``time.time()`` duration in span code —
-so this package checks those invariants itself, two ways:
+the DB mutex, or a rename that publishes unsynced bytes — so this
+package checks those invariants itself, four ways:
 
-* **Static** (:mod:`repro.analysis.engine`, :mod:`repro.analysis.rules`)
-  — an AST lint engine with repo-specific RA1xx rules, ``# repro:
-  noqa[CODE]`` suppression, and text/JSON reporters.  Run it with
+* **Per-file static rules** (:mod:`repro.analysis.engine`,
+  :mod:`repro.analysis.rules`, :mod:`repro.analysis.durability`) — an
+  AST lint engine with repo-specific RA1xx concurrency and RA2xx
+  durability/commit-protocol rules, ``# repro: noqa[CODE]``
+  suppression, baselines, and text/JSON/SARIF reporters.  Run it with
   ``python -m repro.analysis <paths>`` or ``dbtool analyze``.
-* **Dynamic** (:mod:`repro.analysis.locksan`) — an :class:`OrderedLock`
-  wrapper that feeds a process-wide lock-order graph with cycle
-  detection.  Enable with ``REPRO_LOCK_SANITIZER=1`` and the test
-  suite doubles as a deadlock detector for the real engine locks.
+* **Whole-program static deadlock detection**
+  (:mod:`repro.analysis.lockgraph`) — an interprocedural pass that
+  resolves ``make_lock``/``make_rlock`` sites to named lock
+  identities, propagates held-sets across call edges, and reports
+  acquisition-order cycles (RA110) and non-recursive re-acquires
+  (RA111) with both witness paths.
+* **Dynamic lock-order sanitizer** (:mod:`repro.analysis.locksan`) —
+  an :class:`OrderedLock` wrapper feeding a process-wide lock-order
+  graph with cycle detection.  Enable with ``REPRO_LOCK_SANITIZER=1``.
+* **Dynamic happens-before race sanitizer**
+  (:mod:`repro.analysis.racesan`) — per-thread vector clocks
+  synchronized through the lock factories, queues, and thread
+  start/join; ``shared_state()``/``@guarded_by`` instrumentation on
+  the hot shared objects flags unsynchronized conflicting accesses
+  with both stacks.  Enable with ``REPRO_RACE_SANITIZER=1``.
 
-See ``docs/ANALYSIS.md`` for the rule catalogue.
+See ``docs/ANALYSIS.md`` for the rule catalogue and workflows.
 """
 
 from .engine import Finding, check_paths, check_source, iter_python_files
+from .lockgraph import LockGraphReport, analyze_lock_graph
 from .locksan import (
     LOCK_SANITIZER_ENV,
     LockGraph,
@@ -31,25 +45,46 @@ from .locksan import (
     make_rlock,
     sanitizer_enabled,
 )
-from .report import render_json, render_text
-from .rules import Rule, all_rules, get_rule
+from .racesan import (
+    RACE_SANITIZER_ENV,
+    DataRaceError,
+    GuardViolation,
+    global_detector,
+    guarded_by,
+    race_sanitizer_enabled,
+    shared_state,
+)
+from .report import render_json, render_sarif, render_text
+from .rules import SEVERITIES, Rule, all_rules, get_rule, severity_for
 
 __all__ = [
+    "DataRaceError",
     "Finding",
+    "GuardViolation",
     "LOCK_SANITIZER_ENV",
     "LockGraph",
+    "LockGraphReport",
     "LockOrderViolation",
     "OrderedLock",
+    "RACE_SANITIZER_ENV",
     "Rule",
+    "SEVERITIES",
     "all_rules",
+    "analyze_lock_graph",
     "check_paths",
     "check_source",
     "get_rule",
+    "global_detector",
     "global_graph",
+    "guarded_by",
     "iter_python_files",
     "make_lock",
     "make_rlock",
+    "race_sanitizer_enabled",
     "render_json",
+    "render_sarif",
     "render_text",
     "sanitizer_enabled",
+    "severity_for",
+    "shared_state",
 ]

@@ -1,0 +1,79 @@
+"""Baseline files: adopt today's findings, alert only on new ones.
+
+A baseline is a JSON file of finding fingerprints with multiplicities
+(two identical findings in one file need two baseline slots, not a
+blanket pardon).  Fingerprints hash ``path|code|message`` — not the
+line number — so a suppressed finding survives unrelated edits above
+it, and moves with the code until the message itself changes.
+
+Workflow::
+
+    python -m repro.analysis src --write-baseline findings.json
+    # later, in CI:
+    python -m repro.analysis src --baseline findings.json
+
+The gate then fails only on findings that are not in the baseline;
+fixing a baselined finding needs no bookkeeping (stale entries are
+simply unused), though regenerating keeps the file honest.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from .engine import Finding
+
+__all__ = ["apply_baseline", "load_baseline", "write_baseline"]
+
+_FORMAT = "repro-analysis-baseline/v1"
+
+
+def write_baseline(findings: Sequence[Finding], path: str) -> None:
+    counts: dict[str, int] = {}
+    for finding in findings:
+        fp = finding.fingerprint()
+        counts[fp] = counts.get(fp, 0) + 1
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(
+            {"format": _FORMAT, "fingerprints": counts},
+            handle,
+            indent=2,
+            sort_keys=True,
+        )
+        handle.write("\n")
+
+
+def load_baseline(path: str) -> dict[str, int]:
+    with open(path, "r", encoding="utf-8") as handle:
+        blob = json.load(handle)
+    if blob.get("format") != _FORMAT:
+        raise ValueError(
+            f"{path} is not a {_FORMAT} file "
+            f"(format={blob.get('format')!r})"
+        )
+    fingerprints = blob.get("fingerprints", {})
+    if not isinstance(fingerprints, dict):
+        raise ValueError(f"{path}: 'fingerprints' must be an object")
+    return {str(k): int(v) for k, v in fingerprints.items()}
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: dict[str, int]
+) -> tuple[list[Finding], int]:
+    """Split findings into (new, suppressed-count) against a baseline.
+
+    Each fingerprint forgives up to its recorded multiplicity;
+    occurrences beyond that are new findings.
+    """
+    budget = dict(baseline)
+    kept: list[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        fp = finding.fingerprint()
+        if budget.get(fp, 0) > 0:
+            budget[fp] -= 1
+            suppressed += 1
+        else:
+            kept.append(finding)
+    return kept, suppressed

@@ -1,0 +1,368 @@
+"""The RA2xx durability / commit-protocol rules.
+
+The engine's crash safety rests on one idiom, used by ``CURRENT``
+installation, the cluster manifest, and every SSTable build::
+
+    with storage.create(tmp) as f:
+        f.append(payload)
+        f.sync()              # durable *before* anything references it
+    storage.rename(tmp, final)
+
+PR 4's crash-point harness found each of these steps missing at least
+once at runtime; these rules make the same bug classes unbuildable.
+All are function-scoped AST heuristics in the house style — tuned for
+zero false positives on the gated tree, ``# repro: noqa[CODE]`` for
+the remainder:
+
+* RA201 — ``rename()``/``os.replace()`` whose source path was written
+  in the same function but never synced before the rename
+* RA202 — a written-but-unsynced file handle while the function
+  references files in a version edit (``FileMetaData``/``add_file``)
+* RA203 — a ``*.tmp`` file created but never renamed into place
+  (half a commit protocol)
+* RA204 — manifest ``append()`` without ``sync=True`` (warning)
+
+Ordering is judged lexically (line numbers), matching how the commit
+protocol is actually written: straight-line create → write → sync →
+rename sequences inside one function.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from .engine import Finding
+from .rules import _call_name, _expr_key, rule
+
+__all__: list[str] = []
+
+#: Callables that produce a writable handle for a path argument.
+_CREATE_METHODS = {"create"}
+
+#: Writes through a handle that put bytes at risk.
+_WRITE_METHODS = {"append", "write", "writelines", "add_record"}
+
+#: Durability points for a handle.
+_SYNC_METHODS = {"sync", "fsync", "flush_and_sync"}
+
+_RENAME_METHODS = {"rename", "replace"}
+
+
+def _functions(tree: ast.AST):
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _arg_key(node: ast.expr) -> str:
+    """Stable key for a path argument: literal value, dotted name, or
+    unparsed source (whatever makes equal paths compare equal)."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    key = _expr_key(node)
+    return key if key is not None else ast.unparse(node)
+
+
+class _Handle:
+    """One ``create()`` result tracked through a function body."""
+
+    __slots__ = ("path_key", "names", "line", "synced", "written", "write_line")
+
+    def __init__(self, path_key: str, line: int) -> None:
+        self.path_key = path_key
+        #: local names the handle is reachable through (with-as, assign).
+        self.names: set[str] = set()
+        self.line = line
+        self.synced = False
+        self.written = False
+        self.write_line = line
+
+
+def _collect_handles(func: ast.AST) -> list[_Handle]:
+    """Created handles with their write/sync history, in lexical order.
+
+    Recognised bindings::
+
+        with storage.create(p) as f: ...
+        f = storage.create(p)
+
+    A ``create()`` whose result is passed straight into a wrapper
+    (``LogWriter(storage.create(p))``) is not tracked — the wrapper
+    owns durability then, and its own call sites are linted instead.
+    """
+    handles: list[_Handle] = []
+    by_name: dict[str, _Handle] = {}
+
+    def create_path(call: ast.expr) -> Optional[str]:
+        if (
+            isinstance(call, ast.Call)
+            and _call_name(call) in _CREATE_METHODS
+            and call.args
+        ):
+            return _arg_key(call.args[0])
+        return None
+
+    for node in ast.walk(func):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                path = create_path(item.context_expr)
+                if path is None:
+                    continue
+                handle = _Handle(path, item.context_expr.lineno)
+                if isinstance(item.optional_vars, ast.Name):
+                    handle.names.add(item.optional_vars.id)
+                    by_name[item.optional_vars.id] = handle
+                handles.append(handle)
+        elif isinstance(node, ast.Assign):
+            path = create_path(node.value)
+            if path is None:
+                continue
+            handle = _Handle(path, node.value.lineno)
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    handle.names.add(target.id)
+                    by_name[target.id] = handle
+            handles.append(handle)
+
+    # Second pass: attribute calls through the bound names.
+    for node in ast.walk(func):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+        ):
+            continue
+        handle = by_name.get(node.func.value.id)
+        if handle is None:
+            continue
+        if node.func.attr in _WRITE_METHODS:
+            handle.written = True
+            handle.write_line = max(handle.write_line, node.lineno)
+        elif node.func.attr in _SYNC_METHODS:
+            handle.synced = True
+    return handles
+
+
+def _rename_calls(func: ast.AST) -> list[tuple[ast.Call, str]]:
+    """``(call, src_key)`` for every rename/replace in the function,
+    excluding forwarding bodies of methods named ``rename`` (storage
+    adapters delegate; the delegating call is not a commit)."""
+    if getattr(func, "name", "") in _RENAME_METHODS:
+        return []
+    out = []
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _RENAME_METHODS
+            and len(node.args) >= 2
+        ):
+            out.append((node, _arg_key(node.args[0])))
+    return out
+
+
+# ----------------------------------------------------------------- RA201
+@rule("RA201", "rename of a written-but-unsynced path")
+def _ra201_rename_without_sync(
+    tree: ast.AST, source: str, path: str
+) -> list[Finding]:
+    """A rename only commits what the disk already has: renaming a
+    path that was written in this function without an intervening
+    ``sync()`` publishes a file whose bytes may still be in the page
+    cache — a crash leaves the *renamed* name pointing at garbage,
+    which is strictly worse than the old state."""
+    findings = []
+    for func in _functions(tree):
+        handles = {h.path_key: h for h in _collect_handles(func)}
+        for call, src_key in _rename_calls(func):
+            handle = handles.get(src_key)
+            if handle is None or handle.line > call.lineno:
+                continue
+            if not handle.synced:
+                findings.append(
+                    Finding(
+                        path=path,
+                        line=call.lineno,
+                        col=call.col_offset,
+                        code="RA201",
+                        message=(
+                            f"rename of {src_key!r} without syncing the "
+                            "file written here first — a crash publishes "
+                            "unsynced bytes under the committed name"
+                        ),
+                    )
+                )
+    return findings
+
+
+# ----------------------------------------------------------------- RA202
+def _edit_references(func: ast.AST) -> list[ast.Call]:
+    """Calls that cite files in a version edit: ``FileMetaData(...)``
+    constructions and ``<edit>.add_file(...)``."""
+    out = []
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _call_name(node)
+        if name == "FileMetaData" or (
+            name == "add_file" and isinstance(node.func, ast.Attribute)
+        ):
+            out.append(node)
+    return out
+
+
+@rule("RA202", "file written but not synced before a version-edit reference")
+def _ra202_unsynced_edit_reference(
+    tree: ast.AST, source: str, path: str
+) -> list[Finding]:
+    """A version edit is the commit record: once the manifest names a
+    file, recovery trusts it exists with its stated bytes.  A function
+    that writes a file handle and then builds a ``FileMetaData`` /
+    calls ``add_file`` without ever syncing that handle can commit a
+    file the disk never finished."""
+    findings = []
+    for func in _functions(tree):
+        unsynced = [
+            h
+            for h in _collect_handles(func)
+            if h.written and not h.synced
+        ]
+        if not unsynced:
+            continue
+        for call in _edit_references(func):
+            offenders = [h for h in unsynced if h.write_line < call.lineno]
+            if not offenders:
+                continue
+            paths = ", ".join(repr(h.path_key) for h in offenders)
+            findings.append(
+                Finding(
+                    path=path,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    code="RA202",
+                    message=(
+                        f"version-edit reference while {paths} was "
+                        "written without sync() — the manifest may "
+                        "commit a file the disk never finished"
+                    ),
+                )
+            )
+            break  # one finding per function is enough signal
+    return findings
+
+
+# ----------------------------------------------------------------- RA203
+def _is_tmp_path(node: ast.expr, key: str) -> bool:
+    """The path expression denotes a temporary file by naming idiom."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            if sub.value.endswith(".tmp"):
+                return True
+    tail = key.rsplit(".", 1)[-1]
+    return tail == "tmp" or tail.endswith("_tmp")
+
+
+@rule("RA203", "tmp file created but never renamed into place")
+def _ra203_orphan_tmp(tree: ast.AST, source: str, path: str) -> list[Finding]:
+    """Creating ``*.tmp`` and stopping there is half a commit
+    protocol: the write is invisible to readers and recovery treats
+    the orphan as garbage.  Every tmp creation must be paired with the
+    rename that installs it (in the same function — this codebase
+    never splits the sequence across calls)."""
+    findings = []
+    for func in _functions(tree):
+        renamed_srcs = {src for _call, src in _rename_calls(func)}
+        if getattr(func, "name", "") in _RENAME_METHODS:
+            continue
+        for node in ast.walk(func):
+            if not (
+                isinstance(node, ast.Call)
+                and _call_name(node) in _CREATE_METHODS
+                and node.args
+            ):
+                continue
+            key = _arg_key(node.args[0])
+            if not _is_tmp_path(node.args[0], key):
+                continue
+            if key in renamed_srcs:
+                continue
+            findings.append(
+                Finding(
+                    path=path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    code="RA203",
+                    message=(
+                        f"tmp file {key!r} is created but never renamed "
+                        "into place here — incomplete tmp→sync→rename "
+                        "commit protocol"
+                    ),
+                )
+            )
+    return findings
+
+
+# ----------------------------------------------------------------- RA204
+_MANIFEST_RECEIVERS = {"manifest", "_manifest"}
+
+
+def _manifest_writer_names(func: ast.AST) -> set[str]:
+    names = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) and (
+            isinstance(node.value, ast.Call)
+            and _call_name(node.value) == "ManifestWriter"
+        ):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+@rule("RA204", "manifest append without sync=True")
+def _ra204_unsynced_manifest_append(
+    tree: ast.AST, source: str, path: str
+) -> list[Finding]:
+    """Version edits delete data elsewhere (a flushed WAL, compacted
+    input tables); an edit that is not durable before those deletions
+    can lose acknowledged writes.  Every manifest ``append`` in engine
+    code passes ``sync=True`` — flag the ones that forget.  Warning
+    tier: batch-then-sync callers exist legitimately in tooling."""
+    findings = []
+    for func in _functions(tree):
+        writer_names = _manifest_writer_names(func)
+        for node in ast.walk(func):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "append"
+            ):
+                continue
+            receiver = node.func.value
+            key = _expr_key(receiver)
+            tail = key.rsplit(".", 1)[-1] if key else ""
+            if tail not in _MANIFEST_RECEIVERS and tail not in writer_names:
+                continue
+            synced = any(
+                kw.arg == "sync"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+                for kw in node.keywords
+            )
+            if synced or any(kw.arg is None for kw in node.keywords):
+                continue
+            findings.append(
+                Finding(
+                    path=path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    code="RA204",
+                    message=(
+                        "manifest append without sync=True — the edit may "
+                        "not be durable before the files it retires are "
+                        "deleted"
+                    ),
+                )
+            )
+    return findings

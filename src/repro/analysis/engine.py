@@ -19,9 +19,10 @@ the reported line of the finding.
 from __future__ import annotations
 
 import ast
+import hashlib
 import os
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterator, Optional, Sequence
 
 __all__ = [
@@ -42,25 +43,46 @@ _NOQA_RE = re.compile(
 
 @dataclass(frozen=True)
 class Finding:
-    """One rule violation at a source location."""
+    """One rule violation at a source location.
+
+    ``detail`` carries multi-line supporting evidence (witness paths
+    for whole-program findings); it is rendered indented by the text
+    reporter and excluded from baseline fingerprints, so line churn in
+    the evidence never invalidates a suppression.  ``severity`` is
+    ``error`` or ``warning`` (see :data:`repro.analysis.rules.SEVERITIES`).
+    """
 
     path: str
     line: int
     col: int
     code: str
     message: str
+    detail: str = ""
+    severity: str = "error"
 
     def location(self) -> str:
         return f"{self.path}:{self.line}:{self.col}"
 
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching: the file, the code,
+        and the message — deliberately not the line number, so findings
+        survive unrelated edits above them."""
+        blob = f"{self.path}|{self.code}|{self.message}".encode()
+        return hashlib.sha1(blob).hexdigest()[:16]
+
     def as_dict(self) -> dict:
-        return {
+        out = {
             "path": self.path,
             "line": self.line,
             "col": self.col,
             "code": self.code,
             "message": self.message,
+            "severity": self.severity,
+            "fingerprint": self.fingerprint(),
         }
+        if self.detail:
+            out["detail"] = self.detail
+        return out
 
 
 def attach_parents(tree: ast.AST) -> ast.AST:
@@ -94,7 +116,7 @@ def check_source(
     rules: Optional[Sequence] = None,
 ) -> list[Finding]:
     """Run the rule set over one source text; returns sorted findings."""
-    from .rules import all_rules
+    from .rules import all_rules, severity_for
 
     try:
         tree = ast.parse(source)
@@ -118,6 +140,9 @@ def check_source(
         codes = suppressed.get(finding.line, frozenset())
         if codes is None or finding.code in codes:
             continue
+        severity = severity_for(finding.code)
+        if severity != finding.severity:
+            finding = replace(finding, severity=severity)
         kept.append(finding)
     kept.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     return kept

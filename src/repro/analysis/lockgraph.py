@@ -1,0 +1,1133 @@
+"""Static interprocedural lock-graph deadlock detection (RA11x).
+
+The runtime sanitizer (:mod:`repro.analysis.locksan`) catches lock-order
+inversions on the interleavings a run actually exercises.  This module
+is its static complement: it *proves* ordering properties over every
+path the source admits, without running anything.
+
+The pass works in three stages:
+
+1. **Lock identity resolution.**  Every ``make_lock("name")`` /
+   ``make_rlock("name")`` / ``OrderedLock("name")`` call site is
+   resolved to its named identity, whether the result lands in a
+   ``self.<attr>``, a module global, or a function local.
+   ``threading.Condition(self._lock)`` aliases the backing lock, so
+   ``with self._cond:`` and ``with self._lock:`` acquire the same node
+   — exactly how the runtime graph sees them.
+
+2. **Interprocedural held-set propagation.**  For every function the
+   pass records which locks are held at each acquire and at each call,
+   then walks call edges (resolved through ``self`` methods, typed
+   attributes/locals, constructors, and a unique-method-name fallback)
+   to compute the locks each call may *transitively* acquire.  A
+   ``with self._unlocked()``-style region (any context manager whose
+   name contains ``unlock``) conservatively clears the held set, so
+   the DB's release-around-a-region idiom does not fabricate edges.
+
+3. **Acquisition-order graph + cycles.**  Each "holding A, acquires B"
+   fact becomes a directed edge carrying a witness path (the chain of
+   source locations that realizes it).  Cycles are reported as RA110
+   findings with the witness path of *every* edge in the cycle — both
+   sides of the inversion.  Acquiring a non-recursive identity that
+   may already be held is RA111 (static self-deadlock).
+
+Like the runtime graph, nodes are lock *names*, not instances: two DBs
+both call their mutex ``db.mutex`` because ordering discipline is per
+role.  The analysis is deliberately under-approximate on calls it
+cannot resolve (dynamic dispatch through listener lists, executors,
+wire handlers) — those paths stay the runtime sanitizer's job — and
+over-approximate on control flow (both branches of an ``if`` are
+assumed reachable), which is what makes a clean report a proof of
+ordering consistency for the resolved call graph.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from .engine import Finding, iter_python_files, noqa_lines
+
+__all__ = [
+    "LockGraphReport",
+    "analyze_lock_graph",
+    "build_program",
+    "CYCLE_CODE",
+    "CYCLE_SUMMARY",
+    "SELF_DEADLOCK_CODE",
+    "SELF_DEADLOCK_SUMMARY",
+]
+
+CYCLE_CODE = "RA110"
+CYCLE_SUMMARY = "static lock-order cycle across call paths"
+SELF_DEADLOCK_CODE = "RA111"
+SELF_DEADLOCK_SUMMARY = (
+    "non-recursive lock re-acquired through a call chain"
+)
+
+#: Factory calls whose first positional string argument names the lock.
+_LOCK_FACTORIES = {"make_lock": False, "make_rlock": True}
+_ORDERED_LOCK = "OrderedLock"
+
+#: Method names too generic for the unique-name fallback resolution —
+#: linking ``x.get()`` to *the one class defining get* would be wrong
+#: far more often than right.
+_GENERIC_METHODS = {
+    "acquire", "add", "append", "apply", "check", "clear", "close",
+    "decode", "delete", "emit", "encode", "exists", "flush", "get",
+    "inc", "items", "join", "keys", "list", "notify", "notify_all",
+    "open", "pop", "pread", "put", "read", "record", "recv", "release",
+    "remove", "rename", "run", "send", "set", "size", "start", "stop",
+    "submit", "sync", "tell", "update", "values", "wait", "write",
+}
+
+
+# --------------------------------------------------------------- model
+@dataclass
+class _Step:
+    """One hop of a witness path."""
+
+    path: str
+    line: int
+    what: str
+
+    def as_dict(self) -> dict:
+        return {"path": self.path, "line": self.line, "what": self.what}
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.what}"
+
+
+@dataclass
+class _Acquire:
+    lock: str
+    line: int
+    held: tuple[tuple[str, int], ...]  # (lock name, acquire line)
+
+
+@dataclass
+class _CallSite:
+    node: ast.Call
+    line: int
+    held: tuple[tuple[str, int], ...]
+
+
+class _ClassInfo:
+    def __init__(self, name: str, path: str, bases: list[str]) -> None:
+        self.name = name
+        self.path = path
+        self.bases = bases
+        self.attr_locks: dict[str, str] = {}
+        self.attr_types: dict[str, str] = {}
+        self.methods: dict[str, "_FuncInfo"] = {}
+
+
+class _FuncInfo:
+    def __init__(
+        self,
+        qualname: str,
+        shortname: str,
+        path: str,
+        cls: Optional[_ClassInfo],
+    ) -> None:
+        self.qualname = qualname
+        self.shortname = shortname
+        self.path = path
+        self.cls = cls
+        self.params: set[str] = set()
+        self.param_types: dict[str, str] = {}
+        self.acquires: list[_Acquire] = []
+        self.calls: list[_CallSite] = []
+
+
+class _Program:
+    def __init__(self) -> None:
+        #: lock name -> (recursive, [(path, line) creation sites])
+        self.locks: dict[str, tuple[bool, list[tuple[str, int]]]] = {}
+        self.classes_by_name: dict[str, list[_ClassInfo]] = {}
+        self.functions: dict[str, _FuncInfo] = {}
+        self.functions_by_name: dict[str, list[_FuncInfo]] = {}
+        #: method name -> every (class, func) defining it
+        self.methods_by_name: dict[str, list[_FuncInfo]] = {}
+        #: module-level variable name -> lock names it is bound to
+        #: anywhere in the program (cross-module ``from x import lock``
+        #: resolution; used only when the binding is unambiguous).
+        self.global_locks: dict[str, set[str]] = {}
+        #: per-file noqa map (applied to whole-program findings too)
+        self.noqa: dict[str, dict] = {}
+
+    def declare_lock(self, name: str, recursive: bool, path: str, line: int):
+        entry = self.locks.get(name)
+        if entry is None:
+            self.locks[name] = (recursive, [(path, line)])
+        else:
+            rec, sites = entry
+            sites.append((path, line))
+            self.locks[name] = (rec or recursive, sites)
+
+    def resolve_class(self, bare: str) -> list[_ClassInfo]:
+        return self.classes_by_name.get(bare, [])
+
+
+# --------------------------------------------- expression helpers
+def _call_tail(node: ast.Call) -> Optional[str]:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _lock_ctor_name(node: ast.expr) -> Optional[tuple[str, bool]]:
+    """``(lock_name, recursive)`` for a lock-factory call, else None."""
+    if not isinstance(node, ast.Call):
+        return None
+    tail = _call_tail(node)
+    if tail in _LOCK_FACTORIES:
+        if node.args and isinstance(node.args[0], ast.Constant) and isinstance(
+            node.args[0].value, str
+        ):
+            return node.args[0].value, _LOCK_FACTORIES[tail]
+        return None
+    if tail == _ORDERED_LOCK:
+        if node.args and isinstance(node.args[0], ast.Constant) and isinstance(
+            node.args[0].value, str
+        ):
+            recursive = any(
+                kw.arg == "recursive"
+                and isinstance(kw.value, ast.Constant)
+                and bool(kw.value.value)
+                for kw in node.keywords
+            ) or (
+                len(node.args) > 1
+                and isinstance(node.args[1], ast.Constant)
+                and bool(node.args[1].value)
+            )
+            return node.args[0].value, recursive
+        return None
+    return None
+
+
+def _condition_backing(node: ast.expr) -> Optional[ast.expr]:
+    """The lock expression backing ``threading.Condition(lock)``."""
+    if (
+        isinstance(node, ast.Call)
+        and _call_tail(node) == "Condition"
+        and node.args
+    ):
+        return node.args[0]
+    return None
+
+
+def _ctor_class_name(node: ast.expr) -> Optional[str]:
+    """Bare class name for ``ClassName(...)`` / ``x or ClassName(...)``."""
+    if isinstance(node, ast.BoolOp):
+        for value in node.values:
+            name = _ctor_class_name(value)
+            if name is not None:
+                return name
+        return None
+    if isinstance(node, ast.Call):
+        tail = _call_tail(node)
+        if tail is not None and tail[:1].isupper():
+            return tail
+    return None
+
+
+def _annotation_class(node: Optional[ast.expr]) -> Optional[str]:
+    """Bare class name of a simple annotation, unwrapping Optional[...]."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        text = node.value.strip()
+        if text.startswith("Optional[") and text.endswith("]"):
+            text = text[len("Optional[") : -1]
+        return text.split(".")[-1] if text.isidentifier() or "." in text else None
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Subscript):
+        base = _annotation_class(node.value)
+        if base == "Optional":
+            return _annotation_class(node.slice)
+    return None
+
+
+def _is_unlock_region(node: ast.expr) -> bool:
+    """True for context exprs like ``self._unlocked()`` (and for the
+    conditional ``self._unlocked() if x else nullcontext()`` shape)."""
+    if isinstance(node, ast.IfExp):
+        return _is_unlock_region(node.body) or _is_unlock_region(node.orelse)
+    if isinstance(node, ast.Call):
+        tail = _call_tail(node)
+        return tail is not None and "unlock" in tail.lower()
+    return False
+
+
+# ------------------------------------------------------------ collection
+class _Collector:
+    """Builds the program model for one parsed module."""
+
+    def __init__(self, program: _Program, path: str) -> None:
+        self.program = program
+        self.path = path
+
+    def collect_module(self, tree: ast.Module) -> None:
+        module_locks: dict[str, str] = {}
+        for stmt in tree.body:
+            if isinstance(stmt, ast.Assign):
+                self._collect_lock_assign(
+                    stmt, module_locks, cls=None, local_types={}
+                )
+        for stmt in tree.body:
+            if isinstance(stmt, ast.ClassDef):
+                self._collect_class(stmt, module_locks)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._collect_function(
+                    stmt, cls=None, prefix="", outer_locks=module_locks
+                )
+
+    # ------------------------------------------------------- declarations
+    def _collect_lock_assign(
+        self,
+        stmt: ast.Assign,
+        lock_scope: dict[str, str],
+        cls: Optional[_ClassInfo],
+        local_types: dict[str, str],
+    ) -> None:
+        """Track lock factories, Condition aliases, and typed values."""
+        value = stmt.value
+        lock = _lock_ctor_name(value)
+        backing = _condition_backing(value)
+        ctor = _ctor_class_name(value)
+        for target in stmt.targets:
+            if isinstance(target, ast.Name):
+                if lock is not None:
+                    name, recursive = lock
+                    lock_scope[target.id] = name
+                    self.program.declare_lock(
+                        name, recursive, self.path, stmt.lineno
+                    )
+                elif backing is not None:
+                    alias = self._lock_name_for(
+                        backing, cls, lock_scope, local_types
+                    )
+                    if alias is not None:
+                        lock_scope[target.id] = alias
+                elif ctor is not None:
+                    local_types[target.id] = ctor
+            elif (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and cls is not None
+            ):
+                if lock is not None:
+                    name, recursive = lock
+                    cls.attr_locks[target.attr] = name
+                    self.program.declare_lock(
+                        name, recursive, self.path, stmt.lineno
+                    )
+                elif backing is not None:
+                    alias = self._lock_name_for(
+                        backing, cls, lock_scope, local_types
+                    )
+                    if alias is not None:
+                        cls.attr_locks[target.attr] = alias
+                elif ctor is not None:
+                    cls.attr_types[target.attr] = ctor
+
+    def _lock_name_for(
+        self,
+        node: ast.expr,
+        cls: Optional[_ClassInfo],
+        lock_scope: dict[str, str],
+        local_types: dict[str, str],
+    ) -> Optional[str]:
+        """Resolve an expression to a lock identity, or None."""
+        if isinstance(node, ast.Name):
+            found = lock_scope.get(node.id)
+            if found is not None:
+                return found
+            # Imported module-level lock: resolve by bare name when
+            # the whole program binds it to exactly one lock identity.
+            candidates = self.program.global_locks.get(node.id)
+            if candidates is not None and len(candidates) == 1:
+                return next(iter(candidates))
+            return None
+        if isinstance(node, ast.Attribute) and isinstance(
+            node.value, ast.Name
+        ):
+            if node.value.id == "self" and cls is not None:
+                found = _lookup_attr_lock(self.program, cls, node.attr)
+                if found is not None:
+                    return found
+            # ``obj._lock`` with obj of a known class (fixture idiom).
+            owner = local_types.get(node.value.id)
+            if owner is not None:
+                for info in self.program.resolve_class(owner):
+                    if node.attr in info.attr_locks:
+                        return info.attr_locks[node.attr]
+        return None
+
+    # ------------------------------------------------------------ classes
+    def _collect_class(
+        self, node: ast.ClassDef, module_locks: dict[str, str]
+    ) -> None:
+        bases = []
+        for base in node.bases:
+            if isinstance(base, ast.Name):
+                bases.append(base.id)
+            elif isinstance(base, ast.Attribute):
+                bases.append(base.attr)
+        cls = _ClassInfo(node.name, self.path, bases)
+        self.program.classes_by_name.setdefault(node.name, []).append(cls)
+        # Declarations first (any method may declare self attrs).
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for stmt in ast.walk(item):
+                    if isinstance(stmt, ast.Assign):
+                        self._collect_lock_assign(
+                            stmt, {}, cls=cls, local_types={}
+                        )
+                self._collect_param_types(item, cls)
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._collect_function(
+                    item,
+                    cls=cls,
+                    prefix=f"{node.name}.",
+                    outer_locks=module_locks,
+                )
+
+    def _collect_param_types(self, func, cls: _ClassInfo) -> None:
+        """``def __init__(self, db: DB)`` + ``self.x = db`` -> attr type."""
+        params: dict[str, str] = {}
+        for arg in func.args.args + func.args.kwonlyargs:
+            hinted = _annotation_class(arg.annotation)
+            if hinted is not None:
+                params[arg.arg] = hinted
+        if not params:
+            return
+        for stmt in ast.walk(func):
+            if (
+                isinstance(stmt, ast.Assign)
+                and isinstance(stmt.value, ast.Name)
+                and stmt.value.id in params
+            ):
+                for target in stmt.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        cls.attr_types.setdefault(
+                            target.attr, params[stmt.value.id]
+                        )
+
+    # ---------------------------------------------------------- functions
+    def _collect_function(
+        self,
+        node,
+        cls: Optional[_ClassInfo],
+        prefix: str,
+        outer_locks: dict[str, str],
+    ) -> None:
+        qualname = f"{self.path}::{prefix}{node.name}"
+        info = _FuncInfo(qualname, f"{prefix}{node.name}", self.path, cls)
+        for arg in node.args.args + node.args.kwonlyargs:
+            info.params.add(arg.arg)
+            hinted = _annotation_class(arg.annotation)
+            if hinted is not None:
+                info.param_types[arg.arg] = hinted
+        self.program.functions[qualname] = info
+        self.program.functions_by_name.setdefault(node.name, []).append(info)
+        if cls is not None:
+            cls.methods.setdefault(node.name, info)
+            self.program.methods_by_name.setdefault(node.name, []).append(info)
+        lock_scope = dict(outer_locks)
+        local_types = dict(info.param_types)
+        self._walk_body(
+            node.body, (), info, lock_scope, local_types, prefix, outer_locks,
+            func_name=node.name,
+        )
+
+    def _walk_body(
+        self,
+        stmts: Iterable[ast.stmt],
+        held: tuple[tuple[str, int], ...],
+        info: _FuncInfo,
+        lock_scope: dict[str, str],
+        local_types: dict[str, str],
+        prefix: str,
+        outer_locks: dict[str, str],
+        func_name: str,
+    ) -> None:
+        for stmt in stmts:
+            self._walk_stmt(
+                stmt, held, info, lock_scope, local_types, prefix,
+                outer_locks, func_name,
+            )
+
+    def _walk_stmt(
+        self,
+        stmt: ast.stmt,
+        held: tuple[tuple[str, int], ...],
+        info: _FuncInfo,
+        lock_scope: dict[str, str],
+        local_types: dict[str, str],
+        prefix: str,
+        outer_locks: dict[str, str],
+        func_name: str,
+    ) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # A nested def is its own summary (it runs later, on
+            # whatever thread calls it) — but it closes over the outer
+            # function's lock locals, so pass those down.
+            nested_prefix = f"{prefix}{func_name}.<locals>."
+            merged = dict(outer_locks)
+            merged.update(lock_scope)
+            self._collect_function(
+                stmt, cls=info.cls, prefix=nested_prefix, outer_locks=merged
+            )
+            return
+        if isinstance(stmt, ast.Assign):
+            self._collect_lock_assign(stmt, lock_scope, info.cls, local_types)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            new_held = held
+            for item in stmt.items:
+                ctx = item.context_expr
+                self._scan_calls(ctx, new_held, info, lock_scope, local_types)
+                if _is_unlock_region(ctx):
+                    # Conservatively treat the region as lock-free: the
+                    # runtime has released the enclosing mutex here.
+                    new_held = ()
+                    continue
+                lock = self._lock_name_for(ctx, info.cls, lock_scope, local_types)
+                if lock is not None:
+                    info.acquires.append(_Acquire(lock, ctx.lineno, new_held))
+                    new_held = new_held + ((lock, ctx.lineno),)
+            self._walk_body(
+                stmt.body, new_held, info, lock_scope, local_types, prefix,
+                outer_locks, func_name,
+            )
+            return
+        # Every other compound statement: scan this statement's own
+        # expressions, then recurse into nested blocks with the same
+        # held set.
+        for expr in _stmt_exprs(stmt):
+            self._scan_calls(expr, held, info, lock_scope, local_types)
+        for block in _stmt_blocks(stmt):
+            self._walk_body(
+                block, held, info, lock_scope, local_types, prefix,
+                outer_locks, func_name,
+            )
+
+    def _scan_calls(
+        self,
+        expr: ast.expr,
+        held: tuple[tuple[str, int], ...],
+        info: _FuncInfo,
+        lock_scope: dict[str, str],
+        local_types: dict[str, str],
+    ) -> None:
+        """Record call sites and bare ``.acquire()`` events in ``expr``."""
+        if expr is None:
+            return
+        stack: list[ast.AST] = [expr]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.Lambda,)):
+                continue
+            if isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "acquire"
+                ):
+                    lock = self._lock_name_for(
+                        node.func.value, info.cls, lock_scope, local_types
+                    )
+                    if lock is not None:
+                        info.acquires.append(
+                            _Acquire(lock, node.lineno, held)
+                        )
+                else:
+                    info.calls.append(_CallSite(node, node.lineno, held))
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def _stmt_exprs(stmt: ast.stmt) -> list[ast.expr]:
+    """Expressions evaluated by ``stmt`` itself (not nested blocks)."""
+    out = []
+    for fld in ("value", "test", "iter", "exc", "msg", "target", "targets"):
+        val = getattr(stmt, fld, None)
+        if isinstance(val, ast.expr):
+            out.append(val)
+        elif isinstance(val, list):
+            out.extend(v for v in val if isinstance(v, ast.expr))
+    return out
+
+
+def _stmt_blocks(stmt: ast.stmt) -> list[list[ast.stmt]]:
+    out = []
+    for fld in ("body", "orelse", "finalbody"):
+        block = getattr(stmt, fld, None)
+        if isinstance(block, list) and block and isinstance(
+            block[0], ast.stmt
+        ):
+            out.append(block)
+    handlers = getattr(stmt, "handlers", None)
+    if handlers:
+        for handler in handlers:
+            out.append(handler.body)
+    return out
+
+
+def _lookup_attr_lock(
+    program: _Program, cls: _ClassInfo, attr: str, seen: Optional[set] = None
+) -> Optional[str]:
+    if seen is None:
+        seen = set()
+    if id(cls) in seen:
+        return None
+    seen.add(id(cls))
+    if attr in cls.attr_locks:
+        return cls.attr_locks[attr]
+    for base in cls.bases:
+        for base_info in program.resolve_class(base):
+            found = _lookup_attr_lock(program, base_info, attr, seen)
+            if found is not None:
+                return found
+    return None
+
+
+def _lookup_attr_type(
+    program: _Program, cls: _ClassInfo, attr: str, seen: Optional[set] = None
+) -> Optional[str]:
+    if seen is None:
+        seen = set()
+    if id(cls) in seen:
+        return None
+    seen.add(id(cls))
+    if attr in cls.attr_types:
+        return cls.attr_types[attr]
+    for base in cls.bases:
+        for base_info in program.resolve_class(base):
+            found = _lookup_attr_type(program, base_info, attr, seen)
+            if found is not None:
+                return found
+    return None
+
+
+def _lookup_method(
+    program: _Program, cls: _ClassInfo, name: str, seen: Optional[set] = None
+) -> Optional[_FuncInfo]:
+    if seen is None:
+        seen = set()
+    if id(cls) in seen:
+        return None
+    seen.add(id(cls))
+    if name in cls.methods:
+        return cls.methods[name]
+    for base in cls.bases:
+        for base_info in program.resolve_class(base):
+            found = _lookup_method(program, base_info, name, seen)
+            if found is not None:
+                return found
+    return None
+
+
+def _nested_visible(candidate: _FuncInfo, caller: _FuncInfo) -> bool:
+    """Nested defs are only callable by name from their own enclosing
+    function (or a sibling closure) — never from the rest of the
+    program, where the bare name is a different binding entirely."""
+    if ".<locals>." not in candidate.qualname:
+        return True
+    enclosing = candidate.qualname.rsplit(".<locals>.", 1)[0]
+    return caller.qualname == enclosing or caller.qualname.startswith(
+        enclosing + ".<locals>."
+    )
+
+
+# ------------------------------------------------------------ resolution
+def _resolve_call(program: _Program, site: _CallSite, info: _FuncInfo,
+                  local_types: Optional[dict] = None) -> list[_FuncInfo]:
+    node = site.node
+    func = node.func
+    out: list[_FuncInfo] = []
+    if isinstance(func, ast.Name):
+        # A bare name that is one of the caller's parameters is a
+        # callable argument — its target is dynamic, never the
+        # same-named function elsewhere in the program.
+        if func.id in info.params:
+            return []
+        out.extend(
+            f
+            for f in program.functions_by_name.get(func.id, ())
+            if _nested_visible(f, info)
+        )
+        # Constructor: ClassName(...) runs __init__.
+        for cls in program.resolve_class(func.id):
+            init = cls.methods.get("__init__")
+            if init is not None:
+                out.append(init)
+        # Only module-level functions, in-scope closures, and ctors by
+        # bare name: drop methods that happened to share the name.
+        out = [
+            f
+            for f in out
+            if f.cls is None
+            or f.shortname.endswith("__init__")
+            or ".<locals>." in f.qualname
+        ]
+        return out
+    if not isinstance(func, ast.Attribute):
+        return out
+    method = func.attr
+    receiver = func.value
+    # self.method(...)
+    if isinstance(receiver, ast.Name) and receiver.id == "self":
+        if info.cls is not None:
+            found = _lookup_method(program, info.cls, method)
+            if found is not None:
+                return [found]
+        return []
+    # super().method(...)
+    if (
+        isinstance(receiver, ast.Call)
+        and isinstance(receiver.func, ast.Name)
+        and receiver.func.id == "super"
+        and info.cls is not None
+    ):
+        for base in info.cls.bases:
+            for base_info in program.resolve_class(base):
+                found = _lookup_method(program, base_info, method)
+                if found is not None:
+                    return [found]
+        return []
+    owner: Optional[str] = None
+    # self.attr.method(...)
+    if (
+        isinstance(receiver, ast.Attribute)
+        and isinstance(receiver.value, ast.Name)
+        and receiver.value.id == "self"
+        and info.cls is not None
+    ):
+        owner = _lookup_attr_type(program, info.cls, receiver.attr)
+    # local.method(...) via annotation or constructor assignment
+    elif isinstance(receiver, ast.Name):
+        if local_types:
+            owner = local_types.get(receiver.id)
+        if owner is None:
+            owner = info.param_types.get(receiver.id)
+    # ClassName(...).method(...)
+    elif isinstance(receiver, ast.Call):
+        owner = _ctor_class_name(receiver)
+    if owner is not None:
+        for cls in program.resolve_class(owner):
+            found = _lookup_method(program, cls, method)
+            if found is not None:
+                out.append(found)
+        if out:
+            return out
+    # Unique-method-name fallback for unresolvable receivers.
+    if method not in _GENERIC_METHODS:
+        candidates = program.methods_by_name.get(method, ())
+        if len(candidates) == 1:
+            return [candidates[0]]
+    return out
+
+
+# ----------------------------------------------------------- propagation
+class _Propagator:
+    def __init__(self, program: _Program) -> None:
+        self.program = program
+        self._memo: dict[str, dict[str, list[_Step]]] = {}
+        self._in_progress: set[str] = set()
+
+    def transitive_acquires(self, info: _FuncInfo) -> dict[str, list[_Step]]:
+        """lock name -> witness chain reaching its acquire from ``info``."""
+        cached = self._memo.get(info.qualname)
+        if cached is not None:
+            return cached
+        if info.qualname in self._in_progress:
+            return {}  # recursion: the fixpoint converges on first pass
+        self._in_progress.add(info.qualname)
+        result: dict[str, list[_Step]] = {}
+        for acq in info.acquires:
+            result.setdefault(
+                acq.lock,
+                [
+                    _Step(
+                        info.path,
+                        acq.line,
+                        f"{info.shortname} acquires {acq.lock!r}",
+                    )
+                ],
+            )
+        for site in info.calls:
+            for callee in _resolve_call(self.program, site, info):
+                if callee.qualname == info.qualname:
+                    continue
+                for lock, chain in self.transitive_acquires(callee).items():
+                    if lock not in result:
+                        result[lock] = [
+                            _Step(
+                                info.path,
+                                site.line,
+                                f"{info.shortname} calls {callee.shortname}",
+                            )
+                        ] + chain
+        self._in_progress.discard(info.qualname)
+        self._memo[info.qualname] = result
+        return result
+
+
+# ---------------------------------------------------------------- report
+@dataclass
+class _Edge:
+    src: str
+    dst: str
+    witness: list[_Step] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "src": self.src,
+            "dst": self.dst,
+            "witness": [step.as_dict() for step in self.witness],
+        }
+
+
+@dataclass
+class LockGraphReport:
+    """The static acquisition-order graph plus its defects."""
+
+    #: lock name -> {"recursive": bool, "declared": [(path, line), ...]}
+    nodes: dict
+    edges: list[_Edge]
+    cycles: list[list[str]]
+    self_deadlocks: list[tuple[str, list[_Step]]]
+
+    def edge(self, src: str, dst: str) -> Optional[_Edge]:
+        for edge in self.edges:
+            if edge.src == src and edge.dst == dst:
+                return edge
+        return None
+
+    def findings(self) -> list[Finding]:
+        out = []
+        for cycle in self.cycles:
+            pairs = list(zip(cycle, cycle[1:] + cycle[:1]))
+            detail_lines = []
+            anchor: Optional[_Step] = None
+            for src, dst in pairs:
+                edge = self.edge(src, dst)
+                if edge is None or not edge.witness:
+                    continue
+                if anchor is None:
+                    anchor = edge.witness[0]
+                detail_lines.append(f"order {src} -> {dst} established by:")
+                detail_lines.extend(
+                    "  " + step.render() for step in edge.witness
+                )
+            names = " -> ".join(cycle + [cycle[0]])
+            out.append(
+                Finding(
+                    path=anchor.path if anchor else "<program>",
+                    line=anchor.line if anchor else 1,
+                    col=0,
+                    code=CYCLE_CODE,
+                    message=(
+                        f"static lock-order cycle {names}: these locks are "
+                        "acquired in conflicting orders on different paths"
+                    ),
+                    detail="\n".join(detail_lines),
+                )
+            )
+        for lock, chain in self.self_deadlocks:
+            anchor = chain[-1] if chain else None
+            out.append(
+                Finding(
+                    path=anchor.path if anchor else "<program>",
+                    line=anchor.line if anchor else 1,
+                    col=0,
+                    code=SELF_DEADLOCK_CODE,
+                    message=(
+                        f"non-recursive lock {lock!r} may be acquired while "
+                        "already held (self-deadlock)"
+                    ),
+                    detail="\n".join(step.render() for step in chain),
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------- dumps
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "nodes": {
+                    name: {
+                        "recursive": meta["recursive"],
+                        "declared": [
+                            {"path": p, "line": ln}
+                            for p, ln in meta["declared"]
+                        ],
+                    }
+                    for name, meta in sorted(self.nodes.items())
+                },
+                "edges": [edge.as_dict() for edge in self.edges],
+                "cycles": self.cycles,
+                "self_deadlocks": [
+                    {
+                        "lock": lock,
+                        "witness": [step.as_dict() for step in chain],
+                    }
+                    for lock, chain in self.self_deadlocks
+                ],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    def to_dot(self) -> str:
+        cycle_edges = set()
+        for cycle in self.cycles:
+            cycle_edges.update(zip(cycle, cycle[1:] + cycle[:1]))
+        lines = [
+            "digraph lock_order {",
+            "  rankdir=LR;",
+            '  node [shape=box, fontname="monospace"];',
+        ]
+        for name, meta in sorted(self.nodes.items()):
+            shape = "box, peripheries=2" if meta["recursive"] else "box"
+            lines.append(f'  "{name}" [shape={shape}];')
+        for edge in sorted(self.edges, key=lambda e: (e.src, e.dst)):
+            attrs = ""
+            if (edge.src, edge.dst) in cycle_edges:
+                attrs = ' [color=red, penwidth=2]'
+            lines.append(f'  "{edge.src}" -> "{edge.dst}"{attrs};')
+        lines.append("}")
+        return "\n".join(lines)
+
+
+# ------------------------------------------------------------- top level
+def build_program(paths: Sequence[str]) -> _Program:
+    """Parse every ``.py`` under ``paths`` into the whole-program model.
+
+    Two phases: module-level lock bindings are registered for every
+    file first, so a ``from one import cache_lock`` reference in a
+    file collected earlier than its definition still resolves.
+    """
+    program = _Program()
+    parsed: list[tuple[str, ast.Module]] = []
+    for path in iter_python_files(paths):
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        try:
+            tree = ast.parse(source)
+        except SyntaxError:
+            continue  # the per-file engine reports RA001 for this
+        program.noqa[path] = noqa_lines(source)
+        parsed.append((path, tree))
+    for _path, tree in parsed:
+        for stmt in tree.body:
+            if not isinstance(stmt, ast.Assign):
+                continue
+            lock = _lock_ctor_name(stmt.value)
+            if lock is None:
+                continue
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    program.global_locks.setdefault(
+                        target.id, set()
+                    ).add(lock[0])
+    for path, tree in parsed:
+        _Collector(program, path).collect_module(tree)
+    return program
+
+
+def _shortest_cycle(succ: dict[str, set[str]], start: str) -> Optional[list[str]]:
+    """Shortest cycle through ``start`` (BFS), as a node list."""
+    frontier = [[start]]
+    seen = {start}
+    while frontier:
+        next_frontier = []
+        for path in frontier:
+            for nxt in sorted(succ.get(path[-1], ())):
+                if nxt == start and len(path) > 1:
+                    return path
+                if nxt == start and len(path) == 1:
+                    return path  # direct self-loop
+                if nxt not in seen:
+                    seen.add(nxt)
+                    next_frontier.append(path + [nxt])
+        frontier = next_frontier
+    return None
+
+
+def analyze_lock_graph(paths: Sequence[str]) -> LockGraphReport:
+    """Run the whole-program pass and return the graph report."""
+    program = build_program(paths)
+    propagator = _Propagator(program)
+    edges: dict[tuple[str, str], _Edge] = {}
+    self_deadlocks: list[tuple[str, list[_Step]]] = []
+    seen_self: set[tuple[str, str, int]] = set()
+    for info in program.functions.values():
+        for acq in info.acquires:
+            held_names = {name for name, _ in acq.held}
+            for held_name, held_line in acq.held:
+                if held_name == acq.lock:
+                    recursive = program.locks.get(acq.lock, (False, []))[0]
+                    key = (acq.lock, info.path, acq.line)
+                    if not recursive and key not in seen_self:
+                        seen_self.add(key)
+                        self_deadlocks.append(
+                            (
+                                acq.lock,
+                                [
+                                    _Step(
+                                        info.path,
+                                        held_line,
+                                        f"{info.shortname} acquires "
+                                        f"{acq.lock!r}",
+                                    ),
+                                    _Step(
+                                        info.path,
+                                        acq.line,
+                                        f"{info.shortname} re-acquires "
+                                        f"{acq.lock!r}",
+                                    ),
+                                ],
+                            )
+                        )
+                    continue
+                key = (held_name, acq.lock)
+                if key not in edges:
+                    edges[key] = _Edge(
+                        held_name,
+                        acq.lock,
+                        [
+                            _Step(
+                                info.path,
+                                held_line,
+                                f"{info.shortname} acquires {held_name!r}",
+                            ),
+                            _Step(
+                                info.path,
+                                acq.line,
+                                f"{info.shortname} acquires {acq.lock!r} "
+                                f"while holding {held_name!r}",
+                            ),
+                        ],
+                    )
+            del held_names
+        for site in info.calls:
+            if not site.held:
+                continue
+            for callee in _resolve_call(program, site, info):
+                if callee.qualname == info.qualname:
+                    continue
+                acquired = propagator.transitive_acquires(callee)
+                for lock, chain in acquired.items():
+                    for held_name, held_line in site.held:
+                        if held_name == lock:
+                            recursive = program.locks.get(lock, (False, []))[0]
+                            key2 = (lock, info.path, site.line)
+                            if not recursive and key2 not in seen_self:
+                                seen_self.add(key2)
+                                self_deadlocks.append(
+                                    (
+                                        lock,
+                                        [
+                                            _Step(
+                                                info.path,
+                                                held_line,
+                                                f"{info.shortname} acquires "
+                                                f"{lock!r}",
+                                            ),
+                                            _Step(
+                                                info.path,
+                                                site.line,
+                                                f"{info.shortname} calls "
+                                                f"{callee.shortname} while "
+                                                f"holding {lock!r}",
+                                            ),
+                                        ]
+                                        + chain,
+                                    )
+                                )
+                            continue
+                        key = (held_name, lock)
+                        if key not in edges:
+                            edges[key] = _Edge(
+                                held_name,
+                                lock,
+                                [
+                                    _Step(
+                                        info.path,
+                                        held_line,
+                                        f"{info.shortname} acquires "
+                                        f"{held_name!r}",
+                                    ),
+                                    _Step(
+                                        info.path,
+                                        site.line,
+                                        f"{info.shortname} calls "
+                                        f"{callee.shortname} while holding "
+                                        f"{held_name!r}",
+                                    ),
+                                ]
+                                + chain,
+                            )
+    # Cycle detection over the name graph.
+    succ: dict[str, set[str]] = {}
+    for src, dst in edges:
+        succ.setdefault(src, set()).add(dst)
+    cycles: list[list[str]] = []
+    seen_cycles: set[frozenset] = set()
+    for node in sorted(succ):
+        cycle = _shortest_cycle(succ, node)
+        if cycle is None:
+            continue
+        key = frozenset(cycle)
+        if key in seen_cycles:
+            continue
+        seen_cycles.add(key)
+        cycles.append(cycle)
+    nodes = {
+        name: {"recursive": recursive, "declared": sites}
+        for name, (recursive, sites) in program.locks.items()
+    }
+    report = LockGraphReport(
+        nodes=nodes,
+        edges=sorted(edges.values(), key=lambda e: (e.src, e.dst)),
+        cycles=cycles,
+        self_deadlocks=self_deadlocks,
+    )
+    # Honor per-line ``# repro: noqa[RA110/RA111]`` at each finding's
+    # anchor (seeded fixtures in test trees rely on this).
+    kept_cycles, kept_self = [], []
+    for cycle, finding in zip(report.cycles, report.findings()):
+        codes = program.noqa.get(finding.path, {}).get(
+            finding.line, frozenset()
+        )
+        if codes is None or finding.code in codes:
+            continue
+        kept_cycles.append(cycle)
+    offset = len(report.cycles)
+    for (lock, chain), finding in zip(
+        report.self_deadlocks, report.findings()[offset:]
+    ):
+        codes = program.noqa.get(finding.path, {}).get(
+            finding.line, frozenset()
+        )
+        if codes is None or finding.code in codes:
+            continue
+        kept_self.append((lock, chain))
+    report.cycles = kept_cycles
+    report.self_deadlocks = kept_self
+    return report

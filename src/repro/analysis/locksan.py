@@ -32,6 +32,12 @@ their internal mutex is a leaf (never held across another acquire).
 :class:`OrderedLock` also implements the private ``_release_save`` /
 ``_acquire_restore`` / ``_is_owned`` protocol, so it can back a
 ``threading.Condition`` (the DB's ``_bg_wake`` does exactly that).
+
+With ``REPRO_RACE_SANITIZER=1`` (:mod:`repro.analysis.racesan`) the
+factories also hand out :class:`OrderedLock` objects, used purely as
+happens-before synchronization points: each outermost acquire/release
+joins/publishes the owning thread's vector clock.  Both sanitizers can
+run together; each hook is gated independently.
 """
 
 from __future__ import annotations
@@ -40,6 +46,8 @@ import os
 import threading
 import traceback
 from typing import Optional
+
+from . import racesan
 
 __all__ = [
     "LOCK_SANITIZER_ENV",
@@ -196,10 +204,17 @@ class OrderedLock:
         name: str,
         recursive: bool = False,
         graph: Optional[LockGraph] = None,
+        track_order: bool = True,
     ) -> None:
         self.name = name
         self.recursive = recursive
+        self.track_order = track_order
         self._graph = graph if graph is not None else _GLOBAL_GRAPH
+        self._race = (
+            racesan.global_detector()
+            if racesan.race_sanitizer_enabled()
+            else None
+        )
         self._inner = threading.RLock() if recursive else threading.Lock()
 
     def __repr__(self) -> str:
@@ -234,14 +249,19 @@ class OrderedLock:
 
     # ---------------------------------------------------------- lock API
     def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
-        if self._depth() == 0:
+        outermost = self._depth() == 0
+        if outermost and self.track_order:
             self._graph.on_acquire(self.name, list(_HELD.names))
         ok = self._inner.acquire(blocking, timeout)
         if ok:
             self._note_acquired()
+            if outermost and self._race is not None:
+                self._race.acquire(("lock", id(self)))
         return ok
 
     def release(self) -> None:
+        if self._race is not None and self._depth() == 1:
+            self._race.release(("lock", id(self)))
         self._inner.release()
         self._note_released()
 
@@ -265,6 +285,8 @@ class OrderedLock:
 
     def _release_save(self):
         """Fully release (Condition.wait), returning restore state."""
+        if self._race is not None:
+            self._race.release(("lock", id(self)))
         depth = _HELD.depth.pop(id(self), 0)
         self._remove_held_name()
         if self.recursive:
@@ -276,24 +298,39 @@ class OrderedLock:
 
     def _acquire_restore(self, state) -> None:
         inner_state, depth = state
-        self._graph.on_acquire(self.name, list(_HELD.names))
+        if self.track_order:
+            self._graph.on_acquire(self.name, list(_HELD.names))
         if self.recursive:
             self._inner._acquire_restore(inner_state)
         else:
             self._inner.acquire()
         _HELD.depth[id(self)] = max(depth, 1)
         _HELD.names.append(self.name)
+        if self._race is not None:
+            self._race.acquire(("lock", id(self)))
+
+
+def _instrumented() -> bool:
+    """Either sanitizer wants factory locks wrapped."""
+    if sanitizer_enabled():
+        return True
+    if racesan.race_sanitizer_enabled():
+        racesan.install()
+        return True
+    return False
 
 
 def make_lock(name: str) -> "threading.Lock | OrderedLock":
-    """A non-recursive engine lock; instrumented when the sanitizer is on."""
-    if sanitizer_enabled():
-        return OrderedLock(name)
+    """A non-recursive engine lock; instrumented when a sanitizer is on."""
+    if _instrumented():
+        return OrderedLock(name, track_order=sanitizer_enabled())
     return threading.Lock()
 
 
 def make_rlock(name: str) -> "threading.RLock | OrderedLock":
-    """A recursive engine lock; instrumented when the sanitizer is on."""
-    if sanitizer_enabled():
-        return OrderedLock(name, recursive=True)
+    """A recursive engine lock; instrumented when a sanitizer is on."""
+    if _instrumented():
+        return OrderedLock(
+            name, recursive=True, track_order=sanitizer_enabled()
+        )
     return threading.RLock()

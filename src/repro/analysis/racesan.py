@@ -1,0 +1,426 @@
+"""Dynamic happens-before race sanitizer (``REPRO_RACE_SANITIZER=1``).
+
+The lock-order sanitizer proves the engine's locks are *ordered*; this
+module proves the shared state those locks guard is actually *reached
+through them*.  It is a vector-clock happens-before detector in the
+FastTrack tradition, sized for this codebase:
+
+* Every thread carries a vector clock.  Clocks synchronize through the
+  ``make_lock``/``make_rlock`` primitives (instrumented
+  :class:`~repro.analysis.locksan.OrderedLock` objects call the hooks
+  here), through ``queue.Queue`` handoffs, and through
+  ``threading.Thread`` start/join — all patched in by :func:`install`
+  when the sanitizer is enabled.
+* Hot shared objects mark their state with :func:`shared_state` and
+  call ``state.write()`` / ``state.read()`` at mutation/observation
+  points (a no-op singleton when disabled, mirroring ``NULL_TRACER``).
+  Two accesses to the same state that conflict (at least one write) and
+  are not ordered by the happens-before relation raise
+  :class:`DataRaceError` carrying **both** stack traces — where the
+  prior access happened and where the unsynchronized one just did.
+* :func:`guarded_by` declares a method's lock contract
+  (``@guarded_by("_lock")``): under the sanitizer, entering the method
+  without owning ``self._lock`` raises :class:`GuardViolation`.
+
+Enable with::
+
+    REPRO_RACE_SANITIZER=1 python -m pytest -x -q tests/db
+
+Design notes.  Synchronization clocks are keyed per *instance* (lock
+object, queue object), unlike the name-keyed lock-order graph: two
+shards' ``db.mutex`` locks are distinct synchronization objects, and
+merging them would invent happens-before edges that hide real races.
+Queue transfer is modelled channel-wide (every ``get`` joins the clock
+of every earlier ``put``), which over-approximates ordering — it can
+miss a race routed through an unrelated queue item, never invent one.
+All clock state lives behind one raw ``threading.Lock`` so the
+sanitizer cannot recurse into its own instrumentation.
+"""
+
+from __future__ import annotations
+
+import os
+import queue as _queue_module
+import threading
+import traceback
+from typing import Callable, Optional
+
+__all__ = [
+    "RACE_SANITIZER_ENV",
+    "DataRaceError",
+    "GuardViolation",
+    "RaceDetector",
+    "global_detector",
+    "guarded_by",
+    "install",
+    "race_sanitizer_enabled",
+    "shared_state",
+    "uninstall",
+]
+
+RACE_SANITIZER_ENV = "REPRO_RACE_SANITIZER"
+
+#: Frames of sanitizer plumbing trimmed off captured stacks.
+_STACK_LIMIT = 14
+
+
+def race_sanitizer_enabled() -> bool:
+    """True when ``REPRO_RACE_SANITIZER`` is set non-empty, non-0."""
+    return os.environ.get(RACE_SANITIZER_ENV, "") not in ("", "0")
+
+
+class DataRaceError(RuntimeError):
+    """Two unsynchronized conflicting accesses to a shared state."""
+
+
+class GuardViolation(RuntimeError):
+    """A ``@guarded_by`` method entered without owning its lock."""
+
+
+def _capture_stack(skip: int = 2) -> str:
+    frames = traceback.format_stack(limit=_STACK_LIMIT + skip)
+    return "".join(frames[: -skip or None])
+
+
+class _VarState:
+    """Last-access bookkeeping for one shared variable."""
+
+    __slots__ = ("write", "reads")
+
+    def __init__(self) -> None:
+        #: (tid, clock, thread name, stack) of the last write, or None.
+        self.write: Optional[tuple[int, int, str, str]] = None
+        #: tid -> (clock, thread name, stack) of reads since that write.
+        self.reads: dict[int, tuple[int, str, str]] = {}
+
+
+class RaceDetector:
+    """Process-wide vector-clock state.
+
+    Thread clocks are keyed by ``threading.get_ident()``; because the
+    OS recycles idents, a per-ident epoch floor keeps a reused ident's
+    fresh clock strictly above every value its predecessor published.
+    """
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._thread_clocks: dict[int, dict[int, int]] = {}
+        self._epoch_floor: dict[int, int] = {}
+        self._sync_clocks: dict[object, dict[int, int]] = {}
+        self._finished: dict[int, dict[int, int]] = {}
+        self._vars: dict[object, _VarState] = {}
+        self._var_labels: dict[object, str] = {}
+        #: Race records (dicts), kept even though accesses raise, so
+        #: harnesses can assert on what fired.
+        self.races: list[dict] = []
+        self.guard_violations: list[dict] = []
+        self.raise_on_race = True
+
+    # ------------------------------------------------------------ clocks
+    def _vc(self, tid: int) -> dict[int, int]:
+        vc = self._thread_clocks.get(tid)
+        if vc is None:
+            vc = {tid: self._epoch_floor.get(tid, 0) + 1}
+            self._thread_clocks[tid] = vc
+        return vc
+
+    @staticmethod
+    def _join(into: dict[int, int], other: dict[int, int]) -> None:
+        for tid, clock in other.items():
+            if into.get(tid, 0) < clock:
+                into[tid] = clock
+
+    def reset(self) -> None:
+        """Drop all clocks, variables, and records (test isolation)."""
+        with self._mutex:
+            self._thread_clocks.clear()
+            self._epoch_floor.clear()
+            self._sync_clocks.clear()
+            self._finished.clear()
+            self._vars.clear()
+            self._var_labels.clear()
+            self.races.clear()
+            self.guard_violations.clear()
+
+    # --------------------------------------------------- synchronization
+    def acquire(self, key: object) -> None:
+        """The calling thread synchronized *from* ``key`` (lock
+        acquired / queue item received): join the channel clock in."""
+        tid = threading.get_ident()
+        with self._mutex:
+            channel = self._sync_clocks.get(key)
+            if channel:
+                self._join(self._vc(tid), channel)
+
+    def release(self, key: object) -> None:
+        """The calling thread synchronized *into* ``key`` (lock
+        released / queue item sent): publish its clock and advance."""
+        tid = threading.get_ident()
+        with self._mutex:
+            vc = self._vc(tid)
+            channel = self._sync_clocks.setdefault(key, {})
+            self._join(channel, vc)
+            vc[tid] = vc.get(tid, 0) + 1
+
+    def fork(self) -> dict[int, int]:
+        """Snapshot for a child thread about to start; advances the
+        parent so later parent work is unordered with the child."""
+        tid = threading.get_ident()
+        with self._mutex:
+            vc = self._vc(tid)
+            snapshot = dict(vc)
+            vc[tid] = vc.get(tid, 0) + 1
+        return snapshot
+
+    def begin_thread(self, snapshot: dict[int, int]) -> None:
+        """Adopt the parent's snapshot at the top of a child thread."""
+        tid = threading.get_ident()
+        with self._mutex:
+            vc = dict(snapshot)
+            vc[tid] = max(
+                vc.get(tid, 0), self._epoch_floor.get(tid, 0)
+            ) + 1
+            self._thread_clocks[tid] = vc
+
+    def finish_thread(self, thread_key: int) -> None:
+        """Publish the dying thread's final clock for joiners."""
+        tid = threading.get_ident()
+        with self._mutex:
+            vc = self._vc(tid)
+            self._finished[thread_key] = dict(vc)
+            self._epoch_floor[tid] = vc.get(tid, 0) + 1
+            self._thread_clocks.pop(tid, None)
+
+    def join_thread(self, thread_key: int) -> None:
+        """The calling thread joined ``thread_key``: adopt its clock."""
+        tid = threading.get_ident()
+        with self._mutex:
+            final = self._finished.get(thread_key)
+            if final:
+                self._join(self._vc(tid), final)
+
+    # ---------------------------------------------------------- accesses
+    def _record_race(
+        self,
+        label: str,
+        kind: str,
+        prior: tuple[int, int, str, str],
+        stack_now: str,
+    ) -> None:
+        record = {
+            "var": label,
+            "access": kind,
+            "thread": threading.current_thread().name,
+            "stack_now": stack_now,
+            "prior_thread": prior[2],
+            "prior_stack": prior[3],
+        }
+        self.races.append(record)
+        if self.raise_on_race:
+            raise DataRaceError(
+                f"data race on {label!r}: unsynchronized {kind} in thread "
+                f"{record['thread']!r} conflicts with access in thread "
+                f"{prior[2]!r}\n\n"
+                f"current access:\n{stack_now.rstrip()}\n\n"
+                f"prior access:\n{prior[3].rstrip()}"
+            )
+
+    def write(self, key: object, label: str) -> None:
+        tid = threading.get_ident()
+        name = threading.current_thread().name
+        stack = _capture_stack(skip=3)
+        with self._mutex:
+            vc = self._vc(tid)
+            state = self._vars.setdefault(key, _VarState())
+            self._var_labels.setdefault(key, label)
+            prev = state.write
+            if prev is not None and prev[0] != tid and vc.get(prev[0], 0) < prev[1]:
+                self._record_race(label, "write", prev, stack)
+            for rtid, (clock, rname, rstack) in list(state.reads.items()):
+                if rtid != tid and vc.get(rtid, 0) < clock:
+                    self._record_race(
+                        label, "write", (rtid, clock, rname, rstack), stack
+                    )
+            state.write = (tid, vc.get(tid, 0), name, stack)
+            state.reads.clear()
+
+    def read(self, key: object, label: str) -> None:
+        tid = threading.get_ident()
+        name = threading.current_thread().name
+        stack = _capture_stack(skip=3)
+        with self._mutex:
+            vc = self._vc(tid)
+            state = self._vars.setdefault(key, _VarState())
+            self._var_labels.setdefault(key, label)
+            prev = state.write
+            if prev is not None and prev[0] != tid and vc.get(prev[0], 0) < prev[1]:
+                self._record_race(label, "read", prev, stack)
+            state.reads[tid] = (vc.get(tid, 0), name, stack)
+
+    # ------------------------------------------------------------ guards
+    def record_guard_violation(self, method: str, lock_name: str) -> None:
+        record = {
+            "method": method,
+            "lock": lock_name,
+            "thread": threading.current_thread().name,
+            "stack": _capture_stack(skip=3),
+        }
+        self.guard_violations.append(record)
+        raise GuardViolation(
+            f"{method} requires {lock_name} but the calling thread "
+            f"{record['thread']!r} does not own it\n\n{record['stack'].rstrip()}"
+        )
+
+
+_DETECTOR = RaceDetector()
+
+
+def global_detector() -> RaceDetector:
+    """The process-wide detector every hook reports into."""
+    return _DETECTOR
+
+
+# ----------------------------------------------------- instrumentation
+class SharedState:
+    """Handle marking one shared variable for the race detector."""
+
+    __slots__ = ("label",)
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+
+    def read(self) -> None:
+        _DETECTOR.read(id(self), self.label)
+
+    def write(self) -> None:
+        _DETECTOR.write(id(self), self.label)
+
+
+class _NullState:
+    """Disabled shared-state handle: both hooks are no-ops."""
+
+    __slots__ = ()
+
+    def read(self) -> None:
+        pass
+
+    def write(self) -> None:
+        pass
+
+
+NULL_STATE = _NullState()
+
+
+def shared_state(label: str) -> "SharedState | _NullState":
+    """A shared-state marker; inert unless the sanitizer is enabled.
+
+    Like ``make_lock``, the environment is consulted at *creation*
+    time, so objects built before the sanitizer is enabled stay
+    uninstrumented and cost nothing.
+    """
+    if race_sanitizer_enabled():
+        install()
+        return SharedState(label)
+    return NULL_STATE
+
+
+def guarded_by(lock_attr: str) -> Callable:
+    """Declare that a method must run with ``self.<lock_attr>`` held.
+
+    Checked only under the race sanitizer (the decorator consults the
+    environment at decoration time and otherwise returns the function
+    unchanged, so production code pays nothing).  The check relies on
+    the instrumented locks' ownership tracking; a raw primitive (mixed
+    configuration) is skipped rather than guessed at.
+    """
+
+    def decorator(func):
+        if not race_sanitizer_enabled():
+            return func
+        import functools
+
+        @functools.wraps(func)
+        def wrapper(self, *args, **kwargs):
+            lock = getattr(self, lock_attr, None)
+            owned = getattr(lock, "_is_owned", None)
+            if owned is not None and not owned():
+                _DETECTOR.record_guard_violation(
+                    f"{type(self).__name__}.{func.__name__}",
+                    f"self.{lock_attr}",
+                )
+            return func(self, *args, **kwargs)
+
+        return wrapper
+
+    return decorator
+
+
+# ------------------------------------------------------------ patching
+_patch_lock = threading.Lock()
+_installed = False
+_orig_thread_start = None
+_orig_thread_join = None
+_orig_queue_put = None
+_orig_queue_get = None
+
+
+def install() -> None:
+    """Patch ``threading.Thread`` start/join and ``queue.Queue``
+    put/get with happens-before hooks.  Idempotent; called lazily by
+    the first enabled :func:`shared_state` / lock factory."""
+    global _installed, _orig_thread_start, _orig_thread_join
+    global _orig_queue_put, _orig_queue_get
+    with _patch_lock:
+        if _installed:
+            return
+        _orig_thread_start = threading.Thread.start
+        _orig_thread_join = threading.Thread.join
+        _orig_queue_put = _queue_module.Queue.put
+        _orig_queue_get = _queue_module.Queue.get
+
+        def start(self):  # noqa: ANN001 - stdlib signature
+            snapshot = _DETECTOR.fork()
+            original_run = self.run
+
+            def run_with_clock():
+                _DETECTOR.begin_thread(snapshot)
+                try:
+                    original_run()
+                finally:
+                    _DETECTOR.finish_thread(id(self))
+
+            self.run = run_with_clock
+            return _orig_thread_start(self)
+
+        def join(self, timeout=None):
+            _orig_thread_join(self, timeout)
+            if not self.is_alive():
+                _DETECTOR.join_thread(id(self))
+
+        def put(self, item, block=True, timeout=None):
+            _DETECTOR.release(("queue", id(self)))
+            return _orig_queue_put(self, item, block, timeout)
+
+        def get(self, block=True, timeout=None):
+            item = _orig_queue_get(self, block, timeout)
+            _DETECTOR.acquire(("queue", id(self)))
+            return item
+
+        threading.Thread.start = start
+        threading.Thread.join = join
+        _queue_module.Queue.put = put
+        _queue_module.Queue.get = get
+        _installed = True
+
+
+def uninstall() -> None:
+    """Restore the original stdlib methods (test isolation)."""
+    global _installed
+    with _patch_lock:
+        if not _installed:
+            return
+        threading.Thread.start = _orig_thread_start
+        threading.Thread.join = _orig_thread_join
+        _queue_module.Queue.put = _orig_queue_put
+        _queue_module.Queue.get = _orig_queue_get
+        _installed = False

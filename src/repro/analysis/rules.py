@@ -15,6 +15,10 @@ Catalogue (details + examples in docs/ANALYSIS.md):
 * RA105 — worker-loop ``except`` that swallows the exception
 * RA106 — blocking ``queue.get()`` under a stop-flag loop (shutdown hang)
 * RA107 — mutable default argument
+
+The RA2xx durability rules live in :mod:`repro.analysis.durability`
+and the RA11x whole-program lock-graph pass in
+:mod:`repro.analysis.lockgraph`; both register here.
 """
 
 from __future__ import annotations
@@ -26,9 +30,27 @@ from typing import Callable, Iterator, Optional
 
 from .engine import Finding
 
-__all__ = ["Rule", "all_rules", "get_rule", "rule"]
+__all__ = [
+    "Rule",
+    "SEVERITIES",
+    "all_rules",
+    "get_rule",
+    "rule",
+    "severity_for",
+]
 
 _REGISTRY: dict[str, "Rule"] = {}
+
+#: Non-default severities; anything unlisted is an ``error``.  Warnings
+#: are reported and baselined but do not fail the CI gate's exit code.
+SEVERITIES: dict[str, str] = {
+    "RA107": "warning",
+    "RA204": "warning",
+}
+
+
+def severity_for(code: str) -> str:
+    return SEVERITIES.get(code.upper(), "error")
 
 
 @dataclass(frozen=True)
@@ -162,16 +184,14 @@ def _sibling_block(stmt: ast.stmt) -> Optional[list[ast.stmt]]:
 
 
 def _releases_in(nodes: list[ast.stmt], receiver_key: str) -> bool:
-    for node in nodes:
-        for sub in ast.walk(node):
-            if (
-                isinstance(sub, ast.Call)
-                and isinstance(sub.func, ast.Attribute)
-                and sub.func.attr == "release"
-                and _expr_key(sub.func.value) == receiver_key
-            ):
-                return True
-    return False
+    return any(
+        isinstance(sub, ast.Call)
+        and isinstance(sub.func, ast.Attribute)
+        and sub.func.attr == "release"
+        and _expr_key(sub.func.value) == receiver_key
+        for node in nodes
+        for sub in ast.walk(node)
+    )
 
 
 def _in_finally(node: ast.AST) -> bool:
@@ -693,3 +713,8 @@ def _ra107_mutable_default(tree: ast.AST, source: str, path: str) -> list[Findin
                     )
                 )
     return findings
+
+
+# The RA2xx family registers itself via the ``rule`` decorator above;
+# imported last so the decorator and helpers it needs already exist.
+from . import durability  # noqa: E402,F401

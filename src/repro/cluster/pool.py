@@ -24,6 +24,7 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Optional
 
 from ..analysis.locksan import make_lock
+from ..analysis.racesan import shared_state
 from ..obs import MetricsRegistry
 
 __all__ = ["SharedComputePool"]
@@ -51,6 +52,7 @@ class SharedComputePool:
             max_workers=workers, thread_name_prefix=thread_name_prefix
         )
         self._lock = make_lock("cluster.pool")
+        self._state = shared_state("cluster.pool.active")
         self._active = 0
         self._closed = False
         self.metrics.gauge("cluster.pool.workers").set(workers)
@@ -69,6 +71,7 @@ class SharedComputePool:
                 started - submitted
             )
             with self._lock:
+                self._state.write()
                 self._active += 1
                 gauge = self.metrics.gauge("cluster.pool.active")
                 gauge.set(self._active)
@@ -79,6 +82,7 @@ class SharedComputePool:
                 return fn(*args, **kwargs)
             finally:
                 with self._lock:
+                    self._state.write()
                     self._active -= 1
                     self.metrics.gauge("cluster.pool.active").set(self._active)
                 self.metrics.histogram("cluster.pool.exec_seconds").record(
@@ -92,6 +96,7 @@ class SharedComputePool:
     def active(self) -> int:
         """Tasks currently executing (not queued)."""
         with self._lock:
+            self._state.read()
             return self._active
 
     def shutdown(self, wait: bool = True) -> None:

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
 from ..analysis.locksan import make_lock, make_rlock
+from ..analysis.racesan import shared_state
 from ..core.procedures import ProcedureSpec, compact_tables
 from ..devices.faults import TransientIOError, find_faulty
 from ..devices.vfs import MeteredStorage, Storage, StorageError
@@ -154,6 +155,9 @@ class DB:
         # The mutex also guards the version set and manifest.
         self._lock = make_rlock("db.mutex")
         self._file_number_lock = make_lock("db.file_number")
+        # Race-sanitizer marker for the version set + manifest state the
+        # mutex guards; inert (NULL_STATE) outside REPRO_RACE_SANITIZER.
+        self._version_state = shared_state("db.version")
         self._cache = LRUCache(
             self.options.block_cache_entries, metrics=self.obs.metrics
         )
@@ -595,6 +599,7 @@ class DB:
         with self._lock:
             self._check_open()
             self._flush_memtable()
+            self._version_state.read()
             last_seq = self._sequence
             files = [
                 (level, meta, self.storage.open(meta.name))
@@ -609,6 +614,7 @@ class DB:
         # writes.  Edits are rare (per flush/compaction), so the fsync
         # is cheap relative to the work that produced them.
         self._crash_point("manifest.append")
+        self._version_state.write()
         self._manifest.append(edit, sync=True)
         edit.apply(self.version)
         # Tree-shape gauges for live scrapes: edits are per
@@ -672,10 +678,10 @@ class DB:
         if task.output_level >= self.options.num_levels - 1:
             return True
         lo, hi = task.key_range_user()
-        for level in range(task.output_level + 1, self.options.num_levels):
-            if self.version.overlapping_files(level, lo, hi):
-                return False
-        return True
+        return not any(
+            self.version.overlapping_files(level, lo, hi)
+            for level in range(task.output_level + 1, self.options.num_levels)
+        )
 
     def _run_compaction(self, task: CompactionTask, unlock: bool = False) -> None:
         """Execute one compaction task.  Caller holds the DB lock.

@@ -207,7 +207,7 @@ class MemStorage(Storage):
 # ------------------------------------------------------------------ os
 class _OSWritable(WritableFile):
     def __init__(self, path: str) -> None:
-        self._f = open(path, "wb")
+        self._f = open(path, "wb")  # noqa: SIM115 - closed in close()
         self._offset = 0
 
     def append(self, data: bytes) -> None:

@@ -38,6 +38,9 @@ import threading
 import time
 from typing import Callable, Optional, Union
 
+from ..analysis.locksan import make_lock
+from ..analysis.racesan import shared_state
+
 __all__ = ["EventLog", "NULL_EVENTS"]
 
 
@@ -59,7 +62,7 @@ class EventLog:
         self._file = None
         self._sink: Optional[Callable[[dict], None]] = None
         if isinstance(sink, str):
-            self._file = open(sink, "a")
+            self._file = open(sink, "a")  # noqa: SIM115 - closed in close()
             self._sink = self._write_line
         elif callable(sink):
             self._sink = sink
@@ -68,7 +71,8 @@ class EventLog:
             self._sink = self._write_line
         self.slow_op_threshold_s = slow_op_threshold_s
         self._clock = clock
-        self._lock = threading.Lock()
+        self._lock = make_lock("obs.events")
+        self._state = shared_state("obs.events.sink")
         self.emitted = 0
 
     # ``enabled`` is the hot-path guard: instrumented code does
@@ -94,6 +98,7 @@ class EventLog:
         }
         record.update(fields)
         with self._lock:
+            self._state.write()
             self.emitted += 1
             sink(record)
 
@@ -112,6 +117,7 @@ class EventLog:
 
     def close(self) -> None:
         with self._lock:
+            self._state.write()
             if self._file is not None:
                 try:
                     self._file.close()

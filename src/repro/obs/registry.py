@@ -32,6 +32,7 @@ import threading
 from typing import Iterator, Optional
 
 from ..analysis.locksan import make_lock
+from ..analysis.racesan import shared_state
 
 __all__ = [
     "Counter",
@@ -51,7 +52,7 @@ class Counter:
 
     def __init__(self) -> None:
         self.value = 0
-        self._lock = threading.Lock()
+        self._lock = make_lock("obs.counter")
 
     def inc(self, n: int = 1) -> None:
         with self._lock:
@@ -68,7 +69,7 @@ class Gauge:
 
     def __init__(self) -> None:
         self.value = 0.0
-        self._lock = threading.Lock()
+        self._lock = make_lock("obs.gauge")
 
     def set(self, value: float) -> None:
         with self._lock:
@@ -138,7 +139,7 @@ class Histogram:
         self.total = 0.0
         self.vmin = math.inf
         self.vmax = 0.0
-        self._lock = threading.Lock()
+        self._lock = make_lock("obs.histogram")
 
     def _bucket(self, value: float) -> int:
         if value <= self._lo:
@@ -279,13 +280,16 @@ class MetricsRegistry:
     """
 
     def __init__(self) -> None:
-        # Instrumented under the lock sanitizer; the per-metric locks
-        # stay raw — they are leaves, never held across another acquire.
+        # The per-metric locks are leaves (never held across another
+        # acquire) but are still factory-made so the race sanitizer can
+        # use them as happens-before edges.
         self._lock = make_lock("obs.registry")
+        self._state = shared_state("obs.registry.metrics")
         self._metrics: dict[str, object] = {}
 
     def _get_or_create(self, name: str, factory, kind: type):
         with self._lock:
+            self._state.write()
             metric = self._metrics.get(name)
             if metric is None:
                 metric = factory()

@@ -24,6 +24,7 @@ import threading
 import time
 from typing import Callable, Optional
 
+from ..analysis.locksan import make_lock
 from ..db.manifest import ManifestWriter, VersionEdit, set_current
 from ..lsm.version import FileMetaData
 from ..server import protocol as P
@@ -74,7 +75,7 @@ class Follower:
         self._stop = threading.Event()
         self._sock: Optional[socket.socket] = None
         self._thread: Optional[threading.Thread] = None
-        self._lock = threading.Lock()
+        self._lock = make_lock("repl.follower")
         # Observable state for repl-status / stats.
         self.connected = False
         self.mode: Optional[str] = None

@@ -28,6 +28,7 @@ from collections import deque
 from typing import Optional
 
 from ..analysis.locksan import make_lock
+from ..analysis.racesan import shared_state
 from ..lsm.wal import batch_seq_bounds
 from .errors import FencedError
 
@@ -81,6 +82,7 @@ class ReplicationHub:
         self.max_follower_lag = max_follower_lag
         self._lock = make_lock("repl.hub")
         self._cond = threading.Condition(self._lock)
+        self._ring_state = shared_state("repl.hub.ring")
         # Ring of (base_seq, last_seq, record, append_time), oldest
         # first; append_time (monotonic) feeds the lag-seconds gauge.
         self._buffer: deque[tuple[int, int, bytes, float]] = deque()
@@ -102,6 +104,7 @@ class ReplicationHub:
     def _on_record(self, base_seq: int, last_seq: int, record: bytes) -> None:
         # Called under the DB lock; keep it allocation-light.
         with self._cond:
+            self._ring_state.write()
             self._buffer.append(
                 (base_seq, last_seq, record, time.monotonic())
             )
@@ -215,6 +218,7 @@ class ReplicationHub:
         """
         with self._cond:
             while True:
+                self._ring_state.read()
                 if self._shutdown_reason is not None:
                     return "goodbye", self._shutdown_reason
                 if not sub.live:

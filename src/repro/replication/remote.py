@@ -17,6 +17,7 @@ from __future__ import annotations
 import threading
 from typing import Iterator, Optional
 
+from ..analysis.locksan import make_lock
 from ..db.db import DBStats
 from ..lsm.ikey import KIND_VALUE
 from ..obs import Observability
@@ -45,7 +46,7 @@ class RemoteShard:
         self.obs = Observability()
         # SyncClient is not thread-safe; ShardedDB may be driven from
         # several server worker threads, so serialise all calls.
-        self._lock = threading.Lock()
+        self._lock = make_lock("repl.remote")
         self._client = SyncClient(host, port, timeout=timeout)
         major, minor = self._client.hello(ack_level=ack_level)
         if major < require_protocol:

@@ -23,6 +23,7 @@ from __future__ import annotations
 import threading
 from typing import Iterator, Optional, Union
 
+from ..analysis.locksan import make_lock
 from ..server.client import ClientError, ServerBusyError
 from .errors import ReplicationError
 from .remote import RemoteShard
@@ -48,7 +49,7 @@ class ReplicatedShard:
         self.ack_level = -1 if ack_level == "majority" else int(ack_level)
         self.allow_stale = allow_stale
         self._timeout = timeout
-        self._lock = threading.Lock()
+        self._lock = make_lock("repl.replicated")
         self._conns: dict[tuple[str, int], RemoteShard] = {}
         self._primary: Optional[tuple[str, int]] = None
         self._refresh_roles()

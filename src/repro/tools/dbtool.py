@@ -256,7 +256,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     ana = sub.add_parser(
         "analyze",
-        help="run the RA1xx concurrency-invariant static rules "
+        help="run the RA concurrency + durability static rules "
              "(mirrors `python -m repro.analysis`)",
     )
     ana.add_argument(
@@ -264,12 +264,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to analyze (default: .)",
     )
     ana.add_argument(
-        "--format", choices=["text", "json"], default="text",
+        "--format", choices=["text", "json", "sarif"], default="text",
         help="report format (default text)",
     )
     ana.add_argument(
         "--select", metavar="CODES", default=None,
         help="comma-separated rule codes to run (default: all)",
+    )
+    ana.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="suppress findings whose fingerprints are in FILE",
+    )
+    ana.add_argument(
+        "--write-baseline", metavar="FILE", default=None,
+        help="adopt the current findings into FILE and exit 0",
+    )
+    ana.add_argument(
+        "--lock-graph", choices=["dot", "json"], default=None,
+        help="dump the static lock acquisition-order graph instead",
+    )
+    ana.add_argument(
+        "--no-lock-graph", action="store_true",
+        help="skip the interprocedural RA110/RA111 pass",
     )
     return parser
 
@@ -851,6 +867,14 @@ def cmd_analyze(args) -> int:
     argv += ["--format", args.format]
     if args.select:
         argv += ["--select", args.select]
+    if args.baseline:
+        argv += ["--baseline", args.baseline]
+    if args.write_baseline:
+        argv += ["--write-baseline", args.write_baseline]
+    if args.lock_graph:
+        argv += ["--lock-graph", args.lock_graph]
+    if args.no_lock_graph:
+        argv += ["--no-lock-graph"]
     return analysis_main(argv)
 
 

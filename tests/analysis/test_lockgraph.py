@@ -1,0 +1,183 @@
+"""Static lock-graph pass: seeded cycles fire with both witness
+paths, the interprocedural resolution crosses modules, and the real
+tree stays cycle-free (the CI self-clean gate, in miniature)."""
+
+import json
+import textwrap
+
+from repro.analysis.lockgraph import (
+    CYCLE_CODE,
+    SELF_DEADLOCK_CODE,
+    analyze_lock_graph,
+)
+
+CYCLE_SRC = textwrap.dedent(
+    """
+    from repro.analysis.locksan import make_lock
+
+
+    class Pair:
+        def __init__(self):
+            self.a = make_lock("t.a")
+            self.b = make_lock("t.b")
+
+        def forward(self):
+            with self.a:
+                with self.b:
+                    pass
+
+        def backward(self):
+            with self.b:
+                self.helper()
+
+        def helper(self):
+            with self.a:
+                pass
+    """
+)
+
+SELF_SRC = textwrap.dedent(
+    """
+    from repro.analysis.locksan import make_lock
+
+
+    class Selfish:
+        def __init__(self):
+            self.guard = make_lock("t.me")
+
+        def outer(self):
+            with self.guard:
+                self.inner()
+
+        def inner(self):
+            with self.guard:
+                pass
+    """
+)
+
+
+class TestCycleDetection:
+    def test_seeded_cycle_reports_both_witness_paths(self, tmp_path):
+        (tmp_path / "mod.py").write_text(CYCLE_SRC)
+        report = analyze_lock_graph([str(tmp_path)])
+        assert report.cycles == [["t.a", "t.b"]]
+        findings = report.findings()
+        cycle = [f for f in findings if f.code == CYCLE_CODE]
+        assert len(cycle) == 1
+        finding = cycle[0]
+        assert "t.a" in finding.message and "t.b" in finding.message
+        # Both directions of the conflict carry full witness chains.
+        assert "order t.a -> t.b established by:" in finding.detail
+        assert "order t.b -> t.a established by:" in finding.detail
+        # The b->a direction is interprocedural: through helper().
+        assert "helper" in finding.detail
+
+    def test_consistent_order_is_clean(self, tmp_path):
+        src = CYCLE_SRC.replace(
+            'with self.a:\n            pass',
+            'pass',
+        )
+        # Remove the conflicting helper body: no b->a edge remains.
+        (tmp_path / "mod.py").write_text(src)
+        report = analyze_lock_graph([str(tmp_path)])
+        assert report.cycles == []
+
+    def test_cross_module_cycle(self, tmp_path):
+        (tmp_path / "one.py").write_text(
+            textwrap.dedent(
+                """
+                from repro.analysis.locksan import make_lock
+
+                cache_lock = make_lock("x.cache")
+                mutex_lock = make_lock("x.mutex")
+
+
+                def locked_refill():
+                    with cache_lock:
+                        pass
+
+
+                def refill_under_mutex():
+                    with mutex_lock:
+                        locked_refill()
+                """
+            )
+        )
+        (tmp_path / "two.py").write_text(
+            textwrap.dedent(
+                """
+                from one import mutex_lock, cache_lock
+
+
+                def evict_under_cache():
+                    with cache_lock:
+                        with mutex_lock:
+                            pass
+                """
+            )
+        )
+        report = analyze_lock_graph([str(tmp_path)])
+        assert report.cycles == [["x.cache", "x.mutex"]]
+
+    def test_noqa_suppresses_at_anchor_line(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(CYCLE_SRC)
+        finding = analyze_lock_graph([str(tmp_path)]).findings()[0]
+        lines = CYCLE_SRC.splitlines()
+        lines[finding.line - 1] += "  # repro: noqa[RA110]"
+        path.write_text("\n".join(lines) + "\n")
+        assert analyze_lock_graph([str(tmp_path)]).findings() == []
+
+
+class TestSelfDeadlock:
+    def test_nonrecursive_reacquire_through_call_chain(self, tmp_path):
+        (tmp_path / "mod.py").write_text(SELF_SRC)
+        report = analyze_lock_graph([str(tmp_path)])
+        findings = [
+            f
+            for f in report.findings()
+            if f.code == SELF_DEADLOCK_CODE
+        ]
+        assert len(findings) == 1
+        assert "t.me" in findings[0].message
+        # The witness chain walks outer -> inner -> re-acquire.
+        assert "outer" in findings[0].detail
+        assert "inner" in findings[0].detail
+
+    def test_recursive_lock_is_exempt(self, tmp_path):
+        (tmp_path / "mod.py").write_text(
+            SELF_SRC.replace("make_lock", "make_rlock")
+        )
+        report = analyze_lock_graph([str(tmp_path)])
+        assert report.self_deadlocks == []
+
+
+class TestDumps:
+    def test_dot_marks_cycle_edges(self, tmp_path):
+        (tmp_path / "mod.py").write_text(CYCLE_SRC)
+        dot = analyze_lock_graph([str(tmp_path)]).to_dot()
+        assert dot.startswith("digraph lock_order {")
+        assert '"t.a" -> "t.b" [color=red, penwidth=2];' in dot
+        assert '"t.b" -> "t.a" [color=red, penwidth=2];' in dot
+
+    def test_json_round_trips(self, tmp_path):
+        (tmp_path / "mod.py").write_text(CYCLE_SRC)
+        doc = json.loads(analyze_lock_graph([str(tmp_path)]).to_json())
+        assert set(doc["nodes"]) == {"t.a", "t.b"}
+        assert doc["cycles"] == [["t.a", "t.b"]]
+        srcs = {(e["src"], e["dst"]) for e in doc["edges"]}
+        assert srcs == {("t.a", "t.b"), ("t.b", "t.a")}
+        # Every edge carries a witness path with file:line steps.
+        for edge in doc["edges"]:
+            assert edge["witness"], edge
+            assert all("line" in step for step in edge["witness"])
+
+
+class TestRealTree:
+    def test_src_repro_is_cycle_free(self):
+        report = analyze_lock_graph(["src/repro"])
+        assert report.cycles == []
+        assert report.self_deadlocks == []
+        # The pass sees the engine's real discipline, not an empty graph.
+        edge_pairs = {(e.src, e.dst) for e in report.edges}
+        assert ("db.mutex", "db.file_number") in edge_pairs

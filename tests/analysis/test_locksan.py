@@ -191,6 +191,80 @@ class TestInversionDetection:
         assert graph.edges() == [("r.B", "r.A")]
 
 
+class TestSeededSubsystemInversions:
+    """Real subsystem objects, seeded acquisition-order conflicts.
+
+    Each test drives a *public* operation so the subsystem itself
+    establishes its lock order in the global graph, then acquires in
+    the conflicting order and asserts the violation carries both
+    stacks — the conflicting acquisition and the establishing one."""
+
+    @pytest.fixture()
+    def sanitized(self, monkeypatch):
+        monkeypatch.setenv(LOCK_SANITIZER_ENV, "1")
+        graph = global_graph()
+        graph.reset()
+        yield graph
+        graph.reset()
+
+    def test_event_log_sink_inversion(self, sanitized):
+        from repro.obs.events import EventLog
+
+        probe = make_lock("test.sink_probe")
+
+        def sink(record):
+            with probe:
+                pass
+
+        log = EventLog(sink)
+        log.emit("op_start")  # establishes obs.events -> test.sink_probe
+        assert ("obs.events", "test.sink_probe") in sanitized.edges()
+        with pytest.raises(LockOrderViolation) as excinfo:
+            with probe:
+                log.emit("op_end")
+        message = str(excinfo.value)
+        assert "obs.events" in message and "test.sink_probe" in message
+        assert "conflicting acquisition (now)" in message
+        assert "first established here" in message
+        assert "emit" in message  # witness walks the real emit() path
+
+    def test_compute_pool_gauge_inversion(self, sanitized):
+        from repro.cluster.pool import SharedComputePool
+
+        with SharedComputePool(1) as pool:
+            # A real task: the worker updates its gauges under the
+            # pool lock, establishing cluster.pool -> obs.gauge.
+            pool.submit(lambda: None).result(timeout=5)
+            assert ("cluster.pool", "obs.gauge") in sanitized.edges()
+            gauge = pool.metrics.gauge("cluster.pool.active")
+            with pytest.raises(LockOrderViolation) as excinfo:
+                with gauge._lock:
+                    with pool._lock:
+                        pass
+        message = str(excinfo.value)
+        assert "cluster.pool" in message and "obs.gauge" in message
+        assert len(sanitized.violations) == 1
+
+    def test_replication_hub_db_inversion(self, sanitized):
+        from repro.db.db import DB
+        from repro.devices.vfs import MemStorage
+        from repro.lsm.options import Options
+        from repro.replication.hub import ReplicationHub
+
+        with DB(MemStorage(), Options()) as db:
+            hub = ReplicationHub(db)
+            # The WAL listener runs under the DB lock and takes the
+            # hub lock: a real put() establishes db.mutex -> repl.hub.
+            db.put(b"key", b"value")
+            assert ("db.mutex", "repl.hub") in sanitized.edges()
+            with pytest.raises(LockOrderViolation) as excinfo:
+                with hub._cond:
+                    db.put(b"key-2", b"value-2")
+        message = str(excinfo.value)
+        assert "repl.hub" in message and "db.mutex" in message
+        assert "_on_record" in message  # the establishing stack
+
+
 class TestEngineUnderSanitizer:
     """The real DB + PCP backends, exercised with instrumented locks."""
 

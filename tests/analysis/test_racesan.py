@@ -1,0 +1,269 @@
+"""Happens-before race sanitizer: seeded races fire with both stacks,
+every synchronization edge (lock, queue, fork/join) suppresses them,
+and the instrumentation is inert when the environment flag is off."""
+
+import queue
+import threading
+
+import pytest
+
+from repro.analysis import racesan
+from repro.analysis.locksan import make_lock
+from repro.analysis.racesan import (
+    NULL_STATE,
+    DataRaceError,
+    GuardViolation,
+    RaceDetector,
+    global_detector,
+    guarded_by,
+    race_sanitizer_enabled,
+    shared_state,
+)
+
+
+@pytest.fixture
+def detector():
+    """A private detector, decoupled from the process-wide patches."""
+    det = RaceDetector()
+    det.raise_on_race = False
+    return det
+
+
+def _run_threads(*targets):
+    threads = [
+        threading.Thread(target=t, name=f"worker-{i}")
+        for i, t in enumerate(targets)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+
+class TestDetectorEdges:
+    """Vector-clock semantics on a standalone RaceDetector."""
+
+    def test_unordered_writes_race(self, detector):
+        # Overlap both workers so the OS cannot recycle the first
+        # ident for the second (the standalone detector has no
+        # begin/finish hooks to epoch-fence a reused ident).
+        barrier = threading.Barrier(2)
+
+        def racy_write():
+            barrier.wait()
+            detector.write("var", "test.var")
+
+        _run_threads(racy_write, racy_write)
+        assert len(detector.races) == 1
+        record = detector.races[0]
+        assert record["var"] == "test.var"
+        assert record["thread"] != record["prior_thread"]
+
+    def test_write_read_conflict_races(self, detector):
+        detector.write("var", "test.var")
+        _run_threads(lambda: detector.read("var", "test.var"))
+        assert len(detector.races) == 1
+        assert detector.races[0]["access"] == "read"
+
+    def test_read_read_is_not_a_conflict(self, detector):
+        _run_threads(
+            lambda: detector.read("var", "test.var"),
+            lambda: detector.read("var", "test.var"),
+        )
+        assert detector.races == []
+
+    def test_lock_channel_orders_accesses(self, detector):
+        key = ("lock", 1)
+
+        def locked_write():
+            detector.acquire(key)
+            detector.write("var", "test.var")
+            detector.release(key)
+
+        locked_write()
+        _run_threads(locked_write)
+        assert detector.races == []
+
+    def test_queue_channel_orders_handoff(self, detector):
+        key = ("queue", 1)
+
+        def producer():
+            detector.write("var", "test.var")
+            detector.release(key)  # put
+
+        def consumer():
+            detector.acquire(key)  # get
+            detector.write("var", "test.var")
+
+        t = threading.Thread(target=producer, name="hb-producer")
+        t.start()
+        t.join()
+        _run_threads(consumer)
+        assert detector.races == []
+
+    def test_fork_orders_parent_before_child(self, detector):
+        detector.write("var", "test.var")
+        snapshot = detector.fork()
+
+        def child():
+            detector.begin_thread(snapshot)
+            detector.write("var", "test.var")
+            detector.finish_thread("child-key")
+
+        _run_threads(child)
+        assert detector.races == []
+
+    def test_join_orders_child_before_parent(self, detector):
+        def child():
+            detector.begin_thread(detector.fork())
+            detector.write("var", "test.var")
+            detector.finish_thread("child-key")
+
+        _run_threads(child)
+        detector.join_thread("child-key")
+        detector.write("var", "test.var")
+        assert detector.races == []
+
+    def test_missing_join_edge_is_a_race(self, detector):
+        _run_threads(lambda: detector.write("var", "test.var"))
+        # No join_thread(): the child's write is unordered with ours.
+        detector.write("var", "test.var")
+        assert len(detector.races) == 1
+
+    def test_race_error_carries_both_stacks(self, detector):
+        detector.raise_on_race = True
+        _run_threads(lambda: detector.write("var", "db.version"))
+        with pytest.raises(DataRaceError) as exc:
+            detector.write("var", "db.version")
+        text = str(exc.value)
+        assert "data race on 'db.version'" in text
+        assert "current access:" in text
+        assert "prior access:" in text
+
+    def test_reset_clears_history(self, detector):
+        barrier = threading.Barrier(2)
+
+        def racy_write():
+            barrier.wait()
+            detector.write("var", "test.var")
+
+        _run_threads(racy_write, racy_write)
+        assert detector.races
+        detector.reset()
+        assert detector.races == []
+        detector.write("var", "test.var")
+        assert detector.races == []
+
+
+@pytest.fixture
+def sanitizer(monkeypatch):
+    """Process-wide sanitizer on, with full teardown."""
+    monkeypatch.setenv(racesan.RACE_SANITIZER_ENV, "1")
+    det = global_detector()
+    det.reset()
+    racesan.install()
+    yield det
+    racesan.uninstall()
+    det.raise_on_race = True
+    det.reset()
+
+
+class TestInstrumentation:
+    """The patched stdlib + shared_state()/guarded_by() surface."""
+
+    def test_shared_state_inert_when_disabled(self, monkeypatch):
+        monkeypatch.delenv(racesan.RACE_SANITIZER_ENV, raising=False)
+        assert not race_sanitizer_enabled()
+        state = shared_state("test.var")
+        assert state is NULL_STATE
+        state.write()  # no-ops, records nothing
+        state.read()
+
+    def test_seeded_race_is_recorded_with_both_stacks(self, sanitizer):
+        sanitizer.raise_on_race = False
+        state = shared_state("test.seeded")
+        barrier = threading.Barrier(2)
+
+        def racy_write():
+            barrier.wait()  # Barrier is uninstrumented: no HB edge.
+            state.write()
+
+        _run_threads(racy_write, racy_write)
+        assert len(sanitizer.races) == 1
+        record = sanitizer.races[0]
+        assert record["var"] == "test.seeded"
+        assert "racy_write" in record["stack_now"]
+        assert "racy_write" in record["prior_stack"]
+
+    def test_thread_start_join_order_accesses(self, sanitizer):
+        state = shared_state("test.joined")
+        state.write()
+        t = threading.Thread(target=state.write, name="hb-writer")
+        t.start()
+        t.join()
+        state.write()  # ordered: start before, join after
+        assert sanitizer.races == []
+
+    def test_lock_factory_synchronizes(self, sanitizer):
+        lock = make_lock("test.racesan")
+        state = shared_state("test.locked")
+
+        def locked_write():
+            with lock:
+                state.write()
+
+        _run_threads(*[locked_write] * 4)
+        assert sanitizer.races == []
+
+    def test_queue_handoff_synchronizes(self, sanitizer):
+        state = shared_state("test.handoff")
+        channel = queue.Queue()
+
+        def producer():
+            state.write()
+            channel.put("token")
+
+        def consumer():
+            channel.get()
+            state.write()
+
+        producer_t = threading.Thread(target=producer, name="hb-queue-producer")
+        producer_t.start()
+        producer_t.join()
+        # A *fresh* thread with no join-edge to the producer: only the
+        # queue handoff can order its write after the producer's.
+        _run_threads(consumer)
+        assert sanitizer.races == []
+
+    def test_guarded_by_fires_without_lock(self, sanitizer):
+        class Guarded:
+            def __init__(self):
+                self._lock = make_lock("test.guard")
+
+            @guarded_by("_lock")
+            def mutate(self):
+                return "mutated"
+
+        obj = Guarded()
+        with pytest.raises(GuardViolation) as exc:
+            obj.mutate()
+        assert "Guarded.mutate" in str(exc.value)
+        assert "self._lock" in str(exc.value)
+        with obj._lock:
+            assert obj.mutate() == "mutated"
+
+    def test_guarded_by_is_identity_when_disabled(self, monkeypatch):
+        monkeypatch.delenv(racesan.RACE_SANITIZER_ENV, raising=False)
+
+        def method(self):
+            pass
+
+        assert guarded_by("_lock")(method) is method
+
+    def test_install_uninstall_round_trip(self, sanitizer):
+        original_put = queue.Queue.put
+        racesan.install()  # idempotent
+        assert queue.Queue.put is original_put
+        racesan.uninstall()
+        racesan.uninstall()  # idempotent
+        racesan.install()  # fixture teardown expects installed state

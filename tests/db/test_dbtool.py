@@ -41,9 +41,11 @@ def test_verify_detects_corruption(db_dir, capsys):
         f for f in sorted(os.listdir(db_dir)) if f.endswith(".sst")
     )
     path = os.path.join(db_dir, victim)
-    data = bytearray(open(path, "rb").read())
+    with open(path, "rb") as f:
+        data = bytearray(f.read())
     data[12] ^= 0xFF
-    open(path, "wb").write(bytes(data))
+    with open(path, "wb") as f:
+        f.write(bytes(data))
     assert main(["verify", db_dir]) == 1
     assert "CORRUPT" in capsys.readouterr().out
 

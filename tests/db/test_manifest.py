@@ -122,9 +122,9 @@ class TestCurrentAndRecovery:
     def test_recover_replays_edit_sequence(self):
         storage = MemStorage()
         writer = ManifestWriter(storage, "MANIFEST-000001")
-        writer.append(VersionEdit(next_file_number=5, last_sequence=10)
+        writer.append(VersionEdit(next_file_number=5, last_sequence=10)  # repro: noqa[RA204]
                       .add_file(0, _meta(2)))
-        writer.append(VersionEdit(log_number=4).add_file(1, _meta(3)))
+        writer.append(VersionEdit(log_number=4).add_file(1, _meta(3)))  # repro: noqa[RA204]
         edit3 = VersionEdit(next_file_number=9)
         edit3.delete_file(0, 2)
         writer.append(edit3, sync=True)

@@ -53,7 +53,8 @@ class TestVerify:
         _populate(storage)
         with storage.create("000042.sst.quarantined") as f:
             f.append(b"damaged table set aside")
-        with storage.create("CURRENT.tmp") as f:
+        # Deliberate orphan: verify treats the leftover as salvage.
+        with storage.create("CURRENT.tmp") as f:  # repro: noqa[RA203]
             f.append(b"MANIFEST-000001\n")
         report = verify_db(storage, small_options())
         assert report.ok
