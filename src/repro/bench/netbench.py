@@ -78,6 +78,11 @@ class NetBenchResult:
     scrape_samples: int = 0
     #: spans the traced clients recorded (0 when tracing was off)
     client_spans: int = 0
+    #: wire-level reconnect retries the clients performed (only > 0
+    #: with a retry policy, e.g. under a lossy chaos proxy)
+    client_retries: int = 0
+    #: chaos-proxy injections by kind ({} when no net fault plan ran)
+    net_faults: dict = field(default_factory=dict)
 
     def percentile_ms(self, p: float) -> float:
         return self.latency.percentile(p) * 1e3
@@ -101,6 +106,12 @@ class NetBenchResult:
             f"p99={self.percentile_ms(99):.3f}ms "
             f"max={self.latency.max_s * 1e3:.1f}ms | "
             f"stall_retries={self.stall_retries}"
+            + (
+                f" | client_retries={self.client_retries} "
+                f"net_faults={self.net_faults}"
+                if self.net_faults
+                else ""
+            )
         )
 
 
@@ -113,11 +124,12 @@ def _drive(
     lock: threading.Lock,
     errors: list,
     tracer=None,
+    retry_policy=None,
 ) -> None:
     """One closed-loop connection: apply a workload shard, timing ops."""
     local_counts: dict[str, int] = {}
     local_lat: list[float] = []
-    client = SyncClient(host, port, tracer=tracer)
+    client = SyncClient(host, port, tracer=tracer, retry_policy=retry_policy)
     try:
         if tracer is not None:
             client.hello()  # negotiate 2.1 so trace ids go on the wire
@@ -144,6 +156,9 @@ def _drive(
         for kind, n in local_counts.items():
             counts[kind] = counts.get(kind, 0) + n
         counts["_stall_retries"] = counts.get("_stall_retries", 0) + stalls
+        counts["_client_retries"] = (
+            counts.get("_client_retries", 0) + client.retries
+        )
 
 
 def run_net_benchmark(
@@ -164,6 +179,8 @@ def run_net_benchmark(
     obs=None,
     trace_clients: bool = False,
     scrape_interval_s: Optional[float] = None,
+    net_fault_plan=None,
+    retry_policy=None,
 ) -> NetBenchResult:
     """Load a keyspace, then run ``n_ops`` of YCSB mix ``mix`` through
     ``connections`` concurrent closed-loop socket clients.
@@ -191,6 +208,16 @@ def run_net_benchmark(
     ``scrape_interval_s`` runs a live Prometheus scrape loop against
     the METRICS opcode for the whole run phase — telemetry measured
     under load, not at rest.
+
+    ``net_fault_plan`` (a :class:`repro.devices.NetFaultPlan`) routes
+    the run-phase client connections through a
+    :class:`repro.devices.FaultyProxy` injecting the plan's faults;
+    pair it with ``retry_policy`` (a
+    :class:`repro.server.RetryPolicy`, applied to every run-phase
+    client) so the load survives — the result then reports
+    ``client_retries`` and the proxy's injection counts.  The load
+    phase and followers bypass the proxy: the faults price the
+    *serving* path.
     """
     workload = YCSBWorkload(
         mix, n_ops, record_count, value_bytes=value_bytes, seed=seed
@@ -265,6 +292,15 @@ def run_net_benchmark(
         deadline = time.monotonic() + 10.0
         while hub.n_followers < replicas and time.monotonic() < deadline:
             time.sleep(0.01)
+    proxy = None
+    client_host, client_port = handle.host, handle.port
+    if net_fault_plan is not None:
+        from ..devices import FaultyProxy
+
+        proxy = FaultyProxy(
+            handle.host, handle.port, plan=net_fault_plan
+        ).start()
+        client_host, client_port = proxy.endpoint
     histogram = LatencyHistogram()
     counts: dict[str, int] = {}
     lock = threading.Lock()
@@ -321,8 +357,8 @@ def run_net_benchmark(
         threads = [
             threading.Thread(
                 target=_drive,
-                args=(shard, handle.host, handle.port, histogram, counts,
-                      lock, errors, client_tracer),
+                args=(shard, client_host, client_port, histogram, counts,
+                      lock, errors, client_tracer, retry_policy),
                 name=f"netbench-{i}",
             )
             for i, shard in enumerate(workload.split(connections))
@@ -345,6 +381,8 @@ def run_net_benchmark(
         finally:
             probe.close()
     finally:
+        if proxy is not None:
+            proxy.close()
         handle.stop()
         for server in follower_servers:
             server.stop()
@@ -354,6 +392,7 @@ def run_net_benchmark(
     if errors:
         raise RuntimeError(f"{len(errors)} connection(s) failed: {errors[0]}")
     stall_retries = counts.pop("_stall_retries", 0)
+    client_retries = counts.pop("_client_retries", 0)
     done = sum(counts.values())
     return NetBenchResult(
         mix=mix,
@@ -371,6 +410,8 @@ def run_net_benchmark(
         scrapes=scrape_counts["scrapes"],
         scrape_samples=scrape_counts["samples"],
         client_spans=len(client_tracer) if client_tracer is not None else 0,
+        client_retries=client_retries,
+        net_faults=dict(proxy.injected) if proxy is not None else {},
     )
 
 
@@ -651,6 +692,13 @@ def main(argv: Optional[list[str]] = None) -> int:
              "followers at ack 0/1/majority) instead of a single run",
     )
     parser.add_argument(
+        "--net-fault-plan", metavar="JSON", default=None,
+        help="route run-phase clients through a lossy chaos proxy "
+             "driven by this NetFaultPlan JSON (clients get a retry "
+             "policy so the load survives), e.g. "
+             '\'{"seed": 7, "cut_rate": 0.02, "latency_ms": 2}\'',
+    )
+    parser.add_argument(
         "--obs-overhead", action="store_true",
         help="run the telemetry-overhead sweep (off / live metrics "
              "scraping / scraping+tracing+events) instead of a "
@@ -744,6 +792,17 @@ def main(argv: Optional[list[str]] = None) -> int:
             print(f"wrote {args.json_out}")
         return 0
 
+    net_fault_plan = None
+    retry_policy = None
+    if args.net_fault_plan is not None:
+        from ..devices import NetFaultPlan
+        from ..server import RetryPolicy
+
+        net_fault_plan = NetFaultPlan.from_json(args.net_fault_plan)
+        retry_policy = RetryPolicy(
+            max_attempts=6, base_delay_s=0.01, seed=args.seed
+        )
+
     spec = getattr(ProcedureSpec, args.procedure)()
     result = run_net_benchmark(
         mix=args.mix,
@@ -757,6 +816,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         pool_workers=args.pool_workers,
         replicas=args.replicas,
         repl_acks=args.repl_acks,
+        net_fault_plan=net_fault_plan,
+        retry_policy=retry_policy,
     )
     print(result.summary())
     db_stats = result.server_stats.get("db", {})

@@ -11,6 +11,7 @@ from .faults import (
     fire_crash_point,
 )
 from .hdd import HDD, HDDSpec
+from .netfaults import FaultyProxy, NetFaultPlan
 from .presets import DEVICE_PRESETS, PAPER_HDD, PAPER_SSD, make_device
 from .raid import RAID0, DiskArray
 from .ssd import SSD, SSDSpec
@@ -33,7 +34,9 @@ __all__ = [
     "DeviceStats",
     "DiskArray",
     "FaultPlan",
+    "FaultyProxy",
     "FaultyStorage",
+    "NetFaultPlan",
     "HDD",
     "HDDSpec",
     "MemStorage",

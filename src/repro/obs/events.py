@@ -19,6 +19,13 @@ event                       emitted by
 ``follower.resubscribe``    follower lost the stream and is retrying
 ``follower.snapshot``       follower installed a full SST snapshot
 ``slow_op``                 server op exceeded the slow-op threshold
+``failover.detected``       coordinator declared the primary dead
+``failover.elected``        coordinator picked the most-caught-up
+                            follower to promote
+``failover.promoted``       a node became primary (coordinator side and
+                            server side on ``PROMOTE``)
+``net.fault_injected``      chaos proxy injected a network fault
+                            (refuse/cut/blackhole/latency)
 ==========================  =============================================
 
 Every record carries ``ts`` (epoch seconds), ``event``, and ``thread``;

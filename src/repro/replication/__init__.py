@@ -18,6 +18,10 @@ fault-tolerant cluster, the ROADMAP's top open item.  Three layers:
                 to the primary at a configurable ack level, reads
                 primary-first with stale follower fallback, epoch-led
                 failover after ``dbtool promote``
+``failover``    :class:`FailoverCoordinator` — automatic failover:
+                heartbeat probing, deterministic most-caught-up
+                election (:func:`elect_candidate`), wire-level PROMOTE
+                through the epoch-fencing path
 
 The durable unit shipped between replicas is the engine's own encoded
 :class:`repro.lsm.wal.WriteBatch` record — the same bytes the WAL
@@ -31,6 +35,7 @@ from .errors import (
     ProtocolTooOldError,
     ReplicationError,
 )
+from .failover import FailoverCoordinator, elect_candidate
 from .follower import Follower
 from .hub import ReplicationHub, Subscriber
 from .remote import RemoteShard
@@ -38,6 +43,7 @@ from .replicated import ReplicatedShard
 
 __all__ = [
     "CatchupLostError",
+    "FailoverCoordinator",
     "FencedError",
     "Follower",
     "ProtocolTooOldError",
@@ -46,4 +52,5 @@ __all__ = [
     "ReplicationError",
     "ReplicationHub",
     "Subscriber",
+    "elect_candidate",
 ]

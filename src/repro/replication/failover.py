@@ -1,0 +1,282 @@
+"""Automatic failover: health probing, election, wire-level promotion.
+
+PR 6 made failover *possible* (``dbtool promote`` + epoch fencing);
+this module makes it *automatic*.  A :class:`FailoverCoordinator`
+probes every endpoint of a replica set on a heartbeat interval.  When
+the primary misses ``failure_threshold`` consecutive probes and a
+promotable follower is reachable, it:
+
+1. emits ``failover.detected`` (the primary is declared dead),
+2. elects the most-caught-up follower via :func:`elect_candidate`
+   (``failover.elected``),
+3. promotes it over the wire with ``PROMOTE min_epoch =
+   highest-epoch-ever-seen + 1`` (``failover.promoted``) — the epoch
+   bump rides the existing fencing path, so the old primary comes back
+   fenced, not split-brained,
+4. invokes ``on_failover`` so an embedding client (e.g.
+   :class:`~repro.replication.replicated.ReplicatedShard`) can repoint
+   immediately instead of waiting for its next role refresh.
+
+Election is deterministic and pure (unit-testable without sockets):
+highest fencing epoch wins, then highest applied sequence (most
+caught-up loses the least data — and with durable-before-ack shipping,
+a follower at the acked sequence loses none), then lowest endpoint
+index as the final tie-break.
+
+The coordinator is deliberately client-side and lease-free: it acts
+only on *its own* view of liveness, which is the right authority for
+the clients it serves, and promotion is idempotent under ``min_epoch``
+so two racing coordinators converge on the same fenced outcome (the
+second promote of the same epoch is a no-op; a later one just bumps
+the epoch again — epochs are a monotonic counter, gaps are harmless).
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from typing import Callable, Optional
+
+from ..analysis.locksan import make_lock
+from ..obs import Observability
+from ..server.client import ClientError, ProtocolError, SyncClient
+
+__all__ = ["FailoverCoordinator", "elect_candidate"]
+
+logger = logging.getLogger("repro.replication")
+
+_PROBE_ERRORS = (OSError, ClientError, ProtocolError)
+
+
+def elect_candidate(statuses: list[dict]) -> Optional[dict]:
+    """Pick the follower to promote from a round of probe statuses.
+
+    ``statuses`` is one dict per endpoint (list order = configured
+    endpoint order) with at least ``reachable``, ``role``, ``epoch``,
+    ``applied_seq``.  Ordering: highest epoch, then highest applied
+    sequence, then earliest endpoint position (strict-greater
+    comparison makes the earlier candidate win every tie).  Returns
+    the winning status dict, or None when no reachable follower
+    exists.
+    """
+    best: Optional[tuple[tuple[int, int], dict]] = None
+    for status in statuses:
+        if not status.get("reachable") or status.get("role") != "follower":
+            continue
+        key = (
+            int(status.get("epoch", 0)),
+            int(status.get("applied_seq", 0)),
+        )
+        if best is None or key > best[0]:
+            best = (key, status)
+    return best[1] if best else None
+
+
+class FailoverCoordinator:
+    """Heartbeat loop that detects a dead primary and promotes.
+
+    ``check_once()`` runs a single probe/elect/promote round (used by
+    ``dbtool failover --once`` and tests); ``start()`` runs it forever
+    on ``heartbeat_interval_s`` in a named daemon thread.
+    """
+
+    def __init__(
+        self,
+        endpoints: list[tuple[str, int]],
+        heartbeat_interval_s: float = 0.5,
+        failure_threshold: int = 3,
+        probe_timeout_s: float = 1.0,
+        obs: Optional[Observability] = None,
+        on_failover: Optional[Callable[[tuple[str, int], int], None]] = None,
+    ) -> None:
+        if not endpoints:
+            raise ValueError("need at least one endpoint")
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.endpoints = list(endpoints)
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.failure_threshold = failure_threshold
+        self.probe_timeout_s = probe_timeout_s
+        self.obs = obs if obs is not None else Observability()
+        self.on_failover = on_failover
+        self._lock = make_lock("repl.failover")
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._misses = 0
+        self._detected = False
+        #: Highest fencing epoch observed anywhere; promotion targets
+        #: this + 1 so the dead primary is outranked even if no live
+        #: node has adopted its epoch yet.
+        self._max_epoch = 0
+        self.last_primary: Optional[tuple[str, int]] = None
+        self.promotions = 0
+
+    # ----------------------------------------------------------- probing
+    def probe(self, endpoint: tuple[str, int]) -> dict:
+        """One endpoint's replication status, never raising."""
+        host, port = endpoint
+        status = {
+            "endpoint": endpoint,
+            "reachable": False,
+            "role": None,
+            "epoch": 0,
+            "applied_seq": 0,
+        }
+        try:
+            client = SyncClient(host, port, timeout=self.probe_timeout_s)
+        except OSError:
+            return status
+        try:
+            repl = client.stats().get("repl") or {}
+            status["reachable"] = True
+            # A server with no replication wiring is a standalone
+            # primary, same default as ReplicatedShard role discovery.
+            status["role"] = repl.get("role", "primary")
+            status["epoch"] = int(repl.get("epoch", 0))
+            status["applied_seq"] = int(
+                repl.get("applied_seq", repl.get("last_sequence", 0))
+            )
+        except _PROBE_ERRORS:
+            pass
+        finally:
+            client.close()
+        return status
+
+    def poll(self) -> list[dict]:
+        return [self.probe(endpoint) for endpoint in self.endpoints]
+
+    # ---------------------------------------------------------- failover
+    def check_once(self) -> Optional[tuple[tuple[str, int], int]]:
+        """One heartbeat round; returns ``(endpoint, new_epoch)`` when
+        it promoted, else None."""
+        statuses = self.poll()
+        metrics, events = self.obs.metrics, self.obs.events
+        with self._lock:
+            for status in statuses:
+                if status["reachable"]:
+                    self._max_epoch = max(self._max_epoch, status["epoch"])
+            primaries = [
+                s
+                for s in statuses
+                if s["reachable"] and s["role"] == "primary"
+            ]
+            if primaries:
+                current = max(primaries, key=lambda s: s["epoch"])
+                self._misses = 0
+                self._detected = False
+                self.last_primary = current["endpoint"]
+                return None
+            self._misses += 1
+            if self._misses < self.failure_threshold:
+                return None
+            if not self._detected:
+                self._detected = True
+                metrics.counter("failover.detected").inc()
+                if events.enabled:
+                    events.emit(
+                        "failover.detected",
+                        misses=self._misses,
+                        last_primary=(
+                            f"{self.last_primary[0]}:{self.last_primary[1]}"
+                            if self.last_primary
+                            else None
+                        ),
+                    )
+                logger.warning(
+                    "primary unreachable for %d probes; electing",
+                    self._misses,
+                )
+            candidate = elect_candidate(statuses)
+            if candidate is None:
+                return None  # nothing promotable yet; keep watching
+            target_epoch = self._max_epoch + 1
+        endpoint = candidate["endpoint"]
+        metrics.counter("failover.elected").inc()
+        if events.enabled:
+            events.emit(
+                "failover.elected",
+                endpoint=f"{endpoint[0]}:{endpoint[1]}",
+                epoch=candidate["epoch"],
+                applied_seq=candidate["applied_seq"],
+            )
+        new_epoch = self.promote(endpoint, min_epoch=target_epoch)
+        with self._lock:
+            self._max_epoch = max(self._max_epoch, new_epoch)
+            self._misses = 0
+            self._detected = False
+            self.last_primary = endpoint
+            self.promotions += 1
+        metrics.counter("failover.promoted").inc()
+        if events.enabled:
+            events.emit(
+                "failover.promoted",
+                endpoint=f"{endpoint[0]}:{endpoint[1]}",
+                epoch=new_epoch,
+            )
+        logger.warning(
+            "promoted %s:%s to primary at epoch %d",
+            endpoint[0], endpoint[1], new_epoch,
+        )
+        if self.on_failover is not None:
+            self.on_failover(endpoint, new_epoch)
+        return (endpoint, new_epoch)
+
+    def promote(self, endpoint: tuple[str, int], min_epoch: int = 0) -> int:
+        """Wire-promote ``endpoint``; returns its new epoch."""
+        client = SyncClient(
+            endpoint[0], endpoint[1], timeout=self.probe_timeout_s
+        )
+        try:
+            return client.promote(min_epoch)
+        finally:
+            client.close()
+
+    # --------------------------------------------------------- lifecycle
+    def start(self) -> "FailoverCoordinator":
+        with self._lock:
+            if self._thread is not None:
+                return self
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="repl-failover", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.heartbeat_interval_s):
+            try:
+                self.check_once()
+            except _PROBE_ERRORS as exc:
+                # e.g. the elected candidate died between probe and
+                # promote; the next round re-elects.
+                logger.warning("failover round failed: %s", exc)
+
+    def stop(self) -> None:
+        self._stop.set()
+        with self._lock:
+            thread = self._thread
+            self._thread = None
+        if thread is not None:
+            thread.join(timeout=5)
+
+    def status(self) -> dict:
+        with self._lock:
+            return {
+                "endpoints": [f"{h}:{p}" for h, p in self.endpoints],
+                "running": self._thread is not None,
+                "misses": self._misses,
+                "max_epoch": self._max_epoch,
+                "last_primary": (
+                    f"{self.last_primary[0]}:{self.last_primary[1]}"
+                    if self.last_primary
+                    else None
+                ),
+                "promotions": self.promotions,
+            }
+
+    def __enter__(self) -> "FailoverCoordinator":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -37,6 +37,11 @@ logger = logging.getLogger("repro.replication")
 #: Socket receive timeout; bounds how fast stop() is noticed.
 _RECV_TIMEOUT_S = 0.5
 
+#: Overall deadline for the hello/subscribe exchanges: a black-holed
+#: primary (socket open, no bytes) must not park the follower in the
+#: handshake forever.
+_HANDSHAKE_DEADLINE_S = 10.0
+
 
 class _PrimaryGoodbye(Exception):
     """The primary announced a clean shutdown (not an error)."""
@@ -59,11 +64,15 @@ class Follower:
         follower_id: str,
         on_db_swap: Optional[Callable[[object], None]] = None,
         retry_interval_s: float = 0.5,
+        max_silence_s: float = 5.0,
     ) -> None:
         """``storage`` is the *raw* storage behind ``db`` — snapshot
         install wipes and repopulates it, then calls ``db_factory()``
         to reopen; ``on_db_swap(new_db)`` lets an embedding server
-        switch its serving handle."""
+        switch its serving handle.  ``max_silence_s`` is the partition
+        detector: against a >= 2.2 primary (which heartbeats an idle
+        stream) a connection silent that long is declared dead and
+        re-dialled instead of blocking forever."""
         self.db = db
         self._storage = storage
         self._db_factory = db_factory
@@ -72,6 +81,13 @@ class Follower:
         self.follower_id = follower_id
         self._on_db_swap = on_db_swap
         self._retry_s = retry_interval_s
+        self.max_silence_s = max_silence_s
+        #: Set per connection once the hello learns the primary's
+        #: version; silence is only fatal when heartbeats are promised.
+        self._heartbeats_expected = False
+        self.heartbeats = 0
+        #: Primary's last sequence as of the latest heartbeat.
+        self.primary_seq: Optional[int] = None
         self._stop = threading.Event()
         self._sock: Optional[socket.socket] = None
         self._thread: Optional[threading.Thread] = None
@@ -110,6 +126,25 @@ class Follower:
         ``swap_db``) when the server is built after the follower."""
         self._on_db_swap = fn
 
+    def repoint(self, host: str, port: int) -> None:
+        """Re-parent onto a different primary (post-failover).
+
+        Swaps the target and drops the live connection; the run loop
+        re-dials the new primary with the normal subscribe flow, so
+        catch-up (WAL tail or snapshot) needs no special casing.
+        """
+        # Logging hint only, owned by the run loop — kept outside the
+        # lock to match its other (unlocked) writers.
+        self._saw_goodbye = False
+        with self._lock:
+            self._host = host
+            self._port = port
+            if self._sock is not None:
+                try:
+                    self._sock.close()
+                except OSError:
+                    pass
+
     def status(self) -> dict:
         return {
             "role": "follower",
@@ -120,6 +155,8 @@ class Follower:
             "applied_seq": self.db.last_sequence,
             "epoch": self.db.repl_epoch,
             "goodbyes": self.goodbyes,
+            "heartbeats": self.heartbeats,
+            "primary_seq": self.primary_seq,
             "last_error": self.last_error,
         }
 
@@ -181,7 +218,15 @@ class Follower:
     def _send_frame(self, sock: socket.socket, frame: bytes) -> None:
         sock.sendall(frame)
 
-    def _recv_exact(self, sock: socket.socket, n: int) -> bytes:
+    def _recv_exact(
+        self,
+        sock: socket.socket,
+        n: int,
+        deadline: Optional[float] = None,
+    ) -> bytes:
+        """``deadline`` (monotonic seconds) bounds total silence: a
+        black-holed connection raises instead of spinning on the short
+        recv timeout forever."""
         buf = bytearray()
         while len(buf) < n:
             try:
@@ -189,15 +234,34 @@ class Follower:
             except socket.timeout:
                 if self._stop.is_set():
                     raise ConnectionError("follower stopping") from None
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise ConnectionError(
+                        f"primary silent past deadline "
+                        f"(partition?): {self._host}:{self._port}"
+                    ) from None
                 continue
             if not chunk:
                 raise ConnectionError("primary closed the connection")
             buf += chunk
         return bytes(buf)
 
-    def _recv_payload(self, sock: socket.socket) -> bytes:
-        length = P.frame_length(self._recv_exact(sock, 4))
-        return P.decode_frame(length, self._recv_exact(sock, length + 4))
+    def _recv_payload(
+        self, sock: socket.socket, deadline: Optional[float] = None
+    ) -> bytes:
+        length = P.frame_length(self._recv_exact(sock, 4, deadline))
+        return P.decode_frame(
+            length, self._recv_exact(sock, length + 4, deadline)
+        )
+
+    def _recv_stream_payload(self, sock: socket.socket) -> bytes:
+        """One pushed frame with the per-frame silence deadline armed
+        (only when the primary promised heartbeats)."""
+        deadline = (
+            time.monotonic() + self.max_silence_s
+            if self._heartbeats_expected
+            else None
+        )
+        return self._recv_payload(sock, deadline)
 
     # --------------------------------------------------------- protocol
     def _connect_and_stream(self) -> None:
@@ -216,10 +280,11 @@ class Follower:
                 pass
 
     def _handshake(self, sock: socket.socket) -> None:
+        deadline = time.monotonic() + _HANDSHAKE_DEADLINE_S
         self._send_frame(
             sock, P.encode_request(P.OP_PING, 1, P.encode_hello_body())
         )
-        response = P.decode_response(self._recv_payload(sock))
+        response = P.decode_response(self._recv_payload(sock, deadline))
         if not response.ok:
             raise ConnectionError(
                 f"hello rejected: {response.status_name}"
@@ -231,6 +296,11 @@ class Follower:
                 f"{negotiated[0] if negotiated else 1}.x, which has no "
                 f"replication support (need major >= 2)"
             )
+        # A >= 2.2 primary heartbeats idle streams, which arms the
+        # silence deadline in the ship loop; older primaries stay on
+        # the legacy wait-forever behaviour (idle is indistinguishable
+        # from partitioned without heartbeats).
+        self._heartbeats_expected = negotiated >= (2, 2)
 
     def _subscribe_and_apply(self, sock: socket.socket) -> None:
         start_seq = self.db.last_sequence + 1
@@ -240,7 +310,11 @@ class Follower:
         self._send_frame(
             sock, P.encode_request(P.OP_REPL_SUBSCRIBE, 2, body)
         )
-        response = P.decode_response(self._recv_payload(sock))
+        response = P.decode_response(
+            self._recv_payload(
+                sock, time.monotonic() + _HANDSHAKE_DEADLINE_S
+            )
+        )
         if response.status == P.ST_FENCED:
             raise ReplicationError(
                 "primary refused subscription: our epoch is newer "
@@ -267,7 +341,7 @@ class Follower:
     def _ship_loop(self, sock: socket.socket) -> None:
         metrics = self.db.obs.metrics
         while not self._stop.is_set():
-            request = P.decode_request(self._recv_payload(sock))
+            request = P.decode_request(self._recv_stream_payload(sock))
             if request.opcode != P.OP_REPL_SHIP:
                 raise P.ProtocolError(
                     f"expected REPL_SHIP, got {request.opcode_name}"
@@ -276,6 +350,10 @@ class Follower:
             kind = decoded[0]
             if kind == P.SHIP_RECORDS:
                 self._apply_records(sock, decoded[1], metrics)
+            elif kind == P.SHIP_HEARTBEAT:
+                self.heartbeats += 1
+                self.primary_seq = decoded[1]
+                metrics.counter("repl.heartbeats").inc()
             elif kind == P.SHIP_SNAP_BEGIN:
                 self._receive_snapshot(sock, decoded[1], decoded[2])
                 self.mode = "wal"  # tail resumes after install
@@ -327,7 +405,7 @@ class Follower:
                 except OSError:
                     pass
             for _ in range(n_files):
-                request = P.decode_request(self._recv_payload(sock))
+                request = P.decode_request(self._recv_stream_payload(sock))
                 decoded = P.decode_ship_body(request.body)
                 if decoded[0] != P.SHIP_SNAP_FILE:
                     raise P.ProtocolError("expected SHIP_SNAP_FILE")
@@ -335,7 +413,9 @@ class Follower:
                 received = 0
                 with self._storage.create(name) as out:
                     while received < size:
-                        request = P.decode_request(self._recv_payload(sock))
+                        request = P.decode_request(
+                            self._recv_stream_payload(sock)
+                        )
                         chunk_msg = P.decode_ship_body(request.body)
                         if chunk_msg[0] != P.SHIP_SNAP_CHUNK:
                             raise P.ProtocolError("expected SHIP_SNAP_CHUNK")
@@ -346,7 +426,7 @@ class Follower:
                 files.append(
                     (level, FileMetaData(number, size, smallest, largest))
                 )
-            request = P.decode_request(self._recv_payload(sock))
+            request = P.decode_request(self._recv_stream_payload(sock))
             end_msg = P.decode_ship_body(request.body)
             if end_msg[0] != P.SHIP_SNAP_END:
                 raise P.ProtocolError("expected SHIP_SNAP_END")

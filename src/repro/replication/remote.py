@@ -21,7 +21,7 @@ from ..analysis.locksan import make_lock
 from ..db.db import DBStats
 from ..lsm.ikey import KIND_VALUE
 from ..obs import Observability
-from ..server.client import SyncClient
+from ..server.client import CircuitBreaker, RetryPolicy, SyncClient
 from .errors import ProtocolTooOldError
 
 __all__ = ["RemoteShard"]
@@ -40,14 +40,24 @@ class RemoteShard:
         timeout: Optional[float] = 30.0,
         ack_level: Optional[int] = None,
         require_protocol: int = 2,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.host = host
         self.port = port
-        self.obs = Observability()
+        self.obs = obs if obs is not None else Observability()
         # SyncClient is not thread-safe; ShardedDB may be driven from
         # several server worker threads, so serialise all calls.
         self._lock = make_lock("repl.remote")
-        self._client = SyncClient(host, port, timeout=timeout)
+        self._client = SyncClient(
+            host,
+            port,
+            timeout=timeout,
+            retry_policy=retry_policy,
+            breaker=breaker,
+            metrics=self.obs.metrics,
+        )
         major, minor = self._client.hello(ack_level=ack_level)
         if major < require_protocol:
             self._client.close()
@@ -160,6 +170,16 @@ class RemoteShard:
         """The server compacts synchronously inside OP_COMPACT."""
 
     # ------------------------------------------------------------ admin
+    def promote(self, min_epoch: int = 0) -> int:
+        """Promote the server behind this shard; returns its new epoch."""
+        with self._lock:
+            return self._client.promote(min_epoch)
+
+    @property
+    def retries(self) -> int:
+        """Wire-level retries performed by the underlying client."""
+        return self._client.retries
+
     def remote_stats(self) -> dict:
         """The server's full STATS document."""
         with self._lock:

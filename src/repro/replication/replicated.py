@@ -11,11 +11,19 @@ ShardLike surface as a local DB or a single :class:`RemoteShard`:
   and ``allow_stale`` is set, reads fall back to the most-caught-up
   follower — explicitly stale (bounded by replication lag), never
   write-losing.
-* **Failover** is manual: ``dbtool promote`` bumps a follower's
+* **Failover** can be manual (``dbtool promote`` bumps a follower's
   fencing epoch; the next role refresh sees the higher epoch and
-  redirects writes.  The fenced old primary refuses subscriptions, so
-  a partitioned stale primary cannot silently accept acked writes from
-  this client once the refresh ran.
+  redirects writes) or automatic (``auto_failover=True`` embeds a
+  :class:`~repro.replication.failover.FailoverCoordinator` that
+  detects a dead primary by missed health probes, promotes the
+  most-caught-up follower over the wire, and repoints this client —
+  no human in the loop).  Either way the fenced old primary refuses
+  subscriptions, so a partitioned stale primary cannot silently accept
+  acked writes from this client once the refresh ran.
+* **Resilience**: pass a :class:`~repro.server.retry.RetryPolicy` to
+  give every underlying connection jittered-backoff retries, and each
+  endpoint gets its own circuit breaker so a dead replica is skipped
+  after a few failures instead of costing a connect timeout per call.
 """
 
 from __future__ import annotations
@@ -24,7 +32,9 @@ import threading
 from typing import Iterator, Optional, Union
 
 from ..analysis.locksan import make_lock
+from ..obs import Observability
 from ..server.client import ClientError, ServerBusyError
+from ..server.retry import CircuitBreaker, RetryPolicy
 from .errors import ReplicationError
 from .remote import RemoteShard
 
@@ -42,27 +52,62 @@ class ReplicatedShard:
         ack_level: Union[int, str] = 1,
         allow_stale: bool = True,
         timeout: Optional[float] = 10.0,
+        retry_policy: Optional[RetryPolicy] = None,
+        obs: Optional[Observability] = None,
+        auto_failover: bool = False,
+        failover_interval_s: float = 0.5,
+        failover_threshold: int = 3,
     ) -> None:
         if not endpoints:
             raise ValueError("need at least one endpoint")
         self.endpoints = list(endpoints)
         self.ack_level = -1 if ack_level == "majority" else int(ack_level)
         self.allow_stale = allow_stale
+        self.obs = obs if obs is not None else Observability()
         self._timeout = timeout
+        self._retry_policy = retry_policy
         self._lock = make_lock("repl.replicated")
         self._conns: dict[tuple[str, int], RemoteShard] = {}
+        # One breaker per endpoint, shared across reconnects, so a dead
+        # replica fails fast instead of costing a connect timeout on
+        # every role refresh while it is down.
+        self._breakers: dict[tuple[str, int], CircuitBreaker] = {}
         self._primary: Optional[tuple[str, int]] = None
+        self._coordinator = None
         self._refresh_roles()
+        if auto_failover:
+            from .failover import FailoverCoordinator
+
+            self._coordinator = FailoverCoordinator(
+                self.endpoints,
+                heartbeat_interval_s=failover_interval_s,
+                failure_threshold=failover_threshold,
+                obs=self.obs,
+                on_failover=self._after_failover,
+            ).start()
 
     # -------------------------------------------------------- discovery
+    def _after_failover(self, endpoint: tuple[str, int], epoch: int) -> None:
+        """Coordinator callback: a follower was just promoted."""
+        self._refresh_roles()
+
     def _connect(self, endpoint: tuple[str, int]) -> RemoteShard:
         conn = self._conns.get(endpoint)
         if conn is None:
+            breaker = self._breakers.get(endpoint)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    failure_threshold=3, reset_timeout_s=1.0
+                )
+                self._breakers[endpoint] = breaker
             conn = RemoteShard(
                 endpoint[0],
                 endpoint[1],
                 timeout=self._timeout,
                 ack_level=self.ack_level,
+                retry_policy=self._retry_policy,
+                breaker=breaker,
+                obs=self.obs,
             )
             self._conns[endpoint] = conn
         return conn
@@ -259,7 +304,15 @@ class ReplicatedShard:
             out["primary"] = f"{primary[0]}:{primary[1]}"
         return out
 
+    def retries(self) -> int:
+        """Total wire-level retries across all live connections."""
+        with self._lock:
+            return sum(conn.retries for conn in self._conns.values())
+
     def close(self) -> None:
+        if self._coordinator is not None:
+            self._coordinator.stop()
+            self._coordinator = None
         with self._lock:
             for endpoint in list(self._conns):
                 self._drop(endpoint)

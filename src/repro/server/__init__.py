@@ -15,6 +15,8 @@ Modules
               backpressure when the engine's L0 backs up
 ``client``    blocking and asyncio clients with pipelining and
               bounded stall retry
+``retry``     client resilience policy: jittered-backoff retries and
+              per-endpoint circuit breakers
 ``metrics``   per-opcode counters + latency histograms (p50/p95/p99),
               queryable over the wire via the STATS opcode
 
@@ -41,14 +43,18 @@ from .client import (
     SyncClient,
 )
 from .metrics import LatencyHistogram, ServerMetrics
+from .retry import CircuitBreaker, CircuitOpenError, RetryPolicy
 from .server import KVServer, ServerConfig, ServerThread, serve_forever
 
 __all__ = [
     "AsyncClient",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "ClientError",
     "KVServer",
     "LatencyHistogram",
     "ProtocolError",
+    "RetryPolicy",
     "ServerBusyError",
     "ServerConfig",
     "ServerError",

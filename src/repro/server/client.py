@@ -13,6 +13,15 @@ and share three behaviours:
   refusing a write while compaction catches up, paper §I) is retried
   with the server-suggested delay, a bounded number of times, before
   :class:`ServerBusyError` is raised to the caller.
+* **Connection resilience** (opt-in) — pass a
+  :class:`repro.server.retry.RetryPolicy` and connection failures
+  (refused, reset, cut mid-frame, timed out) are retried with seeded
+  jittered backoff, transparently reconnecting and re-running the
+  hello negotiation so the ack level and trace flag survive the new
+  connection.  Reads retry freely; writes follow the policy's
+  idempotence rule.  A :class:`repro.server.retry.CircuitBreaker`
+  (shared per endpoint) makes a down server fail fast instead of
+  burning a connect timeout per call.
 * **Typed errors** — protocol violations raise
   :class:`ProtocolError`, engine-side failures raise
   :class:`ServerError`; a missing key is simply ``None``.
@@ -36,12 +45,16 @@ from typing import Optional
 from ..obs import NULL_TRACER, current_trace_context, new_trace_id, trace_context
 from . import protocol as P
 from .protocol import ProtocolError
+from .retry import CircuitBreaker, CircuitOpenError, RetryPolicy
 
 __all__ = [
     "ClientError",
     "ServerError",
     "ServerBusyError",
     "ProtocolError",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "RetryPolicy",
     "SyncClient",
     "AsyncClient",
 ]
@@ -127,11 +140,23 @@ class SyncClient:
         max_retries: int = DEFAULT_MAX_RETRIES,
         max_frame_bytes: int = P.MAX_FRAME_BYTES,
         tracer=None,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        metrics=None,
     ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
         self.max_retries = max_retries
         self.max_frame_bytes = max_frame_bytes
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.retry_policy = retry_policy
+        self.breaker = breaker
+        self._metrics = metrics
+        self._jitter = retry_policy.rng() if retry_policy is not None else None
+        self.retries = 0  # observable connection-retry count
+        self._hello_done = False
+        self._hello_ack_level: Optional[int] = None
+        self._sock: Optional[socket.socket] = None
         self._recv_buf = b""
         self._next_id = 0
         self.stall_retries = 0  # observable back-off count
@@ -142,8 +167,63 @@ class SyncClient:
         #: ids are only put on the wire once this is set, so a traced
         #: client still talks cleanly to older servers.
         self.trace_negotiated = False
+        self._connect()
 
     # ------------------------------------------------------- transport
+    def _count(self, name: str) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(name).inc()
+
+    def _connect(self) -> None:
+        """(Re)establish the connection; renegotiates a done hello so
+        per-connection state (ack level, trace flag) carries over."""
+        if self.breaker is not None and not self.breaker.allow():
+            self._count("client.circuit_open")
+            raise CircuitOpenError(
+                f"circuit open for {self.host}:{self.port}"
+            )
+        connect_timeout = (
+            self.retry_policy.connect_timeout_s
+            if self.retry_policy is not None
+            else self.timeout
+        )
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=connect_timeout
+            )
+        except OSError:
+            if self.breaker is not None:
+                self.breaker.record_failure()
+            raise
+        sock.settimeout(self.timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        self._recv_buf = b""
+        if self.breaker is not None:
+            self.breaker.record_success()
+        if self._hello_done:
+            request_id = self._take_id()
+            self._send(
+                P.encode_request(
+                    P.OP_PING,
+                    request_id,
+                    P.encode_hello_body(ack_level=self._hello_ack_level),
+                )
+            )
+            body = _ResponseHandler.unwrap(self._recv_response(request_id))
+            negotiated = P.decode_hello_ack(body)
+            version = negotiated if negotiated is not None else (1, 0)
+            self.trace_negotiated = version >= (2, 1)
+
+    def _teardown(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._sock = None
+        self._recv_buf = b""
+
     def _take_id(self) -> int:
         self._next_id += 1
         return self._next_id
@@ -198,14 +278,7 @@ class SyncClient:
     ) -> P.Response:
         attempts = 0
         while True:
-            request_id = self._take_id()
-            self._send(
-                P.encode_request(
-                    opcode, request_id, body,
-                    trace_id=trace_id, span_id=span_id,
-                )
-            )
-            response = self._recv_response(request_id)
+            response = self._exchange(opcode, body, trace_id, span_id)
             if response.status != P.ST_STALLED:
                 return response
             attempts += 1
@@ -215,6 +288,62 @@ class SyncClient:
                     f"write refused {attempts} times (compaction stall)"
                 )
             time.sleep(_stall_delay_s(response.body))
+
+    def _exchange(
+        self,
+        opcode: int,
+        body: bytes,
+        trace_id: Optional[int],
+        span_id: Optional[int],
+    ) -> P.Response:
+        """One request/response over the socket, healing connection
+        failures per the retry policy (no policy = old raise-through
+        behaviour).  Reads retry freely; a write whose frame may have
+        reached the server only retries when the policy allows resends
+        (see :class:`repro.server.retry.RetryPolicy`)."""
+        attempt = 0
+        while True:
+            sent = connected = False
+            try:
+                if self._sock is None:
+                    self._connect()  # breaker-checked; may raise
+                connected = True
+                request_id = self._take_id()
+                self._send(
+                    P.encode_request(
+                        opcode, request_id, body,
+                        trace_id=trace_id, span_id=span_id,
+                    )
+                )
+                sent = True
+                response = self._recv_response(request_id)
+            except CircuitOpenError:
+                raise  # fail fast: no backoff against a known-down node
+            except OSError:
+                self._teardown()
+                # _connect records its own breaker failures.
+                if connected and self.breaker is not None:
+                    self.breaker.record_failure()
+                policy = self.retry_policy
+                retryable = (
+                    policy is not None
+                    and attempt + 1 < policy.max_attempts
+                    and (
+                        opcode not in P.WRITE_OPCODES
+                        or not sent
+                        or policy.resend_writes
+                    )
+                )
+                if not retryable:
+                    raise
+                attempt += 1
+                self.retries += 1
+                self._count("client.retry")
+                time.sleep(policy.backoff_s(attempt, self._jitter.uniform()))
+                continue
+            if self.breaker is not None:
+                self.breaker.record_success()
+            return response
 
     # ------------------------------------------------------------- ops
     def ping(self, payload: bytes = b"") -> bytes:
@@ -229,6 +358,10 @@ class SyncClient:
         this connection must collect (-1 = majority) — ignored by
         servers without a replication hub.
         """
+        # Remember the negotiation so a policy-driven reconnect can
+        # replay it: ack-gated durability must survive the new socket.
+        self._hello_done = True
+        self._hello_ack_level = ack_level
         body = self.ping(P.encode_hello_body(ack_level=ack_level))
         negotiated = P.decode_hello_ack(body)
         version = negotiated if negotiated is not None else (1, 0)
@@ -287,6 +420,19 @@ class SyncClient:
         """Force the server's memtable to disk (protocol ≥ 2 only)."""
         _ResponseHandler.unwrap(self._call(P.OP_FLUSH))
 
+    def promote(self, min_epoch: int = 0) -> int:
+        """Promote the serving node to primary, online (protocol ≥ 2.2).
+
+        Returns the node's new replication epoch.  ``min_epoch`` fences
+        deterministically: the node's epoch becomes at least that value,
+        and a node already at or past it acks without bumping again
+        (idempotent retry).
+        """
+        result = _ResponseHandler.unwrap(
+            self._call(P.OP_PROMOTE, P.encode_promote_body(min_epoch))
+        )
+        return P.decode_promote_ack(result)
+
     # ------------------------------------------------------- telemetry
     def metrics(self, fmt: str = "json"):
         """Scrape the server's live metrics (protocol ≥ 2.1).
@@ -325,6 +471,8 @@ class SyncClient:
         return SyncPipeline(self)
 
     def close(self) -> None:
+        if self._sock is None:
+            return
         try:
             self._sock.close()
         except OSError:  # pragma: no cover
@@ -372,6 +520,8 @@ class SyncPipeline:
         client = self._client
         if not self._queued:
             return self.results
+        if client._sock is None:
+            client._connect()
         client._send(
             b"".join(
                 P.encode_request(opcode, request_id, body)
@@ -425,11 +575,22 @@ class AsyncClient:
         writer: asyncio.StreamWriter,
         max_retries: int = DEFAULT_MAX_RETRIES,
         max_frame_bytes: int = P.MAX_FRAME_BYTES,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self._reader = reader
         self._writer = writer
         self.max_retries = max_retries
         self.max_frame_bytes = max_frame_bytes
+        self.retry_policy = retry_policy
+        self._jitter = retry_policy.rng() if retry_policy is not None else None
+        self.retries = 0  # observable connection-retry count
+        # Reconnection needs the address; only set by connect(), so a
+        # client built from raw streams never retries connections.
+        self._host: Optional[str] = None
+        self._port: Optional[int] = None
+        self._conn_timeout: Optional[float] = None
+        self._conn_gen = 0
+        self._conn_lock = asyncio.Lock()
         self._next_id = 0
         self._pending: deque[tuple[int, asyncio.Future]] = deque()
         self._reader_task = asyncio.create_task(self._read_loop())
@@ -438,10 +599,16 @@ class AsyncClient:
 
     @classmethod
     async def connect(
-        cls, host: str, port: int, **kwargs
+        cls, host: str, port: int, timeout: Optional[float] = 30.0, **kwargs
     ) -> "AsyncClient":
-        reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer, **kwargs)
+        # wait_for bounds connection establishment: an unresponsive
+        # (e.g. black-holed) endpoint must not hang the caller forever.
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout
+        )
+        client = cls(reader, writer, **kwargs)
+        client._host, client._port, client._conn_timeout = host, port, timeout
+        return client
 
     # ------------------------------------------------------- transport
     async def _read_loop(self) -> None:
@@ -476,6 +643,64 @@ class AsyncClient:
                 future.set_exception(exc)
 
     async def _call(self, opcode: int, body: bytes = b"") -> P.Response:
+        attempt = 0
+        while True:
+            try:
+                return await self._call_once(opcode, body)
+            except (OSError, asyncio.IncompleteReadError):
+                # Once written the frame may have reached the server, so
+                # a write only retries when the policy allows resends.
+                policy = self.retry_policy
+                retryable = (
+                    policy is not None
+                    and self._host is not None
+                    and not self._closed
+                    and attempt + 1 < policy.max_attempts
+                    and (
+                        opcode not in P.WRITE_OPCODES or policy.resend_writes
+                    )
+                )
+                if not retryable:
+                    raise
+                gen = self._conn_gen
+                attempt += 1
+                self.retries += 1
+                await asyncio.sleep(
+                    policy.backoff_s(attempt, self._jitter.uniform())
+                )
+                await self._reconnect(gen)
+
+    async def _reconnect(self, gen: int) -> None:
+        """Replace the dead connection (no-op if another caller already
+        did: ``gen`` is the connection generation the caller saw fail)."""
+        async with self._conn_lock:
+            if self._closed:
+                raise ClientError("client is closed")
+            if self._conn_gen != gen:
+                return
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._fail_pending(ConnectionError("reconnecting"))
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except OSError:
+                pass
+            timeout = (
+                self.retry_policy.connect_timeout_s
+                if self.retry_policy is not None
+                else self._conn_timeout
+            )
+            self._reader, self._writer = await asyncio.wait_for(
+                asyncio.open_connection(self._host, self._port), timeout
+            )
+            self._reader_task = asyncio.create_task(self._read_loop())
+            self._conn_gen += 1
+
+    async def _call_once(self, opcode: int, body: bytes) -> P.Response:
         attempts = 0
         while True:
             if self._closed:
@@ -551,6 +776,13 @@ class AsyncClient:
 
     async def flush(self) -> None:
         _ResponseHandler.unwrap(await self._call(P.OP_FLUSH))
+
+    async def promote(self, min_epoch: int = 0) -> int:
+        """Async counterpart of :meth:`SyncClient.promote`."""
+        result = _ResponseHandler.unwrap(
+            await self._call(P.OP_PROMOTE, P.encode_promote_body(min_epoch))
+        )
+        return P.decode_promote_ack(result)
 
     async def metrics(self, fmt: str = "json"):
         """Async counterpart of :meth:`SyncClient.metrics`."""

@@ -78,6 +78,7 @@ __all__ = [
     "OP_FLUSH",
     "OP_METRICS",
     "OP_TRACE",
+    "OP_PROMOTE",
     "TRACE_FLAG",
     "METRICS_FMT_JSON",
     "METRICS_FMT_PROMETHEUS",
@@ -102,6 +103,7 @@ __all__ = [
     "SHIP_SNAP_CHUNK",
     "SHIP_SNAP_END",
     "SHIP_GOODBYE",
+    "SHIP_HEARTBEAT",
     "FRAME_OVERHEAD",
     "MAX_FRAME_BYTES",
     "ProtocolError",
@@ -137,11 +139,16 @@ __all__ = [
     "encode_ship_snap_chunk",
     "encode_ship_snap_end",
     "encode_ship_goodbye",
+    "encode_ship_heartbeat",
     "decode_ship_body",
     "encode_repl_ack_body",
     "decode_repl_ack_body",
     "encode_metrics_body",
     "decode_metrics_body",
+    "encode_promote_body",
+    "decode_promote_body",
+    "encode_promote_ack",
+    "decode_promote_ack",
 ]
 
 # ------------------------------------------------------------- opcodes
@@ -159,6 +166,7 @@ OP_REPL_ACK = 0x0B
 OP_FLUSH = 0x0C
 OP_METRICS = 0x0D
 OP_TRACE = 0x0E
+OP_PROMOTE = 0x0F
 
 #: High bit of the request opcode byte: set (protocol >= 2.1) when the
 #: request head carries trace-context varints before the body.
@@ -179,6 +187,7 @@ OPCODE_NAMES = {
     OP_FLUSH: "FLUSH",
     OP_METRICS: "METRICS",
     OP_TRACE: "TRACE",
+    OP_PROMOTE: "PROMOTE",
 }
 
 #: Opcodes that mutate the tree and are therefore subject to the
@@ -211,8 +220,12 @@ STATUS_NAMES = {
 #: (telemetry) added the METRICS/TRACE opcodes and the TRACE_FLAG
 #: request head extension — all additive: a 2.0 client never sends
 #: them, and a 2.1 client only after the hello ack announces >= 2.1.
+#: Minor 2 (failover) added the PROMOTE opcode and SHIP_HEARTBEAT idle
+#: frames on the replication stream — additive again: the primary only
+#: heartbeats subscribers whose hello announced >= 2.2, and PROMOTE on
+#: an older server fails loudly as an unknown opcode.
 PROTOCOL_MAJOR = 2
-PROTOCOL_MINOR = 1
+PROTOCOL_MINOR = 2
 
 #: A PING body opening with this magic is a version hello rather than
 #: opaque echo data.  The leading NUL keeps it out of the plausible
@@ -237,6 +250,7 @@ SHIP_SNAP_FILE = 3
 SHIP_SNAP_CHUNK = 4
 SHIP_SNAP_END = 5
 SHIP_GOODBYE = 6
+SHIP_HEARTBEAT = 7
 
 #: Bytes around the payload: 4-byte length prefix + 4-byte CRC trailer.
 FRAME_OVERHEAD = 8
@@ -722,6 +736,13 @@ def encode_ship_goodbye(reason: str) -> bytes:
     return bytes([SHIP_GOODBYE]) + encode_lp(reason.encode("utf-8"))
 
 
+def encode_ship_heartbeat(last_seq: int) -> bytes:
+    """Idle heartbeat (protocol >= 2.2): proof of life plus the
+    primary's current last sequence, sent when the WAL has nothing to
+    ship so followers can tell "idle" from "black-holed"."""
+    return bytes([SHIP_HEARTBEAT]) + encode_varint64(last_seq)
+
+
 def decode_ship_body(body: bytes) -> tuple:
     """Decode one REPL_SHIP body → ``(kind, ...fields)``.
 
@@ -729,7 +750,7 @@ def decode_ship_body(body: bytes) -> tuple:
     ``(SHIP_SNAP_BEGIN, last_seq, n_files)``,
     ``(SHIP_SNAP_FILE, level, name, size, smallest, largest)``,
     ``(SHIP_SNAP_CHUNK, data)``, ``(SHIP_SNAP_END, last_seq)``,
-    ``(SHIP_GOODBYE, reason)``.
+    ``(SHIP_GOODBYE, reason)``, ``(SHIP_HEARTBEAT, last_seq)``.
     """
     if not body:
         raise ProtocolError("empty ship body")
@@ -764,6 +785,9 @@ def decode_ship_body(body: bytes) -> tuple:
         if kind == SHIP_GOODBYE:
             reason, pos = decode_lp(body, 1)
             return (kind, reason.decode("utf-8"))
+        if kind == SHIP_HEARTBEAT:
+            last_seq, pos = decode_varint64(body, 1)
+            return (kind, last_seq)
     except ValueError as exc:
         raise ProtocolError(f"bad ship body: {exc}") from None
     raise ProtocolError(f"unknown ship kind {kind}")
@@ -807,6 +831,44 @@ def decode_metrics_body(body: bytes) -> int:
     if fmt not in (METRICS_FMT_JSON, METRICS_FMT_PROMETHEUS):
         raise ProtocolError(f"unknown metrics format {fmt}")
     return fmt
+
+
+# ------------------------------------------------- failover bodies
+# PROMOTE body: varint min_epoch (0 = "just bump")  → OK varint new_epoch
+#   Promotes the serving node to primary *online*: stops its follower
+#   loop, bumps the replication epoch to max(current + 1, min_epoch),
+#   and starts accepting writes.  ``min_epoch`` lets a failover
+#   coordinator fence the old primary deterministically (it passes
+#   highest-epoch-seen + 1) and makes retries idempotent: a node whose
+#   epoch already reached min_epoch acks without bumping again.
+def encode_promote_body(min_epoch: int = 0) -> bytes:
+    return encode_varint64(min_epoch)
+
+
+def decode_promote_body(body: bytes) -> int:
+    if not body:
+        return 0
+    try:
+        min_epoch, pos = decode_varint64(body, 0)
+    except ValueError as exc:
+        raise ProtocolError(f"bad promote body: {exc}") from None
+    if pos != len(body):
+        raise ProtocolError("trailing bytes after promote body")
+    return min_epoch
+
+
+def encode_promote_ack(new_epoch: int) -> bytes:
+    return encode_varint64(new_epoch)
+
+
+def decode_promote_ack(body: bytes) -> int:
+    try:
+        new_epoch, pos = decode_varint64(body, 0)
+    except ValueError as exc:
+        raise ProtocolError(f"bad promote ack: {exc}") from None
+    if pos != len(body):
+        raise ProtocolError("trailing bytes after promote ack")
+    return new_epoch
 
 
 # ------------------------------------------------------ stream helper

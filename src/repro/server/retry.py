@@ -1,0 +1,177 @@
+"""Client-side resilience policy: retries with jittered backoff and
+per-endpoint circuit breakers.
+
+A served replica set turns every client call into a distributed-systems
+problem: connections get refused, cut mid-frame, or silently
+black-holed.  The rules for surviving that are uniform across
+:class:`~repro.server.client.SyncClient`,
+:class:`~repro.server.client.AsyncClient` and
+:class:`~repro.replication.remote.RemoteShard`, so they live here as a
+declarative :class:`RetryPolicy` instead of ad-hoc ``try``/``sleep``
+loops at each call site.
+
+Idempotence rule (mirrors the server's documented at-least-once write
+contract in ``KVServer._write_done``): **reads retry freely**; a
+**write** whose request frame may have reached the server is only
+retried when ``resend_writes`` is on — safe for this protocol because
+PUT/DELETE/BATCH are idempotent overwrites and replaying one is
+equivalent to the server's own duplicate-apply on reconnect, but a
+policy can turn it off for at-most-once semantics.
+
+:class:`CircuitBreaker` is the standard closed → open → half-open
+state machine, one per endpoint: after ``failure_threshold``
+consecutive connection failures the endpoint is declared down and
+calls fail fast with :class:`CircuitOpenError` (no connect timeout
+burned per call) until ``reset_timeout_s`` elapses, when a single
+probe is let through.
+
+Backoff is exponential with *seeded* jitter — chaos tests replay the
+exact same retry schedule from the same seed, the same idiom as
+:class:`repro.devices.faults.FaultPlan`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..analysis.locksan import make_lock
+from ..devices.faults import _DeterministicRNG
+
+__all__ = ["RetryPolicy", "CircuitBreaker", "CircuitOpenError"]
+
+
+class CircuitOpenError(ConnectionError):
+    """The endpoint's circuit breaker is open: call refused locally.
+
+    Subclasses :class:`ConnectionError` so every caller that already
+    treats an endpoint's connection failures as "try elsewhere"
+    (``ReplicatedShard``, cluster routing) handles breaker rejections
+    the same way for free.
+    """
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Declarative retry/backoff/timeout policy for one client.
+
+    ``max_attempts`` counts the first try: 3 means one call plus two
+    retries.  Attempt ``n`` (1-based retry index) backs off
+    ``min(max_delay_s, base_delay_s * multiplier**(n-1))`` scaled by a
+    seeded jitter factor in ``[1 - jitter, 1 + jitter]``.
+    ``connect_timeout_s`` bounds (re)connection establishment;
+    ``resend_writes`` is the idempotence switch documented in the
+    module docstring.
+    """
+
+    max_attempts: int = 4
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+    connect_timeout_s: float = 5.0
+    resend_writes: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1: {self.max_attempts}")
+        if self.base_delay_s < 0 or self.max_delay_s < self.base_delay_s:
+            raise ValueError(
+                "need 0 <= base_delay_s <= max_delay_s, got "
+                f"{self.base_delay_s}/{self.max_delay_s}"
+            )
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1: {self.multiplier}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter out of [0, 1]: {self.jitter}")
+        if self.connect_timeout_s <= 0:
+            raise ValueError("connect_timeout_s must be > 0")
+
+    def backoff_s(self, attempt: int, u: float = 0.5) -> float:
+        """Delay before retry ``attempt`` (1-based), jittered by ``u``.
+
+        ``u`` is a uniform sample in [0, 1) (0.5 → no jitter); pure so
+        the bounds are unit-testable: the result always lies in
+        ``[delay * (1 - jitter), delay * (1 + jitter)]``.
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1: {attempt}")
+        delay = min(
+            self.max_delay_s, self.base_delay_s * self.multiplier ** (attempt - 1)
+        )
+        return delay * (1.0 + self.jitter * (2.0 * u - 1.0))
+
+    def rng(self) -> _DeterministicRNG:
+        """A fresh seeded jitter source (one per client instance)."""
+        return _DeterministicRNG(self.seed)
+
+
+class CircuitBreaker:
+    """Closed → open → half-open breaker for one endpoint.
+
+    Thread-safe; ``clock`` is injectable so the state machine is
+    unit-testable without sleeping.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout_s: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1: {failure_threshold}")
+        if reset_timeout_s <= 0:
+            raise ValueError("reset_timeout_s must be > 0")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self._clock = clock
+        self._lock = make_lock("server.breaker")
+        self._failures = 0
+        self._opened_at: Optional[float] = None
+        self._probing = False
+        self.opens = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            if self._opened_at is None:
+                return "closed"
+            if self._probing:
+                return "half-open"
+            if self._clock() - self._opened_at >= self.reset_timeout_s:
+                return "half-open"
+            return "open"
+
+    def allow(self) -> bool:
+        """May a call go out now?  (Admits one probe when half-open.)"""
+        with self._lock:
+            if self._opened_at is None:
+                return True
+            if self._probing:
+                return False  # one probe already in flight
+            if self._clock() - self._opened_at >= self.reset_timeout_s:
+                self._probing = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._opened_at = None
+            self._probing = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self._probing:
+                # Failed probe: re-open for a fresh cooldown.
+                self._probing = False
+                self._opened_at = self._clock()
+                self.opens += 1
+                return
+            self._failures += 1
+            if self._failures >= self.failure_threshold and self._opened_at is None:
+                self._opened_at = self._clock()
+                self.opens += 1

@@ -46,6 +46,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Optional
 
+from ..analysis.locksan import make_lock
 from ..db.db import DB
 from ..devices.faults import TransientIOError
 from ..lsm.wal import WriteBatch
@@ -140,6 +141,7 @@ class KVServer:
         self._conn_tasks: set[asyncio.Task] = set()
         self._closing = False
         self._pool: Optional[ThreadPoolExecutor] = None
+        self._promote_lock = make_lock("server.promote")
 
     # ---------------------------------------------------------- lifecycle
     async def start(self) -> None:
@@ -209,6 +211,57 @@ class KVServer:
         """Switch the serving engine (follower snapshot install)."""
         self.db = new_db
 
+    # ----------------------------------------------------------- failover
+    def promote_to_primary(self, min_epoch: int = 0) -> int:
+        """Promote this node to replication primary, online.
+
+        The whole-node counterpart of ``dbtool promote`` (which needs
+        the DB closed): stops the follower loop if one is running,
+        bumps the replication epoch to ``max(current + 1, min_epoch)``,
+        lifts read-only mode, and attaches a
+        :class:`~repro.replication.ReplicationHub` so other replicas
+        can re-parent here.  The epoch bump fences the old primary —
+        its hub refuses subscriptions from higher-epoch followers, so
+        acks dry up and ack-gated writes stall rather than split-brain.
+
+        Idempotent under retries when ``min_epoch`` is given: a node
+        already primary at or past it acks without bumping again.
+        Returns the node's (possibly unchanged) replication epoch.
+        """
+        with self._promote_lock:
+            already_primary = (
+                self.follower is None and not self.config.read_only
+            )
+            if (
+                already_primary
+                and min_epoch
+                and self.db.repl_epoch >= min_epoch
+            ):
+                return self.db.repl_epoch
+            follower = self.follower
+            if follower is not None:
+                # Clear the attribute first so STATS flips to primary
+                # and stop() is never re-entered by a racing promote.
+                self.follower = None
+                follower.stop()
+            new_epoch = max(self.db.repl_epoch + 1, min_epoch)
+            self.db.set_repl_epoch(new_epoch)
+            self.config.read_only = False
+            if self.hub is None:
+                from ..replication.hub import ReplicationHub
+
+                self.hub = ReplicationHub(self.db)
+            obs = getattr(self.db, "obs", None)
+            if obs is not None:
+                obs.metrics.counter("failover.promoted").inc()
+            if self._events.enabled:
+                self._events.emit(
+                    "failover.promoted",
+                    epoch=new_epoch,
+                    was_follower=follower is not None,
+                )
+            return new_epoch
+
     # -------------------------------------------------------- connections
     async def _on_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -268,7 +321,7 @@ class KVServer:
                 # socket until the subscription ends.
                 await queue.put(None)
                 await state["writer_task"]
-                await self._serve_subscription(reader, writer, request)
+                await self._serve_subscription(reader, writer, request, state)
                 return
             # Bounded queue: blocks when the pipeline is full, which
             # stops reading this socket until responses drain.
@@ -410,15 +463,23 @@ class KVServer:
             hello = P.decode_hello_body(body)
             if hello is None:
                 return P.ST_OK, body  # pre-versioning client: pure echo
-            major, _minor, ack_level = hello
+            major, minor, ack_level = hello
             if major > P.PROTOCOL_MAJOR:
                 return P.ST_BAD_REQUEST, P.encode_lp(
                     f"unsupported protocol major {major} (this server "
                     f"speaks {P.PROTOCOL_MAJOR}.{P.PROTOCOL_MINOR})".encode()
                 )
+            # Remembered for feature gating: e.g. only >= 2.2 peers get
+            # SHIP_HEARTBEAT frames on a replication stream.
+            state["peer_version"] = (major, minor)
             if ack_level is not None:
                 state["ack_level"] = ack_level
             return P.ST_OK, P.encode_hello_ack()
+        if op == P.OP_PROMOTE:
+            # Deliberately allowed on a read-only replica: promotion is
+            # how a follower *stops* being read-only (failover).
+            new_epoch = self.promote_to_primary(P.decode_promote_body(body))
+            return P.ST_OK, P.encode_promote_ack(new_epoch)
         if self.config.read_only and op in P.WRITE_OPCODES:
             return P.ST_BAD_REQUEST, P.encode_lp(
                 b"read-only replica: send writes to the primary"
@@ -599,12 +660,15 @@ class KVServer:
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
         request: P.Request,
+        state: dict,
     ) -> None:
         """Own the connection as a push stream after REPL_SUBSCRIBE.
 
         The server pushes ``REPL_SHIP`` request frames; the follower
         pushes ``REPL_ACK`` request frames back.  Neither direction
-        carries responses from here on.
+        carries responses from here on.  Peers that negotiated >= 2.2
+        receive ``SHIP_HEARTBEAT`` frames whenever the WAL is idle, so
+        a quiet stream stays distinguishable from a black-holed one.
         """
         from ..replication.errors import FencedError
 
@@ -668,11 +732,23 @@ class KVServer:
                 writer, sub
             ):
                 return
+            # hub.pull returns "idle" about every 0.5 s of WAL silence,
+            # which sets the heartbeat cadence.
+            heartbeats = state.get("peer_version", (2, 0)) >= (2, 2)
             while True:
                 kind, payload = await loop.run_in_executor(
                     ship_pool, self.hub.pull, sub
                 )
                 if kind == "idle":
+                    if heartbeats:
+                        writer.write(
+                            P.encode_request(
+                                P.OP_REPL_SHIP,
+                                0,
+                                P.encode_ship_heartbeat(self.db.last_sequence),
+                            )
+                        )
+                        await writer.drain()
                     continue
                 if kind == "records":
                     writer.write(

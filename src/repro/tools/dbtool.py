@@ -18,6 +18,12 @@ Commands (all take a database directory):
   becomes the primary (manual failover; see docs/REPLICATION.md).
 * ``repl-status HOST:PORT...`` — probe replica endpoints, print the
   role map (exit 1 when no primary is reachable).
+* ``failover HOST:PORT...`` — watch a replica set and automatically
+  promote the most-caught-up follower when the primary misses enough
+  probes (``--once`` for a single probe/elect/promote round).
+* ``chaos-proxy LISTEN UPSTREAM`` — seed-deterministic fault-injecting
+  TCP proxy (``--plan`` takes NetFaultPlan JSON: refused/cut
+  connections, latency, asymmetric partitions; see docs/CHAOS.md).
 * ``trace <out>``    — run a small in-memory YCSB load with tracing
   enabled and write a Chrome trace-event JSON (Perfetto-loadable)
   showing the S1–S7 compaction pipeline (takes an output path, not a
@@ -46,6 +52,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from ..db.db import DB
 from ..db.verify import repair_db, verify_db
@@ -182,6 +189,61 @@ def build_parser() -> argparse.ArgumentParser:
     rst.add_argument(
         "endpoints", nargs="+", metavar="HOST:PORT",
         help="servers to probe (primary and followers)",
+    )
+
+    fov = sub.add_parser(
+        "failover",
+        help="watch a replica set and auto-promote the most-caught-up "
+             "follower when the primary dies",
+    )
+    fov.add_argument(
+        "endpoints", nargs="+", metavar="HOST:PORT",
+        help="the replica set (primary and followers)",
+    )
+    fov.add_argument(
+        "--once", action="store_true",
+        help="run one probe/elect/promote round and exit "
+             "(exit 0 = healthy or promoted, 1 = primary down and "
+             "nothing promotable)",
+    )
+    fov.add_argument(
+        "--interval", type=float, default=0.5, metavar="SECONDS",
+        help="probe interval (default 0.5)",
+    )
+    fov.add_argument(
+        "--threshold", type=int, default=3, metavar="N",
+        help="consecutive missed probes before failover (default 3)",
+    )
+    fov.add_argument(
+        "--probe-timeout", type=float, default=1.0, metavar="SECONDS",
+        help="per-endpoint probe timeout (default 1.0)",
+    )
+    fov.add_argument(
+        "--events", metavar="FILE", default=None,
+        help="append failover.* lifecycle events (JSONL) to this file",
+    )
+
+    cpx = sub.add_parser(
+        "chaos-proxy",
+        help="fault-injecting TCP proxy: put it between clients (or "
+             "followers) and a server to inject partitions, latency, "
+             "refused and cut connections",
+    )
+    cpx.add_argument(
+        "listen", metavar="HOST:PORT",
+        help="address to listen on (port 0 picks one and prints it)",
+    )
+    cpx.add_argument(
+        "upstream", metavar="HOST:PORT", help="server to forward to"
+    )
+    cpx.add_argument(
+        "--plan", metavar="JSON", default=None,
+        help="NetFaultPlan JSON, e.g. "
+             '\'{"seed": 7, "cut_rate": 0.05, "latency_ms": 20}\'',
+    )
+    cpx.add_argument(
+        "--events", metavar="FILE", default=None,
+        help="append net.fault_injected events (JSONL) to this file",
     )
 
     trc = sub.add_parser(
@@ -693,6 +755,89 @@ def cmd_repl_status(args) -> int:
     return 0
 
 
+def cmd_failover(args) -> int:
+    import json
+
+    from ..obs import EventLog, Observability
+    from ..replication import FailoverCoordinator
+
+    obs = Observability()
+    if args.events is not None:
+        obs = Observability(events=EventLog(args.events))
+    coordinator = FailoverCoordinator(
+        [_parse_endpoint(e) for e in args.endpoints],
+        heartbeat_interval_s=args.interval,
+        failure_threshold=args.threshold,
+        probe_timeout_s=args.probe_timeout,
+        obs=obs,
+    )
+    if args.once:
+        promoted = None
+        for _ in range(args.threshold):
+            promoted = coordinator.check_once()
+            if promoted is not None:
+                break
+        status = coordinator.status()
+        status["statuses"] = coordinator.poll()
+        print(json.dumps(status, indent=2, sort_keys=True, default=str))
+        healthy = promoted is not None or status["last_primary"] is not None
+        return 0 if healthy else 1
+    coordinator.start()
+    print(
+        f"failover: watching {len(args.endpoints)} endpoints "
+        f"(interval {args.interval}s, threshold {args.threshold})",
+        flush=True,
+    )
+    try:
+        while True:
+            time.sleep(60)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        coordinator.stop()
+        if obs.events.enabled:
+            obs.events.close()
+    print(json.dumps(coordinator.status(), indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_chaos_proxy(args) -> int:
+    import json
+
+    from ..devices import FaultyProxy, NetFaultPlan
+    from ..obs import EventLog, MetricsRegistry
+
+    host, port = _parse_endpoint(args.listen)
+    upstream_host, upstream_port = _parse_endpoint(args.upstream)
+    plan = (
+        NetFaultPlan.from_json(args.plan)
+        if args.plan is not None
+        else NetFaultPlan()
+    )
+    metrics = MetricsRegistry()
+    events = EventLog(args.events) if args.events is not None else None
+    proxy = FaultyProxy(
+        upstream_host, upstream_port, plan=plan, host=host, port=port
+    ).start()
+    proxy.attach_obs(metrics=metrics, events=events)
+    print(
+        f"chaos-proxy: {proxy.host}:{proxy.port} -> "
+        f"{upstream_host}:{upstream_port} plan={plan.to_json()}",
+        flush=True,
+    )
+    try:
+        while True:
+            time.sleep(60)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        proxy.close()
+        if events is not None:
+            events.close()
+    print(json.dumps({"injected": proxy.injected}, sort_keys=True))
+    return 0
+
+
 def _cmd_trace_distributed(args) -> int:
     """One merged multi-process trace of a live replicated cluster.
 
@@ -889,6 +1034,8 @@ _COMMANDS = {
     "serve": cmd_serve,
     "promote": cmd_promote,
     "repl-status": cmd_repl_status,
+    "failover": cmd_failover,
+    "chaos-proxy": cmd_chaos_proxy,
     "trace": cmd_trace,
     "scrape": cmd_scrape,
     "top": cmd_top,

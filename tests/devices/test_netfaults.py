@@ -1,0 +1,266 @@
+"""FaultyProxy behaviour against a plain echo server.
+
+The proxy is exercised below the KV protocol on purpose: an echo
+server makes every fault observable as raw socket behaviour (EOF,
+silence, delay) without the client's own resilience machinery
+masking it.  Wire-level integration lives in the retry and chaos
+suites.
+"""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.devices import FaultyProxy, NetFaultPlan
+from repro.obs import MetricsRegistry
+
+
+class EchoServer:
+    """Accept loop that echoes every received chunk back."""
+
+    def __init__(self) -> None:
+        self._listener = socket.socket()
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(16)
+        self._listener.settimeout(0.2)
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self._accept = threading.Thread(
+            target=self._accept_loop, name="echo-accept", daemon=True
+        )
+        self._accept.start()
+
+    @property
+    def endpoint(self) -> tuple[str, int]:
+        return self._listener.getsockname()
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            thread = threading.Thread(
+                target=self._serve, args=(conn,), name="echo-conn",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _serve(self, conn: socket.socket) -> None:
+        conn.settimeout(0.2)
+        with conn:
+            while not self._stop.is_set():
+                try:
+                    chunk = conn.recv(65536)
+                except socket.timeout:
+                    continue
+                except OSError:
+                    return
+                if not chunk:
+                    return
+                try:
+                    conn.sendall(chunk)
+                except OSError:
+                    return
+
+    def close(self) -> None:
+        self._stop.set()
+        self._listener.close()
+        self._accept.join(timeout=5)
+
+    def __enter__(self) -> "EchoServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _roundtrip(endpoint, payload=b"ping", timeout=5.0) -> bytes:
+    with socket.create_connection(endpoint, timeout=timeout) as sock:
+        sock.settimeout(timeout)
+        sock.sendall(payload)
+        return sock.recv(65536)
+
+
+def test_clean_passthrough():
+    with EchoServer() as echo:
+        with FaultyProxy(*echo.endpoint).start() as proxy:
+            assert _roundtrip(proxy.endpoint, b"hello") == b"hello"
+            assert proxy.injected == {}
+
+
+def test_refuse_nth_connection_is_deterministic():
+    with EchoServer() as echo:
+        plan = NetFaultPlan(fail_nth={"connect": 2})
+        with FaultyProxy(*echo.endpoint, plan=plan).start() as proxy:
+            assert _roundtrip(proxy.endpoint) == b"ping"  # conn 1 fine
+            # Connection 2: accepted then closed before any relay.
+            with socket.create_connection(proxy.endpoint, timeout=5.0) as s:
+                s.settimeout(5.0)
+                s.sendall(b"ping")
+                try:
+                    assert s.recv(65536) == b""  # EOF, not an echo
+                except OSError:
+                    pass  # RST instead of EOF is also a refusal
+            assert _roundtrip(proxy.endpoint) == b"ping"  # conn 3 fine
+            assert proxy.injected.get("refuse") == 1
+
+
+def test_cut_tears_connection_mid_stream():
+    with EchoServer() as echo:
+        plan = NetFaultPlan(fail_nth={"c2s": 1})
+        with FaultyProxy(*echo.endpoint, plan=plan).start() as proxy:
+            with socket.create_connection(proxy.endpoint, timeout=5.0) as s:
+                s.settimeout(5.0)
+                s.sendall(b"doomed")
+                try:
+                    assert s.recv(65536) == b""
+                except OSError:
+                    pass
+            assert proxy.injected.get("cut") == 1
+
+
+def test_latency_delays_roundtrip():
+    with EchoServer() as echo:
+        plan = NetFaultPlan(latency_ms=60.0)
+        with FaultyProxy(*echo.endpoint, plan=plan).start() as proxy:
+            t0 = time.monotonic()
+            assert _roundtrip(proxy.endpoint) == b"ping"
+            # Both directions are delayed: >= 2 * 60ms.
+            assert time.monotonic() - t0 >= 0.1
+            assert proxy.injected.get("latency", 0) >= 2
+
+
+def test_partition_and_heal():
+    with EchoServer() as echo:
+        with FaultyProxy(*echo.endpoint).start() as proxy:
+            with socket.create_connection(proxy.endpoint, timeout=5.0) as s:
+                s.settimeout(0.5)
+                s.sendall(b"before")
+                assert s.recv(65536) == b"before"
+
+                proxy.partition("both")
+                assert proxy.partitioned == "both"
+                s.sendall(b"lost")
+                # The socket stays open but nothing comes back.
+                with pytest.raises(socket.timeout):
+                    s.recv(65536)
+
+                proxy.heal()
+                assert proxy.partitioned is None
+                # Black-holed bytes are gone for good; new traffic flows.
+                s.settimeout(5.0)
+                s.sendall(b"after")
+                assert s.recv(65536) == b"after"
+            assert proxy.injected.get("blackhole", 0) >= 1
+
+
+def test_asymmetric_partition_one_direction_only():
+    with EchoServer() as echo:
+        with FaultyProxy(*echo.endpoint).start() as proxy:
+            proxy.partition("s2c")
+            with socket.create_connection(proxy.endpoint, timeout=5.0) as s:
+                s.settimeout(0.5)
+                # Request reaches the echo server (c2s flows) but the
+                # reply is swallowed: alive to TCP, dead to the client.
+                s.sendall(b"oneway")
+                with pytest.raises(socket.timeout):
+                    s.recv(65536)
+            assert proxy.injected.get("blackhole", 0) >= 1
+
+
+def test_drop_connections_hard_closes_live_pairs():
+    with EchoServer() as echo:
+        with FaultyProxy(*echo.endpoint).start() as proxy:
+            with socket.create_connection(proxy.endpoint, timeout=5.0) as s:
+                s.settimeout(5.0)
+                s.sendall(b"x")
+                assert s.recv(65536) == b"x"
+                assert proxy.n_connections == 1
+                assert proxy.drop_connections() == 1
+                try:
+                    assert s.recv(65536) == b""
+                except OSError:
+                    pass
+            assert proxy.injected.get("cut") == 1
+
+
+def test_probabilistic_cuts_respect_budget_and_seed():
+    with EchoServer() as echo:
+        plan = NetFaultPlan(seed=42, cut_rate=1.0, max_faults=2)
+        with FaultyProxy(*echo.endpoint, plan=plan).start() as proxy:
+            torn = 0
+            for _ in range(5):
+                try:
+                    if _roundtrip(proxy.endpoint) != b"ping":
+                        torn += 1
+                except OSError:
+                    torn += 1
+            # cut_rate=1.0 would tear every connection; the budget
+            # stops after two injections.
+            assert proxy.injected.get("cut") == 2
+            assert torn == 2
+
+
+def test_metrics_and_events_mirroring():
+    registry = MetricsRegistry()
+    with EchoServer() as echo:
+        plan = NetFaultPlan(fail_nth={"connect": 1})
+        with FaultyProxy(*echo.endpoint, plan=plan).start() as proxy:
+            # First injection happens before attach: attach must
+            # backfill the running totals.
+            try:
+                _roundtrip(proxy.endpoint)
+            except OSError:
+                pass
+            proxy.attach_obs(metrics=registry)
+            assert registry.counter("net.fault_injected").value == 1
+            assert registry.counter("net.fault_injected.refuse").value == 1
+
+            proxy.partition("both")
+            with socket.create_connection(proxy.endpoint, timeout=5.0) as s:
+                s.settimeout(0.3)
+                s.sendall(b"gone")
+                with pytest.raises(socket.timeout):
+                    s.recv(65536)
+            assert registry.counter("net.fault_injected.blackhole").value >= 1
+
+
+def test_plan_json_roundtrip():
+    plan = NetFaultPlan(
+        seed=9,
+        refuse_rate=0.1,
+        latency_ms=5.0,
+        blackhole="s2c",
+        fail_nth={"connect": 3},
+        max_faults=7,
+    )
+    text = plan.to_json()
+    assert NetFaultPlan.from_json(text) == plan
+    # Defaults are elided (seed always kept, for reproducibility).
+    data = json.loads(text)
+    assert "cut_rate" not in data
+    assert data["seed"] == 9
+    assert NetFaultPlan().to_json() == '{"seed": 0}'
+
+
+def test_plan_validation():
+    with pytest.raises(ValueError):
+        NetFaultPlan(refuse_rate=1.5)
+    with pytest.raises(ValueError):
+        NetFaultPlan(latency_ms=-1)
+    with pytest.raises(ValueError):
+        NetFaultPlan(blackhole="sideways")
+    with pytest.raises(ValueError):
+        NetFaultPlan(fail_nth={"frob": 1})
+    with pytest.raises(ValueError):
+        NetFaultPlan(fail_nth={"connect": 0})
+    with pytest.raises(ValueError):
+        NetFaultPlan.from_json("[1, 2]")

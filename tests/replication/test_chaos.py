@@ -1,0 +1,449 @@
+"""The chaos matrix: network faults x crashes over a replicated cluster.
+
+Every test runs a 1-primary / N-follower cluster where each node sits
+behind its own :class:`FaultyProxy`, so the harness can kill, partition
+and heal links deterministically.  The invariants under test are the
+replication layer's whole contract:
+
+* **zero acked-write loss** — any write a client saw OK for survives
+  failover, whether the primary died by partition or by a PR 4 storage
+  crash point;
+* **bounded failover** — the :class:`FailoverCoordinator` detects a
+  dead primary and promotes a follower within a deadline, no human
+  ``dbtool promote`` involved;
+* **no split-brain** — the fenced stale primary can never ack a
+  post-promotion write at ack level >= 1, and the epoch keeps clients
+  and subscriptions pointed at exactly one primary.
+"""
+
+import time
+
+import pytest
+
+from repro.db import DB
+from repro.db.verify import verify_db
+from repro.devices import (
+    FaultPlan,
+    FaultyProxy,
+    FaultyStorage,
+    MemStorage,
+    OSStorage,
+)
+from repro.lsm import Options
+from repro.obs import Observability
+from repro.replication import (
+    FailoverCoordinator,
+    FencedError,
+    Follower,
+    ReplicatedShard,
+    ReplicationHub,
+)
+from repro.server import (
+    RetryPolicy,
+    ServerBusyError,
+    ServerConfig,
+    ServerThread,
+    SyncClient,
+)
+
+#: Primary retains plenty of WAL so followers catch up by replay, not
+#: snapshot, keeping the matrix fast and deterministic.
+_OPTS = dict(wal_retain_bytes=8 * 1024 * 1024)
+
+#: One failover must complete well inside this (detection is ~3 probe
+#: intervals + one promote round trip; the slack absorbs CI jitter).
+_FAILOVER_DEADLINE_S = 15.0
+
+
+def _wait(predicate, timeout=10.0, what="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.01)
+    raise AssertionError(f"timed out waiting for {what}")
+
+
+class _FollowerNode:
+    """A served follower behind its own chaos proxy."""
+
+    def __init__(self, directory, name, primary_endpoint, repl_acks):
+        self.directory = directory
+        self.storage = OSStorage(directory)
+        db = DB(self.storage, Options())
+
+        def _factory(directory=directory):
+            return DB(OSStorage(directory), Options())
+
+        self.follower = Follower(
+            db, self.storage, _factory,
+            primary_endpoint[0], primary_endpoint[1], name,
+            retry_interval_s=0.05, max_silence_s=1.0,
+        )
+        self.server = ServerThread(
+            db,
+            ServerConfig(
+                read_only=True, repl_acks=repl_acks, repl_ack_timeout_s=1.0
+            ),
+            own_db=False,
+            follower=self.follower,
+        ).start()
+        # Snapshot install swaps the DB out from under the server.
+        self.follower.bind_db_swap(self.server.server.swap_db)
+        self.follower.start()
+        self.proxy = FaultyProxy(self.server.host, self.server.port).start()
+
+    @property
+    def db(self):
+        return self.follower.db
+
+    @property
+    def endpoint(self):
+        return self.proxy.endpoint
+
+    def is_primary(self) -> bool:
+        server = self.server.server
+        return server.hub is not None and not server.config.read_only
+
+    def close(self) -> None:
+        self.proxy.close()
+        self.follower.stop()
+        self.server.stop()
+        try:
+            self.follower.db.close()
+        except Exception:
+            pass  # chaos teardown: the DB may be mid-crash
+
+
+class ChaosCluster:
+    """1 primary + N followers, every link fault-injectable."""
+
+    def __init__(self, tmp_path, n_followers=2, repl_acks=1,
+                 primary_storage=None):
+        self.obs = Observability()
+        self.primary_db = DB(
+            primary_storage or MemStorage(), Options(**_OPTS)
+        )
+        self.hub = ReplicationHub(self.primary_db)
+        self.primary_server = ServerThread(
+            self.primary_db,
+            ServerConfig(repl_acks=repl_acks, repl_ack_timeout_s=2.0),
+            own_db=False,
+            hub=self.hub,
+        ).start()
+        self.primary_proxy = FaultyProxy(
+            self.primary_server.host, self.primary_server.port
+        ).start()
+        self.primary_proxy.attach_obs(
+            metrics=self.obs.metrics, events=self.obs.events
+        )
+        self.followers = [
+            _FollowerNode(
+                str(tmp_path / f"f{i}"), f"f{i}",
+                self.primary_proxy.endpoint, repl_acks,
+            )
+            for i in range(n_followers)
+        ]
+        _wait(
+            lambda: self.hub.n_followers == n_followers,
+            what="followers subscribed",
+        )
+
+    @property
+    def endpoints(self):
+        return [self.primary_proxy.endpoint] + [
+            node.endpoint for node in self.followers
+        ]
+
+    def node_at(self, endpoint) -> _FollowerNode:
+        (node,) = [n for n in self.followers if n.endpoint == endpoint]
+        return node
+
+    def kill_primary(self) -> None:
+        """Network-kill: sever and black-hole every primary link."""
+        self.primary_proxy.partition("both")
+        self.primary_proxy.drop_connections()
+
+    def wait_caught_up(self, n_writes, timeout=10.0) -> None:
+        _wait(
+            lambda: all(
+                node.db.last_sequence >= n_writes for node in self.followers
+            ),
+            timeout=timeout,
+            what="followers caught up",
+        )
+
+    def close(self) -> None:
+        for node in self.followers:
+            node.close()
+        self.primary_proxy.close()
+        self.primary_server.stop()
+        try:
+            self.primary_db.close()
+        except Exception:
+            pass
+
+
+@pytest.fixture
+def cluster(tmp_path):
+    cluster = ChaosCluster(tmp_path)
+    yield cluster
+    cluster.close()
+
+
+def _put_acked(endpoint, keys, start, count):
+    """Write ``count`` keys at ack>=1 through the wire; extend ``keys``
+    with every key the server acked OK."""
+    client = SyncClient(*endpoint)
+    client.hello(ack_level=1)
+    try:
+        for i in range(start, start + count):
+            key = f"acked{i:05d}".encode()
+            client.put(key, f"v{i}".encode())
+            keys.append(key)
+    finally:
+        client.close()
+
+
+def test_auto_failover_promotes_without_manual_step(cluster):
+    acked = []
+    _put_acked(cluster.primary_proxy.endpoint, acked, 0, 200)
+    cluster.wait_caught_up(len(acked))
+
+    cluster.kill_primary()
+
+    coordinator = FailoverCoordinator(
+        cluster.endpoints,
+        heartbeat_interval_s=0.1,
+        failure_threshold=3,
+        probe_timeout_s=0.5,
+        obs=cluster.obs,
+    ).start()
+    try:
+        t0 = time.monotonic()
+        _wait(
+            lambda: coordinator.promotions >= 1,
+            timeout=_FAILOVER_DEADLINE_S,
+            what="automatic promotion",
+        )
+        elapsed = time.monotonic() - t0
+        assert elapsed < _FAILOVER_DEADLINE_S
+
+        status = coordinator.status()
+        assert status["promotions"] == 1
+        promoted = cluster.node_at(coordinator.last_primary)
+        assert promoted.is_primary()
+        assert promoted.db.repl_epoch >= 1
+
+        # Zero acked-write loss: every OK'd write reads back from the
+        # promoted node (reads only — no follower is attached yet).
+        client = SyncClient(*promoted.endpoint)
+        try:
+            missing = [k for k in acked if client.get(k) is None]
+        finally:
+            client.close()
+        assert not missing, f"lost {len(missing)} acked writes"
+
+        # The whole story is on the event/metric plane too.
+        metrics = cluster.obs.metrics
+        assert metrics.counter("failover.detected").value == 1
+        assert metrics.counter("failover.elected").value == 1
+        assert metrics.counter("failover.promoted").value == 1
+        assert metrics.counter("net.fault_injected").value >= 1
+    finally:
+        coordinator.stop()
+
+
+def test_fenced_stale_primary_cannot_ack_after_promotion(cluster):
+    acked = []
+    _put_acked(cluster.primary_proxy.endpoint, acked, 0, 50)
+    cluster.wait_caught_up(len(acked))
+
+    # Asymmetric partition: the primary still *looks* alive to TCP but
+    # every byte it sends is swallowed — the classic split-brain bait.
+    cluster.primary_proxy.partition("s2c")
+    cluster.primary_proxy.drop_connections()
+
+    coordinator = FailoverCoordinator(
+        cluster.endpoints,
+        heartbeat_interval_s=0.1,
+        failure_threshold=3,
+        probe_timeout_s=0.5,
+        obs=cluster.obs,
+    )
+    _wait(
+        lambda: coordinator.check_once() is not None,
+        timeout=_FAILOVER_DEADLINE_S,
+        what="partition-triggered promotion",
+    )
+    promoted = cluster.node_at(coordinator.last_primary)
+    new_epoch = promoted.db.repl_epoch
+    assert new_epoch > cluster.primary_db.repl_epoch
+
+    # Heal the network: the stale primary is back, unfenced it would
+    # happily take writes.  At ack>=1 it cannot — its followers are
+    # gone, so the ack wait times out and the client sees STALLED
+    # exhaustion, never OK.
+    cluster.primary_proxy.heal()
+    stale = SyncClient(
+        cluster.primary_server.host, cluster.primary_server.port,
+        max_retries=2,
+    )
+    stale.hello(ack_level=1)
+    try:
+        with pytest.raises(ServerBusyError):
+            stale.put(b"split-brain", b"never-acked")
+    finally:
+        stale.close()
+
+    # And its hub refuses any subscriber from the new epoch outright.
+    with pytest.raises(FencedError):
+        cluster.hub.subscribe(
+            "f-new", 1, follower_epoch=new_epoch
+        )
+
+    # A role-refreshing client elects the higher epoch, not the relic.
+    shard = ReplicatedShard(cluster.endpoints, ack_level=0)
+    try:
+        assert shard.status()["primary"] == (
+            f"{promoted.endpoint[0]}:{promoted.endpoint[1]}"
+        )
+        missing = [k for k in acked if shard.get(k) is None]
+        assert not missing, f"lost {len(missing)} acked writes"
+    finally:
+        shard.close()
+
+
+def test_kill_heal_loop_zero_acked_loss(cluster):
+    """Two consecutive failovers: kill the primary, promote, re-parent
+    the surviving follower, kill the new primary, promote again.  The
+    acked set must survive the whole schedule."""
+    coordinator = FailoverCoordinator(
+        cluster.endpoints,
+        heartbeat_interval_s=0.1,
+        failure_threshold=3,
+        probe_timeout_s=0.5,
+        obs=cluster.obs,
+    )
+    acked = []
+    _put_acked(cluster.primary_proxy.endpoint, acked, 0, 100)
+    cluster.wait_caught_up(len(acked))
+
+    # --- cycle 1: the original primary dies ------------------------
+    cluster.kill_primary()
+    _wait(
+        lambda: coordinator.check_once() is not None,
+        timeout=_FAILOVER_DEADLINE_S,
+        what="first promotion",
+    )
+    first = cluster.node_at(coordinator.last_primary)
+    (survivor,) = [n for n in cluster.followers if n is not first]
+
+    # Re-parent the surviving follower onto the new primary (the
+    # config push a deployment would do); it must resubscribe and
+    # catch up so ack>=1 writes flow again.
+    survivor.follower.repoint(first.server.host, first.server.port)
+    _wait(
+        lambda: first.server.server.hub is not None
+        and first.server.server.hub.n_followers == 1,
+        what="survivor resubscribed",
+    )
+    _put_acked(first.endpoint, acked, 100, 100)
+    _wait(
+        lambda: survivor.db.last_sequence >= first.db.last_sequence,
+        what="survivor caught up",
+    )
+
+    # --- cycle 2: the promoted primary dies too --------------------
+    first.proxy.partition("both")
+    first.proxy.drop_connections()
+    _wait(
+        lambda: coordinator.check_once() is not None,
+        timeout=_FAILOVER_DEADLINE_S,
+        what="second promotion",
+    )
+    second = cluster.node_at(coordinator.last_primary)
+    assert second is survivor
+    assert second.db.repl_epoch > first.db.repl_epoch
+
+    # Heal everything; the final primary holds every acked write.
+    cluster.primary_proxy.heal()
+    first.proxy.heal()
+    client = SyncClient(*second.endpoint)
+    try:
+        missing = [k for k in acked if client.get(k) is None]
+    finally:
+        client.close()
+    assert not missing, f"lost {len(missing)} acked writes"
+    assert coordinator.status()["promotions"] == 2
+
+
+def test_storage_crash_composes_with_netfaults(tmp_path):
+    """PR 4 crash points under a lossy network: the primary's storage
+    dies mid-WAL-append while the link to it drops chunks; a retrying
+    client keeps writing until the crash, then failover hands the
+    acked set to a follower whose store verifies clean."""
+    plan = FaultPlan(crash_at="wal.append", crash_skip=150)
+    pstorage = FaultyStorage(MemStorage(), plan)
+    cluster = ChaosCluster(
+        tmp_path, n_followers=2, primary_storage=pstorage
+    )
+    try:
+        # Lossy but survivable link to the primary: seeded 2% cuts.
+        from repro.devices import NetFaultPlan
+
+        cluster.primary_proxy.set_plan(
+            NetFaultPlan(seed=1234, cut_rate=0.02)
+        )
+        client = SyncClient(
+            *cluster.primary_proxy.endpoint,
+            retry_policy=RetryPolicy(
+                max_attempts=6, base_delay_s=0.01, seed=5
+            ),
+        )
+        client.hello(ack_level=1)
+        acked = []
+        try:
+            for i in range(400):
+                key = f"acked{i:05d}".encode()
+                client.put(key, f"v{i}".encode())
+                acked.append(key)
+        except Exception:
+            pass  # the crash point fired server-side
+        finally:
+            client.close()
+        assert pstorage.crashed
+        assert acked, "no writes were acked before the crash"
+
+        # The zombie primary's storage is dead; the chaos schedule
+        # finishes the job the way a watchdog would, by fencing it off
+        # the network, and the coordinator takes it from there.
+        cluster.kill_primary()
+        coordinator = FailoverCoordinator(
+            cluster.endpoints,
+            heartbeat_interval_s=0.1,
+            failure_threshold=3,
+            probe_timeout_s=0.5,
+        )
+        _wait(
+            lambda: coordinator.check_once() is not None,
+            timeout=_FAILOVER_DEADLINE_S,
+            what="post-crash promotion",
+        )
+        promoted = cluster.node_at(coordinator.last_primary)
+        client = SyncClient(*promoted.endpoint)
+        try:
+            missing = [k for k in acked if client.get(k) is None]
+        finally:
+            client.close()
+        assert not missing, f"lost {len(missing)} acked writes"
+        promoted_dir = promoted.directory
+
+        # Keep teardown away from the crashed storage.
+        cluster.primary_db._closed = True
+    finally:
+        cluster.close()
+
+    # The promoted store is internally consistent on disk.
+    report = verify_db(OSStorage(promoted_dir), Options())
+    assert report.ok, report.errors

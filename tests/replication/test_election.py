@@ -1,0 +1,82 @@
+"""Pure election tie-break tests for failover candidate selection.
+
+``elect_candidate`` is the deterministic core of automatic failover:
+given one probe status per endpoint it must always pick the follower
+that loses the least data, and break every tie the same way on every
+run — epoch desc, applied sequence desc, endpoint order asc.
+"""
+
+from repro.replication import elect_candidate
+
+
+def _status(endpoint, role="follower", epoch=0, applied_seq=0, up=True):
+    return {
+        "endpoint": endpoint,
+        "reachable": up,
+        "role": role,
+        "epoch": epoch,
+        "applied_seq": applied_seq,
+    }
+
+
+def test_no_candidates():
+    assert elect_candidate([]) is None
+    assert elect_candidate([_status(("a", 1), up=False)]) is None
+    assert elect_candidate([_status(("a", 1), role="primary")]) is None
+    assert elect_candidate([_status(("a", 1), role=None, up=False)]) is None
+
+
+def test_most_caught_up_wins():
+    statuses = [
+        _status(("a", 1), applied_seq=100),
+        _status(("b", 2), applied_seq=250),
+        _status(("c", 3), applied_seq=175),
+    ]
+    assert elect_candidate(statuses)["endpoint"] == ("b", 2)
+
+
+def test_higher_epoch_beats_higher_seq():
+    # A follower that already lived through a later fencing epoch must
+    # outrank a longer log from a dead generation.
+    statuses = [
+        _status(("a", 1), epoch=1, applied_seq=50),
+        _status(("b", 2), epoch=0, applied_seq=500),
+    ]
+    assert elect_candidate(statuses)["endpoint"] == ("a", 1)
+
+
+def test_equal_epochs_fall_back_to_seq():
+    statuses = [
+        _status(("a", 1), epoch=2, applied_seq=10),
+        _status(("b", 2), epoch=2, applied_seq=11),
+    ]
+    assert elect_candidate(statuses)["endpoint"] == ("b", 2)
+
+
+def test_full_tie_breaks_by_endpoint_order():
+    # Equal epochs and equal WAL positions: the configured endpoint
+    # order decides, so two coordinators with the same config promote
+    # the same node.
+    statuses = [
+        _status(("z", 9), epoch=1, applied_seq=42),
+        _status(("a", 1), epoch=1, applied_seq=42),
+    ]
+    assert elect_candidate(statuses)["endpoint"] == ("z", 9)
+    assert elect_candidate(list(reversed(statuses)))["endpoint"] == ("a", 1)
+
+
+def test_unreachable_and_primaries_skipped_mid_list():
+    statuses = [
+        _status(("p", 1), role="primary", epoch=5, applied_seq=999),
+        _status(("dead", 2), applied_seq=900, up=False),
+        _status(("f", 3), applied_seq=100),
+    ]
+    assert elect_candidate(statuses)["endpoint"] == ("f", 3)
+
+
+def test_missing_fields_default_to_zero():
+    statuses = [
+        {"endpoint": ("bare", 1), "reachable": True, "role": "follower"},
+        _status(("full", 2), epoch=0, applied_seq=1),
+    ]
+    assert elect_candidate(statuses)["endpoint"] == ("full", 2)

@@ -1,0 +1,179 @@
+"""RetryPolicy backoff/jitter bounds and CircuitBreaker transitions.
+
+Pure unit tests (fake clock, pinned jitter draws) plus two wire-level
+integration checks: a retrying client survives a cut connection, and a
+breaker turns a dead endpoint into a fast ``CircuitOpenError``.
+"""
+
+import socket
+
+import pytest
+
+from repro.db import DB
+from repro.devices import FaultyProxy, MemStorage, NetFaultPlan
+from repro.server import (
+    CircuitBreaker,
+    CircuitOpenError,
+    RetryPolicy,
+    ServerThread,
+    SyncClient,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+# ------------------------------------------------------------- RetryPolicy
+def test_backoff_exponential_when_jitterless():
+    policy = RetryPolicy(
+        base_delay_s=0.1, multiplier=2.0, max_delay_s=10.0, jitter=0.0
+    )
+    assert policy.backoff_s(1) == pytest.approx(0.1)
+    assert policy.backoff_s(2) == pytest.approx(0.2)
+    assert policy.backoff_s(3) == pytest.approx(0.4)
+    assert policy.backoff_s(4) == pytest.approx(0.8)
+
+
+def test_backoff_capped_at_max_delay():
+    policy = RetryPolicy(
+        base_delay_s=0.1, multiplier=10.0, max_delay_s=0.5, jitter=0.0
+    )
+    assert policy.backoff_s(5) == pytest.approx(0.5)
+
+
+def test_backoff_jitter_bounds():
+    # With jitter j, attempt k must land in [d*(1-j), d*(1+j)] for any
+    # uniform draw u in [0, 1) — the bound the chaos matrix relies on
+    # to keep failover time predictable.
+    policy = RetryPolicy(
+        base_delay_s=0.05, multiplier=2.0, max_delay_s=2.0, jitter=0.5
+    )
+    for attempt in range(1, 8):
+        base = min(2.0, 0.05 * 2.0 ** (attempt - 1))
+        for u in (0.0, 0.25, 0.5, 0.75, 1.0):
+            delay = policy.backoff_s(attempt, u)
+            assert base * 0.5 <= delay <= base * 1.5
+        # u = 0.5 is the midpoint: exactly the undithered delay.
+        assert policy.backoff_s(attempt, 0.5) == pytest.approx(base)
+
+
+def test_jitter_rng_is_seed_deterministic():
+    a = RetryPolicy(seed=7).rng()
+    b = RetryPolicy(seed=7).rng()
+    assert [a.uniform() for _ in range(16)] == [
+        b.uniform() for _ in range(16)
+    ]
+    assert RetryPolicy(seed=8).rng().uniform() != RetryPolicy(
+        seed=7
+    ).rng().uniform()
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=1.5)
+    with pytest.raises(ValueError):
+        RetryPolicy(base_delay_s=-0.1)
+    with pytest.raises(ValueError):
+        RetryPolicy(multiplier=0.5)
+
+
+# ----------------------------------------------------------- CircuitBreaker
+def test_breaker_opens_at_threshold_and_recovers():
+    clock = FakeClock()
+    breaker = CircuitBreaker(
+        failure_threshold=3, reset_timeout_s=5.0, clock=clock
+    )
+    assert breaker.state == "closed"
+    for _ in range(2):
+        breaker.record_failure()
+        assert breaker.allow()
+    breaker.record_failure()  # third strike
+    assert breaker.state == "open"
+    assert not breaker.allow()
+    assert breaker.opens == 1
+
+    # Cooldown elapses: exactly one probe is admitted.
+    clock.advance(5.1)
+    assert breaker.state == "half-open"
+    assert breaker.allow()
+    assert not breaker.allow()  # second caller waits for the probe
+
+    breaker.record_success()
+    assert breaker.state == "closed"
+    assert breaker.allow()
+
+
+def test_breaker_failed_probe_reopens():
+    clock = FakeClock()
+    breaker = CircuitBreaker(
+        failure_threshold=1, reset_timeout_s=2.0, clock=clock
+    )
+    breaker.record_failure()
+    assert breaker.state == "open"
+    clock.advance(2.1)
+    assert breaker.allow()  # the probe
+    breaker.record_failure()  # probe failed: fresh cooldown
+    assert breaker.state == "open"
+    assert not breaker.allow()
+    clock.advance(1.0)  # not enough
+    assert not breaker.allow()
+    clock.advance(1.5)
+    assert breaker.allow()
+    breaker.record_success()
+    assert breaker.state == "closed"
+    assert breaker.opens == 2
+
+
+# ------------------------------------------------------------- integration
+def test_client_retries_through_cut_connection():
+    db = DB(MemStorage(), background=True)
+    with ServerThread(db) as handle:
+        with FaultyProxy(handle.host, handle.port).start() as proxy:
+            client = SyncClient(
+                proxy.host,
+                proxy.port,
+                retry_policy=RetryPolicy(
+                    max_attempts=4, base_delay_s=0.01, seed=1
+                ),
+            )
+            try:
+                client.put(b"k", b"v")
+                # Cut the first server→client chunk of the *next*
+                # exchange: the response is torn, the client must
+                # reconnect and retry the read.
+                proxy.set_plan(NetFaultPlan(fail_nth={"s2c": 1}))
+                assert client.get(b"k") == b"v"
+                assert client.retries >= 1
+                assert proxy.injected.get("cut", 0) >= 1
+            finally:
+                client.close()
+
+
+def test_breaker_fails_fast_on_dead_endpoint():
+    # Grab a port that refuses connections.
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+
+    clock = FakeClock()
+    breaker = CircuitBreaker(
+        failure_threshold=2, reset_timeout_s=60.0, clock=clock
+    )
+    for _ in range(2):
+        with pytest.raises(OSError):
+            SyncClient("127.0.0.1", port, timeout=0.5, breaker=breaker)
+    assert breaker.state == "open"
+    # Third attempt never touches the network.
+    with pytest.raises(CircuitOpenError):
+        SyncClient("127.0.0.1", port, timeout=0.5, breaker=breaker)
