@@ -181,6 +181,7 @@ def run_net_benchmark(
     scrape_interval_s: Optional[float] = None,
     net_fault_plan=None,
     retry_policy=None,
+    distribution: str = "zipfian",
 ) -> NetBenchResult:
     """Load a keyspace, then run ``n_ops`` of YCSB mix ``mix`` through
     ``connections`` concurrent closed-loop socket clients.
@@ -220,7 +221,8 @@ def run_net_benchmark(
     *serving* path.
     """
     workload = YCSBWorkload(
-        mix, n_ops, record_count, value_bytes=value_bytes, seed=seed
+        mix, n_ops, record_count, value_bytes=value_bytes, seed=seed,
+        distribution=distribution,
     )
     acks = -1 if repl_acks == "majority" else int(repl_acks)
     hub = None
@@ -648,6 +650,117 @@ def run_obs_overhead(
     }
 
 
+def _policy_sweep_options(policy: str) -> Options:
+    """A compaction-heavy configuration for the policy sweep.
+
+    Tiny memtables/tables and a shallow byte budget force data through
+    several levels during the run, so the layout choice (leveled
+    rewrite-on-overlap vs tiered whole-run pushes) dominates the bytes
+    written — which is exactly what the sweep contrasts.  The stop
+    trigger leaves room for a runs=4 tier to fill before stalling.
+    """
+    return Options(
+        memtable_bytes=8 * 1024,
+        sstable_bytes=8 * 1024,
+        block_bytes=1024,
+        level1_bytes=32 * 1024,
+        level_multiplier=4,
+        num_levels=5,
+        l0_compaction_trigger=4,
+        l0_stop_writes_trigger=8,
+        compaction_policy=policy,
+    )
+
+
+def run_policy_sweep(
+    policies: Optional[list[str]] = None,
+    n_ops: int = 6000,
+    record_count: int = 1500,
+    value_bytes: int = 100,
+    connections: int = 4,
+    compaction_spec: Optional[ProcedureSpec] = None,
+    seed: int = 0,
+) -> dict:
+    """Contrast the compaction policies on write-heavy and uniform
+    workloads; return the ``BENCH_policies.json`` payload.
+
+    Every policy serves the identical op stream on the identical
+    compaction-heavy configuration (:func:`_policy_sweep_options`).
+    Per run the table records throughput/latency plus the two
+    amplification figures from the engine's own counters:
+
+    * ``write_amp`` — SST bytes written (flush + compaction outputs)
+      per logical byte the clients wrote (``wal.bytes``).  Tiering's
+      whole-run pushes never rewrite the target level, so it should
+      beat leveling here, and by design, not by noise.
+    * ``space_amp`` — final on-disk table bytes per live logical byte
+      (keys live once; tiering pays here, leveling wins).
+    """
+    policies = policies or ["leveled", "tiered:runs=4", "lazy-leveled:runs=4"]
+    spec = compaction_spec or ProcedureSpec.scp()
+    workloads = [
+        # Write-heavy zipfian: compaction-bound, the tiered sweet spot.
+        {"name": "write-heavy", "mix": "w", "distribution": "zipfian"},
+        # Uniform 50/50: no hot keys, every level sees every key range.
+        {"name": "uniform", "mix": "a", "distribution": "uniform"},
+    ]
+    runs = []
+    for workload in workloads:
+        for policy in policies:
+            result = run_net_benchmark(
+                mix=workload["mix"],
+                n_ops=n_ops,
+                record_count=record_count,
+                value_bytes=value_bytes,
+                connections=connections,
+                options=_policy_sweep_options(policy),
+                compaction_spec=spec,
+                seed=seed,
+                distribution=workload["distribution"],
+            )
+            db_stats = result.server_stats.get("db", {})
+            counters = result.server_stats.get("engine", {}).get(
+                "counters", {}
+            )
+            logical = counters.get("wal.bytes", 0) or 1
+            sst_written = counters.get("db.flush_bytes", 0) + counters.get(
+                "compaction.output_bytes", 0
+            )
+            # Live set ≈ the loaded keyspace (updates replace in place,
+            # mix "w"/"a" never insert); key format is fixed-width.
+            live_bytes = record_count * (16 + value_bytes) or 1
+            runs.append(
+                {
+                    "workload": workload["name"],
+                    "mix": workload["mix"],
+                    "distribution": workload["distribution"],
+                    "policy": db_stats.get("compaction_policy", policy),
+                    "ops_per_second": result.ops_per_second,
+                    "wall_seconds": result.wall_seconds,
+                    "p50_ms": result.percentile_ms(50),
+                    "p99_ms": result.percentile_ms(99),
+                    "stall_retries": result.stall_retries,
+                    "write_stalls": db_stats.get("write_stalls"),
+                    "compactions": db_stats.get("compactions"),
+                    "logical_bytes": logical,
+                    "sst_bytes_written": sst_written,
+                    "write_amp": sst_written / logical,
+                    "final_table_bytes": db_stats.get("total_bytes", 0),
+                    "space_amp": db_stats.get("total_bytes", 0) / live_bytes,
+                }
+            )
+    return {
+        "benchmark": "netbench-policy-sweep",
+        "n_ops": n_ops,
+        "record_count": record_count,
+        "value_bytes": value_bytes,
+        "connections": connections,
+        "procedure": spec.kind,
+        "policies": policies,
+        "runs": runs,
+    }
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="netbench",
@@ -705,11 +818,53 @@ def main(argv: Optional[list[str]] = None) -> int:
              "single run",
     )
     parser.add_argument(
+        "--compaction-policy", metavar="SPEC", default=None,
+        help="compaction policy for a single run (leveled, "
+             "tiered:runs=N, lazy-leveled:runs=N)",
+    )
+    parser.add_argument(
+        "--distribution", default="zipfian",
+        choices=["zipfian", "uniform"],
+        help="key-choice distribution for non-insert ops",
+    )
+    parser.add_argument(
+        "--policy-sweep", action="store_true",
+        help="contrast leveled/tiered/lazy-leveled on write-heavy and "
+             "uniform workloads (write-amp, space-amp, ops/s) instead "
+             "of a single run",
+    )
+    parser.add_argument(
         "--json-out", metavar="PATH", default=None,
         help="write the result table as JSON "
-             "(with --scaling or --replication-sweep)",
+             "(with --scaling, --replication-sweep, or --policy-sweep)",
     )
     args = parser.parse_args(argv)
+
+    if args.policy_sweep:
+        table = run_policy_sweep(
+            n_ops=args.ops,
+            record_count=args.records,
+            value_bytes=args.value_bytes,
+            connections=args.connections,
+            compaction_spec=getattr(ProcedureSpec, args.procedure)(),
+            seed=args.seed,
+        )
+        for entry in table["runs"]:
+            print(
+                f"{entry['workload']}/{entry['policy']}: "
+                f"{entry['ops_per_second']:,.0f} ops/s "
+                f"write_amp={entry['write_amp']:.2f} "
+                f"space_amp={entry['space_amp']:.2f} "
+                f"p99={entry['p99_ms']:.2f}ms "
+                f"compactions={entry['compactions']}"
+            )
+        if args.json_out:
+            import json
+
+            with open(args.json_out, "w") as fh:
+                json.dump(table, fh, indent=2, sort_keys=True)
+            print(f"wrote {args.json_out}")
+        return 0
 
     if args.obs_overhead:
         table = run_obs_overhead(
@@ -804,12 +959,18 @@ def main(argv: Optional[list[str]] = None) -> int:
         )
 
     spec = getattr(ProcedureSpec, args.procedure)()
+    options = (
+        Options(compaction_policy=args.compaction_policy)
+        if args.compaction_policy is not None
+        else None
+    )
     result = run_net_benchmark(
         mix=args.mix,
         n_ops=args.ops,
         record_count=args.records,
         value_bytes=args.value_bytes,
         connections=args.connections,
+        options=options,
         compaction_spec=spec,
         seed=args.seed,
         shards=args.shards,
@@ -818,6 +979,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         repl_acks=args.repl_acks,
         net_fault_plan=net_fault_plan,
         retry_policy=retry_policy,
+        distribution=args.distribution,
     )
     print(result.summary())
     db_stats = result.server_stats.get("db", {})

@@ -532,6 +532,17 @@ class ShardedDB:
     def total_bytes(self) -> int:
         return sum(shard.total_bytes() for shard in self.shards)
 
+    @property
+    def policy(self):
+        """The shards' compaction policy (every shard opens with the
+        same Options, so they agree); None for policy-less ShardLikes
+        (e.g. pure RemoteShard mixes)."""
+        for shard in self.shards:
+            found = getattr(shard, "policy", None)
+            if found is not None:
+                return found
+        return None
+
     def describe(self) -> str:
         return "\n".join(
             f"[shard {i}]\n{shard.describe()}"
@@ -551,9 +562,11 @@ class ShardedDB:
         if self._closed:
             raise RuntimeError("ShardedDB is closed")
         if name == "cluster":
+            policy = self.policy
             lines = [
                 f"shards={self.n_shards} "
                 f"partitioner={self.partitioner.spec()}"
+                + (f" policy={policy.spec()}" if policy is not None else "")
             ]
             for entry in self.shard_stats():
                 lines.append(
@@ -564,6 +577,9 @@ class ShardedDB:
             return "\n".join(lines)
         if name == "metrics":
             return json.dumps(self.metrics_snapshot(), sort_keys=True)
+        if name == "compaction-policy":
+            policy = self.policy
+            return policy.spec() if policy is not None else None
         if name == "sstables":
             return self.describe()
         if name == "total-bytes":

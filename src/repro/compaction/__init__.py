@@ -1,0 +1,39 @@
+"""Pluggable compaction policies over the pipelined S1–S7 substrate.
+
+See docs/COMPACTION.md for the policy model and spec-string grammar.
+
+>>> from repro.compaction import make_policy
+>>> from repro.lsm import Options
+>>> make_policy("tiered:runs=4", Options()).spec()
+'tiered:runs=4'
+"""
+
+from .lazy import LazyLeveledPolicy
+from .leveled import LeveledPolicy
+from .policy import (
+    DEFAULT_POLICY_SPEC,
+    CompactionPolicy,
+    CompactionTask,
+    PolicyMismatchError,
+    available_policies,
+    canonical_spec,
+    make_policy,
+    parse_spec,
+    register_policy,
+)
+from .tiered import TieredPolicy
+
+__all__ = [
+    "DEFAULT_POLICY_SPEC",
+    "CompactionPolicy",
+    "CompactionTask",
+    "LazyLeveledPolicy",
+    "LeveledPolicy",
+    "PolicyMismatchError",
+    "TieredPolicy",
+    "available_policies",
+    "canonical_spec",
+    "make_policy",
+    "parse_spec",
+    "register_policy",
+]

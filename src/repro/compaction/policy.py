@@ -1,0 +1,223 @@
+"""The compaction-policy interface and registry.
+
+Sarkar et al. ("Constructing and Analyzing the LSM Compaction Design
+Space", PAPERS.md) decompose compaction into four orthogonal knobs:
+*trigger* (when), *data layout* (leveled / tiered / hybrids),
+*granularity* (how much), and *data movement* (which files).  A
+:class:`CompactionPolicy` owns all four decisions; the pipelined S1–S7
+merge machinery underneath (the paper's contribution) is policy-blind
+— it just merges whatever file sets the policy picks.
+
+Policies are named by *spec strings*::
+
+    leveled                    classic LevelDB leveling (the default)
+    tiered:runs=4              size-tiered, merge a level at 4 runs
+    lazy-leveled:runs=4        tiering above, leveling on the last level
+
+The canonical spec is persisted in the store's MANIFEST, so a store
+reopens under the policy it was created with; asking for a different
+one raises :class:`PolicyMismatchError` instead of silently mixing
+layouts.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import ClassVar, Optional
+
+from ..lsm.options import Options
+from ..lsm.version import FileMetaData, Version
+
+__all__ = [
+    "CompactionTask",
+    "CompactionPolicy",
+    "PolicyMismatchError",
+    "register_policy",
+    "available_policies",
+    "parse_spec",
+    "make_policy",
+    "canonical_spec",
+    "DEFAULT_POLICY_SPEC",
+]
+
+#: Spec adopted by fresh stores when the caller does not choose one.
+DEFAULT_POLICY_SPEC = "leveled"
+
+
+class PolicyMismatchError(ValueError):
+    """Requested policy disagrees with the one persisted in the manifest."""
+
+
+@dataclass
+class CompactionTask:
+    """Inputs and placement of one compaction.
+
+    ``inputs_upper`` come from ``level``; ``inputs_lower`` from
+    ``output_level`` (empty for whole-tier pushes).  ``output_level``
+    defaults to ``level + 1`` (the classic shape); tiered policies use
+    ``output_level == level`` for last-level in-place run merges.
+    ``output_run`` is the sorted-run id the outputs are installed
+    under (0 for leveled targets).
+    """
+
+    level: int
+    inputs_upper: list[FileMetaData]
+    inputs_lower: list[FileMetaData]
+    output_level: int = -1
+    output_run: int = 0
+
+    def __post_init__(self) -> None:
+        if self.output_level < 0:
+            self.output_level = self.level + 1
+
+    def all_inputs(self) -> list[FileMetaData]:
+        return self.inputs_upper + self.inputs_lower
+
+    def input_bytes(self) -> int:
+        return sum(f.file_size for f in self.all_inputs())
+
+    def is_trivial_move(self) -> bool:
+        """Single upper file, nothing overlapping below, and an actual
+        level change: just relink."""
+        return (
+            len(self.inputs_upper) == 1
+            and not self.inputs_lower
+            and self.output_level != self.level
+        )
+
+    def key_range_user(self) -> tuple[bytes, bytes]:
+        """User-key span covered by all inputs."""
+        smallest = min(f.smallest[:-8] for f in self.all_inputs())
+        largest = max(f.largest[:-8] for f in self.all_inputs())
+        return smallest, largest
+
+
+class CompactionPolicy(ABC):
+    """Decides when and what to compact, and where outputs land.
+
+    Subclasses register themselves with :func:`register_policy` under
+    a class-level ``name``.  One instance is owned per DB and only
+    ever called under the DB mutex, so policies may keep mutable
+    cursor state (e.g. leveling's round-robin ``compact_pointer``)
+    without their own locks.
+    """
+
+    name: ClassVar[str] = ""
+
+    def __init__(self, options: Options) -> None:
+        self.options = options
+
+    # -- construction / identity -------------------------------------
+    @classmethod
+    def from_params(
+        cls, options: Options, params: dict[str, str]
+    ) -> "CompactionPolicy":
+        """Build from parsed spec params; unknown keys must raise."""
+        if params:
+            raise ValueError(
+                f"policy '{cls.name}' takes no parameters, "
+                f"got {sorted(params)}"
+            )
+        return cls(options)
+
+    def spec(self) -> str:
+        """Canonical spec string (what the manifest persists)."""
+        return self.name
+
+    # -- the four knobs ------------------------------------------------
+    @abstractmethod
+    def compaction_score(self, version: Version) -> tuple[float, int]:
+        """(score, level) of the most pressing compaction; score >= 1
+        means a compaction is due."""
+
+    @abstractmethod
+    def pick(self, version: Version) -> Optional[CompactionTask]:
+        """The next compaction task, or None when nothing is due."""
+
+    @abstractmethod
+    def pick_for_range(
+        self,
+        version: Version,
+        level: int,
+        smallest_user: Optional[bytes],
+        largest_user: Optional[bytes],
+    ) -> Optional[CompactionTask]:
+        """A task pushing ``level`` data overlapping the range down one
+        level (``compact_range`` driver); None when nothing to do."""
+
+    def needs_compaction(self, version: Version) -> bool:
+        return self.compaction_score(version)[0] >= 1.0
+
+    def write_stall(self, version: Version) -> bool:
+        """Should foreground writes pause?
+
+        Generalized from LevelDB's "L0 file count" to *sorted runs at
+        L0*: each L0 file is one run, so for leveled stores this is
+        exactly the classic ``l0_stop_writes_trigger`` file-count
+        stall, while tiered stores stall on the same backlog measure
+        that drives their merges (see docs/COMPACTION.md).
+        """
+        return version.num_runs(0) >= self.options.l0_stop_writes_trigger
+
+
+# ---------------------------------------------------------------- registry
+_REGISTRY: dict[str, type[CompactionPolicy]] = {}
+
+
+def register_policy(cls: type[CompactionPolicy]) -> type[CompactionPolicy]:
+    """Class decorator: make ``cls`` constructible from spec strings."""
+    if not cls.name:
+        raise ValueError("policy class needs a non-empty 'name'")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def _ensure_builtin_policies() -> None:
+    # Importing the modules runs their @register_policy decorators.
+    from . import lazy, leveled, tiered  # noqa: F401
+
+
+def available_policies() -> list[str]:
+    _ensure_builtin_policies()
+    return sorted(_REGISTRY)
+
+
+def parse_spec(spec: str) -> tuple[str, dict[str, str]]:
+    """Split ``"name:key=val,key=val"`` into (name, params)."""
+    if not isinstance(spec, str) or not spec.strip():
+        raise ValueError(f"empty compaction-policy spec: {spec!r}")
+    name, _, tail = spec.strip().partition(":")
+    params: dict[str, str] = {}
+    if tail:
+        for part in tail.split(","):
+            key, eq, value = part.partition("=")
+            if not eq or not key or not value:
+                raise ValueError(
+                    f"malformed policy parameter {part!r} in spec {spec!r} "
+                    "(want key=value)"
+                )
+            params[key.strip()] = value.strip()
+    return name, params
+
+
+def make_policy(spec: Optional[str], options: Options) -> CompactionPolicy:
+    """Instantiate the policy a spec string names.
+
+    ``None`` means the default (:data:`DEFAULT_POLICY_SPEC`).
+    """
+    _ensure_builtin_policies()
+    name, params = parse_spec(spec if spec is not None else DEFAULT_POLICY_SPEC)
+    cls = _REGISTRY.get(name)
+    if cls is None:
+        raise ValueError(
+            f"unknown compaction policy {name!r}; "
+            f"available: {', '.join(available_policies())}"
+        )
+    return cls.from_params(options, params)
+
+
+def canonical_spec(spec: Optional[str], options: Options) -> str:
+    """The canonical form of ``spec`` under ``options`` (defaults
+    resolved), as persisted in the manifest and compared on reopen."""
+    return make_policy(spec, options).spec()

@@ -23,11 +23,17 @@ from __future__ import annotations
 import json
 import threading
 from contextlib import contextmanager, nullcontext
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterator, Optional
 
 from ..analysis.locksan import make_lock, make_rlock
 from ..analysis.racesan import shared_state
+from ..compaction.policy import (
+    CompactionTask,
+    PolicyMismatchError,
+    canonical_spec,
+    make_policy,
+)
 from ..core.procedures import ProcedureSpec, compact_tables
 from ..devices.faults import TransientIOError, find_faulty
 from ..devices.vfs import MeteredStorage, Storage, StorageError
@@ -40,7 +46,6 @@ from ..lsm.ikey import (
 )
 from ..lsm.memtable import MemTable
 from ..lsm.options import Options
-from ..lsm.picker import CompactionPicker, CompactionTask
 from ..lsm.table_builder import TableBuilder
 from ..lsm.table_format import TableCorruption
 from ..lsm.table_reader import Table
@@ -185,7 +190,28 @@ class DB:
         self.version = version
         self._next_file = next_file
         self._sequence = last_seq
-        self.picker = CompactionPicker(self.options)
+        # Compaction policy: fresh stores adopt the requested spec (or
+        # leveling); existing stores reopen under the policy persisted
+        # in their manifest, and a conflicting request fails loudly
+        # rather than mixing layouts (see docs/COMPACTION.md).
+        persisted = version.policy_spec
+        requested = self.options.compaction_policy
+        if requested is not None:
+            spec = canonical_spec(requested, self.options)
+            if persisted is not None and persisted != spec:
+                raise PolicyMismatchError(
+                    f"store was created with compaction policy "
+                    f"{persisted!r} but open requested {spec!r}; pass "
+                    f"compaction_policy=None (adopt) or {persisted!r}"
+                )
+        elif persisted is not None:
+            spec = persisted
+        else:
+            spec = canonical_spec(None, self.options)  # legacy => leveled
+        self.policy = make_policy(spec, self.options)
+        self.version.policy_spec = self.policy.spec()
+        #: Back-compat alias (the pre-policy engine called it a picker).
+        self.picker = self.policy
         self.memtable = MemTable(seed=0)
         self._replay_wal(log_number)
         if len(self.memtable):
@@ -210,6 +236,7 @@ class DB:
             next_file_number=self._next_file,
             last_sequence=self._sequence,
             repl_epoch=self.version.repl_epoch,
+            policy_spec=self.version.policy_spec,
         )
         for level, meta in self.version.all_files():
             boot.add_file(level, meta)
@@ -674,10 +701,20 @@ class DB:
 
     def _can_drop_deletes(self, task: CompactionTask) -> bool:
         """Tombstones may be dropped only when no older data can exist
-        below the output level for the compacted range."""
+        for the compacted range once the outputs are installed.
+
+        Older data can hide in two places: levels below the output
+        level (the classic leveled case), and — under tiered layouts —
+        *other runs at the output level itself* that are not consumed
+        by this task (they were installed earlier, so they hold older
+        versions a dropped tombstone would resurrect)."""
+        lo, hi = task.key_range_user()
+        input_numbers = {m.number for m in task.all_inputs()}
+        for meta in self.version.overlapping_files(task.output_level, lo, hi):
+            if meta.number not in input_numbers:
+                return False
         if task.output_level >= self.options.num_levels - 1:
             return True
-        lo, hi = task.key_range_user()
         return not any(
             self.version.overlapping_files(level, lo, hi)
             for level in range(task.output_level + 1, self.options.num_levels)
@@ -696,11 +733,12 @@ class DB:
         self.stats.per_level_compactions[task.level] = (
             self.stats.per_level_compactions.get(task.level, 0) + 1
         )
+        self.obs.metrics.counter(f"compaction.policy.{self.policy.name}").inc()
         if task.is_trivial_move():
             meta = task.inputs_upper[0]
             edit = VersionEdit()
             edit.delete_file(task.level, meta.number)
-            edit.add_file(task.output_level, meta)
+            edit.add_file(task.output_level, replace(meta, run=task.output_run))
             self._apply_edit(edit)
             self.stats.trivial_moves += 1
             self.obs.metrics.counter("compaction.trivial_moves").inc()
@@ -738,17 +776,26 @@ class DB:
                 tables += [self._open_table(m) for m in task.inputs_lower]
                 with self._unlocked() if unlock else nullcontext():
                     t0 = time.perf_counter()
-                    outputs, stats, subtasks = compact_tables(
-                        tables,
-                        self.storage,
-                        self.options,
-                        file_namer=lambda: sstable_name(self._new_file_number()),
-                        spec=self.compaction_spec,
-                        drop_deletes=drop_deletes,
-                        smallest_snapshot=smallest_snapshot,
-                        tracer=self.obs.tracer,
-                        compute_pool=self.compute_pool,
-                    )
+                    with self.obs.tracer.span(
+                        "compaction.run",
+                        cat="compaction",
+                        policy=self.policy.spec(),
+                        level=task.level,
+                        output_level=task.output_level,
+                    ):
+                        outputs, stats, subtasks = compact_tables(
+                            tables,
+                            self.storage,
+                            self.options,
+                            file_namer=lambda: sstable_name(
+                                self._new_file_number()
+                            ),
+                            spec=self.compaction_spec,
+                            drop_deletes=drop_deletes,
+                            smallest_snapshot=smallest_snapshot,
+                            tracer=self.obs.tracer,
+                            compute_pool=self.compute_pool,
+                        )
                     elapsed = time.perf_counter() - t0
                 break
             except TransientIOError:
@@ -794,7 +841,7 @@ class DB:
         for meta in task.inputs_lower:
             edit.delete_file(task.output_level, meta.number)
         for meta in outputs:
-            edit.add_file(task.output_level, meta)
+            edit.add_file(task.output_level, replace(meta, run=task.output_run))
         self._apply_edit(edit)
         self._crash_point("compaction.installed")
         for meta in task.all_inputs():
@@ -823,6 +870,8 @@ class DB:
         self._record_compaction(
             {
                 "level": task.level,
+                "output_level": task.output_level,
+                "output_run": task.output_run,
                 "inputs": len(task.all_inputs()),
                 "outputs": len(outputs),
                 "subtasks": stats.n_subtasks,
@@ -830,6 +879,7 @@ class DB:
                 "output_bytes": stats.output_bytes,
                 "seconds": elapsed,
                 "procedure": self.compaction_spec.kind,
+                "policy": self.policy.spec(),
             }
         )
         if self.observer is not None:
@@ -1018,10 +1068,14 @@ class DB:
             seq = snapshot.sequence if snapshot is not None else self._sequence
             memtables = [self.memtable]
             l0 = [self._open_table(m) for m in reversed(self.version.files[0])]
+            # One disjoint key-ordered table list per sorted run, newer
+            # runs first within a level (they shadow older ones); a
+            # leveled store has one run per level, so this degenerates
+            # to the classic per-level list.
             levels = [
-                [self._open_table(m) for m in self.version.files[level]]
+                [self._open_table(m) for m in run_files]
                 for level in range(1, self.options.num_levels)
-                if self.version.files[level]
+                for _run_id, run_files in reversed(self.version.runs(level))
             ]
         return Cursor(memtables, l0, levels, seq)
 
@@ -1073,7 +1127,9 @@ class DB:
 
     def describe(self) -> str:
         with self._lock:
-            return self.version.describe()
+            return (
+                f"policy={self.policy.spec()}\n{self.version.describe()}"
+            )
 
     def compact_range(
         self, start: Optional[bytes] = None, end: Optional[bytes] = None
@@ -1097,17 +1153,9 @@ class DB:
                     # Never race the background compactor over one task.
                     while self._compacting:
                         self._bg_wake.wait(timeout=0.05)
-                    files = self.version.overlapping_files(level, start, end)
-                    if not files:
-                        break
-                    if level == 0:
-                        task = self.picker._pick_l0(self.version)
-                    else:
-                        pick = files[0]
-                        lower = self.version.overlapping_files(
-                            level + 1, pick.smallest[:-8], pick.largest[:-8]
-                        )
-                        task = CompactionTask(level, [pick], lower)
+                    task = self.policy.pick_for_range(
+                        self.version, level, start, end
+                    )
                     if task is None:
                         break
                     self._run_compaction(task)
@@ -1124,7 +1172,9 @@ class DB:
 
         Supported: ``num-files-at-level<N>``, ``stats``, ``sstables``,
         ``approximate-memory-usage``, ``total-bytes``,
-        ``compaction-log`` (one line per recent compaction, newest
+        ``compaction-policy`` (the canonical policy spec),
+        ``compaction-log`` (a policy/per-level-run-count header, then
+        one line per recent compaction, newest
         last), ``metrics`` (the full :class:`repro.obs.MetricsRegistry`
         snapshot as JSON), ``io-stats`` (per-device read/write/sync
         ops and bytes), ``cache-stats`` (block-cache hit/miss/
@@ -1160,14 +1210,29 @@ class DB:
                 return str(self.version.total_bytes())
             if name == "compaction-log":
                 lines = [
-                    f"L{r['level']}->L{r['level'] + 1} "
-                    f"{r['procedure']} inputs={r['inputs']} "
+                    f"L{r['level']}->L{r.get('output_level', r['level'] + 1)} "
+                    f"{r['procedure']} "
+                    f"policy={r.get('policy', self.policy.spec())} "
+                    f"inputs={r['inputs']} "
                     f"subtasks={r['subtasks']} "
                     f"in={r['input_bytes']} out={r['output_bytes']} "
                     f"{r['seconds'] * 1e3:.1f}ms"
                     for r in self.compaction_log
                 ]
-                return "\n".join(lines) if lines else "(no compactions yet)"
+                if not lines:
+                    return "(no compactions yet)"
+                runs = " ".join(
+                    f"L{lv}={self.version.num_runs(lv)}"
+                    for lv in range(self.options.num_levels)
+                    if self.version.files[lv]
+                )
+                header = (
+                    f"policy={self.policy.spec()} "
+                    f"runs[{runs or 'empty'}]"
+                )
+                return "\n".join([header, *lines])
+            if name == "compaction-policy":
+                return self.policy.spec()
             if name == "metrics":
                 return json.dumps(self.obs.metrics.snapshot(), sort_keys=True)
             if name == "io-stats":

@@ -15,6 +15,12 @@ Edit wire format: a sequence of varint-tagged fields::
     4 new file            level, number, size, len+smallest, len+largest
     5 deleted file        level, number
     6 repl_epoch          varint (replication fencing epoch)
+    7 new file w/ run     level, number, run, size, len+smallest, len+largest
+    8 policy spec         len + utf-8 compaction-policy spec string
+
+Tag 4 is kept for run-0 files so leveled stores stay byte-identical
+with pre-policy manifests; tag 7 only appears once a tiered policy
+stacks runs.
 """
 
 from __future__ import annotations
@@ -39,6 +45,8 @@ _TAG_LAST_SEQUENCE = 3
 _TAG_NEW_FILE = 4
 _TAG_DELETED_FILE = 5
 _TAG_REPL_EPOCH = 6
+_TAG_NEW_FILE_RUN = 7
+_TAG_POLICY = 8
 
 
 @dataclass
@@ -51,6 +59,7 @@ class VersionEdit:
     new_files: list[tuple[int, FileMetaData]] = field(default_factory=list)
     deleted_files: list[tuple[int, int]] = field(default_factory=list)
     repl_epoch: Optional[int] = None
+    policy_spec: Optional[str] = None
 
     def add_file(self, level: int, meta: FileMetaData) -> "VersionEdit":
         self.new_files.append((level, meta))
@@ -74,10 +83,21 @@ class VersionEdit:
         if self.repl_epoch is not None:
             out += encode_varint64(_TAG_REPL_EPOCH)
             out += encode_varint64(self.repl_epoch)
+        if self.policy_spec is not None:
+            spec = self.policy_spec.encode("utf-8")
+            out += encode_varint64(_TAG_POLICY)
+            out += encode_varint64(len(spec))
+            out += spec
         for level, meta in self.new_files:
-            out += encode_varint64(_TAG_NEW_FILE)
-            out += encode_varint64(level)
-            out += encode_varint64(meta.number)
+            if meta.run:
+                out += encode_varint64(_TAG_NEW_FILE_RUN)
+                out += encode_varint64(level)
+                out += encode_varint64(meta.number)
+                out += encode_varint64(meta.run)
+            else:  # run-0 files keep the legacy tag (byte compat)
+                out += encode_varint64(_TAG_NEW_FILE)
+                out += encode_varint64(level)
+                out += encode_varint64(meta.number)
             out += encode_varint64(meta.file_size)
             out += encode_varint64(len(meta.smallest))
             out += meta.smallest
@@ -104,9 +124,12 @@ class VersionEdit:
                 edit.last_sequence, pos = decode_varint64(blob, pos)
             elif tag == _TAG_REPL_EPOCH:
                 edit.repl_epoch, pos = decode_varint64(blob, pos)
-            elif tag == _TAG_NEW_FILE:
+            elif tag in (_TAG_NEW_FILE, _TAG_NEW_FILE_RUN):
                 level, pos = decode_varint64(blob, pos)
                 number, pos = decode_varint64(blob, pos)
+                run = 0
+                if tag == _TAG_NEW_FILE_RUN:
+                    run, pos = decode_varint64(blob, pos)
                 size, pos = decode_varint64(blob, pos)
                 slen, pos = decode_varint64(blob, pos)
                 smallest = blob[pos : pos + slen]
@@ -117,8 +140,15 @@ class VersionEdit:
                 if len(smallest) != slen or len(largest) != llen:
                     raise ValueError("truncated file keys in version edit")
                 edit.new_files.append(
-                    (level, FileMetaData(number, size, smallest, largest))
+                    (level, FileMetaData(number, size, smallest, largest, run=run))
                 )
+            elif tag == _TAG_POLICY:
+                plen, pos = decode_varint64(blob, pos)
+                spec = blob[pos : pos + plen]
+                pos += plen
+                if len(spec) != plen:
+                    raise ValueError("truncated policy spec in version edit")
+                edit.policy_spec = spec.decode("utf-8")
             elif tag == _TAG_DELETED_FILE:
                 level, pos = decode_varint64(blob, pos)
                 number, pos = decode_varint64(blob, pos)
@@ -135,6 +165,8 @@ class VersionEdit:
             version.add_file(level, meta)
         if self.repl_epoch is not None:
             version.repl_epoch = self.repl_epoch
+        if self.policy_spec is not None:
+            version.policy_spec = self.policy_spec
 
 
 class ManifestWriter:

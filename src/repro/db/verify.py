@@ -158,6 +158,17 @@ def repair_db(storage: Storage, options: Optional[Options] = None) -> dict:
     max_number = 0
     max_seq = 0
 
+    # Carry the store's compaction-policy spec into the rebuilt
+    # manifest (best effort: the old manifest may be the casualty) so
+    # a repaired tiered store does not come back claiming to be
+    # leveled and then refuse a policy-pinned reopen.
+    policy_spec: Optional[str] = None
+    try:
+        old_version, _n, _s, _l, _m = recover_version(storage, options)
+        policy_spec = old_version.policy_spec
+    except Exception:
+        pass
+
     # Quarantine replay: re-admit any renamed-aside table that proves
     # readable end to end (the damage may have been in lost cache
     # state or a since-replaced medium).
@@ -215,6 +226,7 @@ def repair_db(storage: Storage, options: Optional[Options] = None) -> dict:
         log_number=None,
         next_file_number=max_number + 2,
         last_sequence=max_seq,
+        policy_spec=policy_spec,
     )
     for level, meta in version.all_files():
         edit.add_file(level, meta)

@@ -10,6 +10,7 @@ Fig 10 throughput decline.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 __all__ = ["Options"]
 
@@ -26,9 +27,18 @@ class Options:
     checksum: str = "crc32"
     num_levels: int = 7
     # L0 flush files accumulate until this count triggers an L0->L1
-    # compaction; deeper levels compact on byte thresholds.
+    # compaction; deeper levels compact on byte thresholds.  Under
+    # tiered / lazy-leveled policies both triggers count sorted *runs*
+    # rather than files (at L0 every file is one run, so the leveled
+    # reading is the same thing); see docs/COMPACTION.md.
     l0_compaction_trigger: int = 4
     l0_stop_writes_trigger: int = 12
+    # Compaction-policy spec string ("leveled", "tiered:runs=4",
+    # "lazy-leveled:runs=4", ...).  None adopts whatever policy the
+    # store's manifest records (legacy manifests mean "leveled"); a
+    # non-None spec that disagrees with the manifest raises
+    # PolicyMismatchError on open.
+    compaction_policy: Optional[str] = None
     level1_bytes: int = 10 * 1024 * 1024
     level_multiplier: int = 10
     bloom_bits_per_key: int = 10

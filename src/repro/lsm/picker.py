@@ -1,135 +1,22 @@
-"""Leveled-compaction picking.
+"""Back-compat shim: compaction picking moved to :mod:`repro.compaction`.
 
-LevelDB policy, simplified but faithful where the paper depends on it:
+The seed engine had exactly one policy — classic leveling — living
+here as ``CompactionPicker``.  The policy engine generalizes it into a
+:class:`repro.compaction.CompactionPolicy` family (leveled / tiered /
+lazy-leveled); this module keeps the old import paths working:
 
-* L0 compacts into L1 when it accumulates ``l0_compaction_trigger``
-  files (all overlapping L0 files join the compaction).
-* Level i >= 1 compacts into i+1 when its byte size exceeds the
-  exponential threshold; one input file is chosen round-robin by key
-  (the ``compact_pointer``) so compactions sweep the key space, plus
-  every i+1 file whose range overlaps.
-
-The picked :class:`CompactionTask` is exactly the paper's unit of work:
-"the key-value pairs in a specific key range from the corresponding
-SSTables in C_i and C_{i+1} are merged into multiple size-limited
-SSTables in C_{i+1}".
+* ``CompactionTask`` re-exported from :mod:`repro.compaction.policy`
+  (same fields, plus ``output_level``/``output_run`` placement).
+* ``CompactionPicker`` is an alias of
+  :class:`repro.compaction.leveled.LeveledPolicy`, which is the old
+  picker verbatim.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
-
-from .options import Options
-from .version import FileMetaData, Version
+from ..compaction.leveled import LeveledPolicy
+from ..compaction.policy import CompactionTask
 
 __all__ = ["CompactionTask", "CompactionPicker"]
 
-
-@dataclass
-class CompactionTask:
-    """Inputs of one compaction: files from ``level`` and ``level+1``."""
-
-    level: int
-    inputs_upper: list[FileMetaData]
-    inputs_lower: list[FileMetaData]
-
-    @property
-    def output_level(self) -> int:
-        return self.level + 1
-
-    def all_inputs(self) -> list[FileMetaData]:
-        return self.inputs_upper + self.inputs_lower
-
-    def input_bytes(self) -> int:
-        return sum(f.file_size for f in self.all_inputs())
-
-    def is_trivial_move(self) -> bool:
-        """Single upper file, nothing overlapping below: just relink."""
-        return len(self.inputs_upper) == 1 and not self.inputs_lower
-
-    def key_range_user(self) -> tuple[bytes, bytes]:
-        """User-key span covered by all inputs."""
-        smallest = min(f.smallest[:-8] for f in self.all_inputs())
-        largest = max(f.largest[:-8] for f in self.all_inputs())
-        return smallest, largest
-
-
-class CompactionPicker:
-    """Decides when and what to compact."""
-
-    def __init__(self, options: Options) -> None:
-        self.options = options
-        # Per-level key cursor for round-robin file selection.
-        self.compact_pointer: dict[int, bytes] = {}
-
-    def compaction_score(self, version: Version) -> tuple[float, int]:
-        """(score, level) of the most pressing compaction; score >= 1
-        means a compaction is due."""
-        best_score = version.num_files(0) / self.options.l0_compaction_trigger
-        best_level = 0
-        for level in range(1, self.options.num_levels - 1):
-            score = version.level_bytes(level) / self.options.max_bytes_for_level(
-                level
-            )
-            if score > best_score:
-                best_score, best_level = score, level
-        return best_score, best_level
-
-    def pick(self, version: Version) -> Optional[CompactionTask]:
-        """The next compaction task, or None when nothing is due."""
-        score, level = self.compaction_score(version)
-        if score < 1.0:
-            return None
-        if level == 0:
-            return self._pick_l0(version)
-        return self._pick_level(version, level)
-
-    def _pick_l0(self, version: Version) -> Optional[CompactionTask]:
-        l0 = list(version.files[0])
-        if not l0:
-            return None
-        # Start from the oldest L0 file and pull in every L0 file whose
-        # range overlaps transitively (they must compact together to
-        # preserve newest-wins ordering).
-        chosen = [l0[0]]
-        changed = True
-        while changed:
-            changed = False
-            lo = min(f.smallest[:-8] for f in chosen)
-            hi = max(f.largest[:-8] for f in chosen)
-            for meta in l0:
-                if meta not in chosen and meta.overlaps(lo, hi):
-                    chosen.append(meta)
-                    changed = True
-        chosen.sort(key=lambda m: m.number)
-        lo = min(f.smallest[:-8] for f in chosen)
-        hi = max(f.largest[:-8] for f in chosen)
-        lower = version.overlapping_files(1, lo, hi)
-        return CompactionTask(0, chosen, lower)
-
-    def _pick_level(self, version: Version, level: int) -> Optional[CompactionTask]:
-        files = version.files[level]
-        if not files:
-            return None
-        pointer = self.compact_pointer.get(level)
-        pick = None
-        if pointer is not None:
-            for meta in files:
-                if meta.largest[:-8] > pointer:
-                    pick = meta
-                    break
-        if pick is None:
-            pick = files[0]  # wrap around
-        self.compact_pointer[level] = pick.largest[:-8]
-        lower = version.overlapping_files(
-            level + 1, pick.smallest[:-8], pick.largest[:-8]
-        )
-        return CompactionTask(level, [pick], lower)
-
-    def needs_compaction(self, version: Version) -> bool:
-        return self.compaction_score(version)[0] >= 1.0
-
-    def write_stall(self, version: Version) -> bool:
-        """Should foreground writes pause? (L0 badly backed up.)"""
-        return version.num_files(0) >= self.options.l0_stop_writes_trigger
+CompactionPicker = LeveledPolicy

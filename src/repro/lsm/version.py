@@ -3,10 +3,16 @@
 A :class:`Version` is the immutable-ish snapshot of the tree shape —
 per level, the list of :class:`FileMetaData` in key order.  Level 0
 files may overlap (each is a dumped memtable); levels >= 1 hold
-disjoint key ranges, the invariant that makes the paper's sub-task
-partitioning legal ("the key ranges of different data blocks in the
-same component do not overlap, there is no data dependency among
-them").
+disjoint key ranges *within a sorted run*, the invariant that makes
+the paper's sub-task partitioning legal ("the key ranges of different
+data blocks in the same component do not overlap, there is no data
+dependency among them").
+
+Leveled stores keep exactly one run per level (run id 0), which is the
+classic LevelDB shape.  Tiered / lazy-leveled policies (Sarkar et al.,
+PAPERS.md) stack multiple sorted runs on one level; runs are ordered
+by run id, and a higher run id strictly shadows lower ones per key
+(runs are installed in sequence-number order, exactly like L0 files).
 """
 
 from __future__ import annotations
@@ -29,6 +35,9 @@ class FileMetaData:
     smallest: bytes  # internal keys
     largest: bytes
     file_name: Optional[str] = None  # defaults to the standard pattern
+    #: Sorted-run id within the level.  Leveled levels use run 0 only;
+    #: tiered levels stack runs, newer run ids shadow older ones.
+    run: int = 0
 
     @property
     def name(self) -> str:
@@ -65,6 +74,10 @@ class Version:
         #: Replication fencing epoch (bumped by ``dbtool promote``);
         #: persisted via the manifest's REPL_EPOCH edit tag.
         self.repl_epoch = 0
+        #: Canonical compaction-policy spec this store was created
+        #: with (persisted via the manifest's POLICY edit tag); None
+        #: on legacy manifests, which means classic leveled.
+        self.policy_spec: Optional[str] = None
 
     # -- mutation (the DB applies edits under its own lock) ----------
     def add_file(self, level: int, meta: FileMetaData) -> None:
@@ -74,11 +87,16 @@ class Version:
         if level == 0:
             lst.append(meta)  # L0 kept in arrival order (newest last)
         else:
-            # Insert preserving key order; overlap is an invariant error.
+            # Insert preserving (run, key) order; overlap within a run
+            # is an invariant error.
             idx = 0
-            while idx < len(lst) and internal_compare(
-                lst[idx].smallest, meta.smallest
-            ) < 0:
+            while idx < len(lst) and (
+                lst[idx].run < meta.run
+                or (
+                    lst[idx].run == meta.run
+                    and internal_compare(lst[idx].smallest, meta.smallest) < 0
+                )
+            ):
                 idx += 1
             lst.insert(idx, meta)
 
@@ -92,6 +110,29 @@ class Version:
     # -- queries ------------------------------------------------------
     def num_files(self, level: int) -> int:
         return len(self.files[level])
+
+    def runs(self, level: int) -> list[tuple[int, list[FileMetaData]]]:
+        """Sorted runs at ``level`` as ``(run_id, files)``, oldest run
+        first.  L0 treats every file as its own run (arrival order)."""
+        if level == 0:
+            return [(m.number, [m]) for m in self.files[0]]
+        out: list[tuple[int, list[FileMetaData]]] = []
+        for meta in self.files[level]:  # already (run, key) sorted
+            if out and out[-1][0] == meta.run:
+                out[-1][1].append(meta)
+            else:
+                out.append((meta.run, [meta]))
+        return out
+
+    def num_runs(self, level: int) -> int:
+        if level == 0:
+            return len(self.files[0])
+        return len({meta.run for meta in self.files[level]})
+
+    def max_run_id(self, level: int) -> int:
+        """Largest run id in use at ``level`` (-1 when empty)."""
+        lst = self.files[level]
+        return lst[-1].run if lst else -1
 
     def level_bytes(self, level: int) -> int:
         return sum(f.file_size for f in self.files[level])
@@ -109,30 +150,37 @@ class Version:
     def files_for_get(self, user_key: bytes) -> list[tuple[int, FileMetaData]]:
         """Files that may hold ``user_key``, newest-first search order.
 
-        L0 newest→oldest (all overlapping candidates), then at most one
-        file per deeper level.
+        L0 newest→oldest (all overlapping candidates), then per deeper
+        level at most one file per sorted run, newest run first (newer
+        runs shadow older ones, same argument as L0 files).
         """
         out: list[tuple[int, FileMetaData]] = []
         for meta in reversed(self.files[0]):
             if meta.overlaps(user_key, user_key):
                 out.append((0, meta))
         for level in range(1, self.options.num_levels):
-            meta = self._find_in_level(level, user_key)
-            if meta is not None:
-                out.append((level, meta))
+            lst = self.files[level]
+            if not lst:
+                continue
+            for _run_id, run_files in reversed(self.runs(level)):
+                meta = self._find_in_run(run_files, user_key)
+                if meta is not None:
+                    out.append((level, meta))
         return out
 
-    def _find_in_level(self, level: int, user_key: bytes) -> Optional[FileMetaData]:
-        lst = self.files[level]
-        lo, hi = 0, len(lst)
+    @staticmethod
+    def _find_in_run(
+        run_files: list[FileMetaData], user_key: bytes
+    ) -> Optional[FileMetaData]:
+        lo, hi = 0, len(run_files)
         while lo < hi:
             mid = (lo + hi) // 2
-            if lst[mid].largest[:-8] < user_key:
+            if run_files[mid].largest[:-8] < user_key:
                 lo = mid + 1
             else:
                 hi = mid
-        if lo < len(lst) and lst[lo].overlaps(user_key, user_key):
-            return lst[lo]
+        if lo < len(run_files) and run_files[lo].overlaps(user_key, user_key):
+            return run_files[lo]
         return None
 
     def overlapping_files(
@@ -149,12 +197,23 @@ class Version:
         ]
 
     def check_invariants(self) -> None:
-        """Raise AssertionError if level ordering invariants are broken."""
+        """Raise AssertionError if level ordering invariants are broken.
+
+        Within each sorted run at levels >= 1, files must be key-sorted
+        and disjoint.  Distinct runs on the same level may overlap
+        freely (that is what tiering is).
+        """
         for level in range(1, self.options.num_levels):
             lst = self.files[level]
             for a, b in zip(lst, lst[1:]):
+                assert a.run <= b.run, (
+                    f"level {level}: run order broken at {a.number}/{b.number}"
+                )
+                if a.run != b.run:
+                    continue
                 assert internal_compare(a.largest, b.smallest) < 0, (
-                    f"level {level}: {a.number} overlaps {b.number}"
+                    f"level {level} run {a.run}: "
+                    f"{a.number} overlaps {b.number}"
                 )
 
     def describe(self) -> str:
@@ -165,5 +224,9 @@ class Version:
                 sizes = ", ".join(
                     f"#{m.number}:{m.file_size // 1024}K" for m in self.files[level]
                 )
-                lines.append(f"L{level}({len(self.files[level])}): {sizes}")
+                runs = self.num_runs(level)
+                lines.append(
+                    f"L{level}({len(self.files[level])} files, "
+                    f"{runs} run{'s' if runs != 1 else ''}): {sizes}"
+                )
         return "\n".join(lines) or "(empty)"

@@ -601,6 +601,11 @@ class KVServer:
                 "l0_files": self.db.num_files(0),
                 "total_bytes": self.db.total_bytes(),
                 "write_stalled_now": self.db.write_stalled(),
+                "compaction_policy": (
+                    self.db.policy.spec()
+                    if getattr(self.db, "policy", None) is not None
+                    else None
+                ),
             },
             "engine": engine,
         }

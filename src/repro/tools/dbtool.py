@@ -78,6 +78,14 @@ def build_parser() -> argparse.ArgumentParser:
     ]:
         cmd = sub.add_parser(name, help=help_)
         cmd.add_argument("directory", help="database directory")
+        if name in ("stats", "compact"):
+            cmd.add_argument(
+                "--compaction-policy", default=None, metavar="SPEC",
+                help="compaction policy to open under (leveled, "
+                     "tiered:runs=N, lazy-leveled:runs=N); default "
+                     "adopts the policy persisted in the manifest, and "
+                     "a mismatching spec fails loudly",
+            )
         if name == "stats":
             cmd.add_argument(
                 "--shards", type=int, default=None, metavar="N",
@@ -173,6 +181,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", action="store_true",
         help="enable the span tracer; clients can pull the timeline "
              "with the TRACE opcode (dbtool trace --distributed)",
+    )
+    srv.add_argument(
+        "--compaction-policy", default=None, metavar="SPEC",
+        help="compaction policy to open under (leveled, tiered:runs=N, "
+             "lazy-leveled:runs=N); default adopts the persisted policy",
     )
 
     pro = sub.add_parser(
@@ -356,8 +369,8 @@ def _bytes_arg(text: str) -> bytes:
     return text.encode()
 
 
-def _open_db(directory: str) -> DB:
-    return DB(OSStorage(directory), Options())
+def _open_db(directory: str, policy: str | None = None) -> DB:
+    return DB(OSStorage(directory), Options(compaction_policy=policy))
 
 
 def _maybe_faulty(storage, plan_json: str | None):
@@ -386,8 +399,9 @@ def cmd_stats(args) -> int:
     n_shards = _cluster_n_shards(args.directory, args.shards)
     if n_shards is not None:
         return _cmd_stats_cluster(args.directory, n_shards)
-    db = _open_db(args.directory)
+    db = _open_db(args.directory, policy=args.compaction_policy)
     try:
+        print("policy:", db.get_property("compaction-policy"))
         print(db.get_property("sstables"))
         total = db.total_bytes()
         print(f"total table bytes: {total} ({total / 1e6:.2f} MB)")
@@ -397,6 +411,13 @@ def cmd_stats(args) -> int:
             if db.num_files(lv)
         ]
         print("files per level:", " ".join(levels) or "(none)")
+        with db._lock:
+            runs = [
+                f"L{lv}={db.version.num_runs(lv)}"
+                for lv in range(db.options.num_levels)
+                if db.version.files[lv]
+            ]
+        print("runs per level:", " ".join(runs) or "(none)")
         print("live entries:", db.cursor().count())
         print("io-stats (this session):")
         for line in (db.get_property("io-stats") or "").splitlines():
@@ -413,6 +434,7 @@ def _cmd_stats_cluster(directory: str, n_shards: int) -> int:
     db = ShardedDB.open_path(directory, n_shards=n_shards)
     try:
         print(db.get_property("cluster"))
+        print("policy:", db.get_property("compaction-policy"))
         total = db.total_bytes()
         print(f"total table bytes: {total} ({total / 1e6:.2f} MB)")
         levels = [
@@ -507,10 +529,11 @@ def cmd_dump(args) -> int:
 
 
 def cmd_compact(args) -> int:
-    db = _open_db(args.directory)
+    db = _open_db(args.directory, policy=args.compaction_policy)
     try:
         n = db.compact_range()
         print(f"ran {n} compactions")
+        print(f"policy: {db.get_property('compaction-policy')}")
         print(db.get_property("sstables"))
     finally:
         db.close()
@@ -595,7 +618,8 @@ def cmd_serve(args) -> int:
             # One shared Observability across snapshot-install reopens:
             # counters/events survive the DB swap.
             return DB(
-                OSStorage(directory), Options(),
+                OSStorage(directory),
+                Options(compaction_policy=args.compaction_policy),
                 background=background, obs=obs,
             )
 
@@ -617,6 +641,7 @@ def cmd_serve(args) -> int:
         db = ShardedDB.open_path(
             args.directory,
             n_shards=n_shards,
+            options=Options(compaction_policy=args.compaction_policy),
             background=not args.sync_compaction,
             obs=obs,
         )
@@ -625,7 +650,10 @@ def cmd_serve(args) -> int:
 
         db = DB(
             _maybe_faulty(OSStorage(args.directory), args.fault_plan),
-            Options(wal_retain_bytes=args.repl_retain_bytes),
+            Options(
+                wal_retain_bytes=args.repl_retain_bytes,
+                compaction_policy=args.compaction_policy,
+            ),
             background=not args.sync_compaction,
             obs=obs,
         )

@@ -38,6 +38,9 @@ YCSB_MIXES: dict[str, dict[str, float]] = {
     "c": {READ: 1.0},
     "d": {READ: 0.95, INSERT: 0.05},
     "f": {READ: 0.5, RMW: 0.5},
+    # "w" is not core YCSB: a write-heavy mix (95 % update) used by the
+    # compaction-policy sweep, where write amplification dominates.
+    "w": {UPDATE: 0.95, READ: 0.05},
 }
 
 
@@ -60,16 +63,23 @@ class YCSBWorkload:
         record_count: int,
         value_bytes: int = 100,
         seed: int = 0,
+        distribution: str = "zipfian",
     ) -> None:
         if mix not in YCSB_MIXES:
             raise ValueError(f"unknown mix {mix!r}; one of {sorted(YCSB_MIXES)}")
         if record_count < 1:
             raise ValueError("record_count must be >= 1")
+        if distribution not in ("zipfian", "uniform"):
+            raise ValueError(
+                f"unknown distribution {distribution!r}; "
+                "one of ['uniform', 'zipfian']"
+            )
         self.mix = mix
         self.n_ops = n_ops
         self.record_count = record_count
         self.value_bytes = value_bytes
         self.seed = seed
+        self.distribution = distribution
 
     def load_phase(self) -> Iterator[tuple[bytes, bytes]]:
         """Sequential bulk-load of record_count entries."""
@@ -79,7 +89,12 @@ class YCSBWorkload:
 
     def __iter__(self) -> Iterator[Op]:
         rng = random.Random(self.seed + 1)
-        zipf = ZipfGenerator(self.record_count, seed=self.seed + 2)
+        if self.distribution == "uniform":
+            key_rng = random.Random(self.seed + 2)
+            next_key = lambda: key_rng.randrange(self.record_count)  # noqa: E731
+        else:
+            zipf = ZipfGenerator(self.record_count, seed=self.seed + 2)
+            next_key = zipf.next
         values = ValueGenerator(self.value_bytes, seed=self.seed + 3)
         weights = YCSB_MIXES[self.mix]
         kinds = list(weights)
@@ -101,7 +116,7 @@ class YCSBWorkload:
                 next_insert += 1
                 yield Op(INSERT, key, values.value_for(i))
             else:
-                key = format_key(zipf.next() % max(1, next_insert))
+                key = format_key(next_key() % max(1, next_insert))
                 if kind == READ:
                     yield Op(READ, key)
                 elif kind == UPDATE:
@@ -130,6 +145,7 @@ class YCSBWorkload:
                     self.record_count,
                     value_bytes=self.value_bytes,
                     seed=self.seed + 1000 * (i + 1),
+                    distribution=self.distribution,
                 )
             )
         return shards

@@ -1,0 +1,283 @@
+"""Unit tests for the compaction-policy subsystem: spec strings, the
+registry, per-policy trigger/pick behaviour, the sorted-run metadata on
+:class:`Version`, and the manifest's run/policy tags."""
+
+import pytest
+
+from repro.compaction import (
+    CompactionTask,
+    LazyLeveledPolicy,
+    LeveledPolicy,
+    TieredPolicy,
+    available_policies,
+    canonical_spec,
+    make_policy,
+    parse_spec,
+)
+from repro.db.manifest import VersionEdit
+from repro.lsm.ikey import KIND_VALUE, encode_internal_key
+from repro.lsm.options import Options
+from repro.lsm.version import FileMetaData, Version
+
+
+def _ik(user: bytes, seq: int = 1) -> bytes:
+    return encode_internal_key(user, seq, KIND_VALUE)
+
+
+def _meta(number, lo, hi, size=1024, run=0):
+    return FileMetaData(number, size, _ik(lo), _ik(hi), run=run)
+
+
+def _options(**kw):
+    defaults = dict(level1_bytes=10 * 1024, level_multiplier=10)
+    defaults.update(kw)
+    return Options(**defaults)
+
+
+class TestSpecs:
+    def test_parse_plain_name(self):
+        assert parse_spec("leveled") == ("leveled", {})
+
+    def test_parse_params(self):
+        assert parse_spec("tiered:runs=4") == ("tiered", {"runs": "4"})
+        assert parse_spec(" tiered : runs = 4 ")[1] == {"runs": "4"}
+
+    def test_parse_rejects_garbage(self):
+        for bad in ("", "   ", "tiered:runs", "tiered:=4", "tiered:runs="):
+            with pytest.raises(ValueError):
+                parse_spec(bad)
+
+    def test_registry_lists_builtins(self):
+        names = available_policies()
+        assert {"leveled", "tiered", "lazy-leveled"} <= set(names)
+
+    def test_make_policy_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown compaction policy"):
+            make_policy("rocket", _options())
+
+    def test_unknown_params_rejected(self):
+        with pytest.raises(ValueError):
+            make_policy("leveled:runs=4", _options())
+        with pytest.raises(ValueError):
+            make_policy("tiered:bogus=1", _options())
+
+    def test_canonical_spec_resolves_defaults(self):
+        opts = _options(l0_compaction_trigger=4)
+        assert canonical_spec(None, opts) == "leveled"
+        assert canonical_spec("leveled", opts) == "leveled"
+        # Bare "tiered" picks up the trigger as its run count.
+        assert canonical_spec("tiered", opts) == "tiered:runs=4"
+        assert canonical_spec("tiered:runs=3", opts) == "tiered:runs=3"
+        assert (
+            canonical_spec("lazy-leveled:runs=3", opts) == "lazy-leveled:runs=3"
+        )
+
+    def test_tiered_run_trigger_bounds(self):
+        with pytest.raises(ValueError):
+            make_policy("tiered:runs=1", _options())
+        # A run trigger above the stall threshold would stall writes
+        # forever before a merge is ever due.
+        opts = _options(l0_compaction_trigger=2, l0_stop_writes_trigger=4)
+        with pytest.raises(ValueError, match="stall"):
+            make_policy("tiered:runs=5", opts)
+        with pytest.raises(ValueError, match="stall"):
+            make_policy("lazy-leveled:runs=5", opts)
+
+
+class TestVersionRuns:
+    def test_l0_files_are_their_own_runs(self):
+        v = Version(_options())
+        v.add_file(0, _meta(5, b"a", b"z"))
+        v.add_file(0, _meta(6, b"a", b"z"))
+        assert v.num_runs(0) == 2
+        assert [run for run, _ in v.runs(0)] == [5, 6]
+
+    def test_runs_grouped_and_ordered(self):
+        v = Version(_options())
+        v.add_file(1, _meta(3, b"m", b"z", run=1))
+        v.add_file(1, _meta(1, b"a", b"m", run=0))
+        v.add_file(1, _meta(2, b"n", b"z", run=0))
+        v.add_file(1, _meta(4, b"a", b"l", run=1))
+        assert v.num_runs(1) == 2
+        assert v.max_run_id(1) == 1
+        runs = v.runs(1)
+        assert [run for run, _ in runs] == [0, 1]
+        # Files within each run stay key-sorted.
+        assert [m.number for m in runs[0][1]] == [1, 2]
+        assert [m.number for m in runs[1][1]] == [4, 3]
+        v.check_invariants()
+
+    def test_invariants_allow_overlap_across_runs_only(self):
+        v = Version(_options())
+        v.add_file(1, _meta(1, b"a", b"m", run=0))
+        v.add_file(1, _meta(2, b"a", b"m", run=1))  # overlaps run 0: fine
+        v.check_invariants()
+        v.add_file(1, _meta(3, b"a", b"m", run=1))  # overlap *within* run 1
+        with pytest.raises(AssertionError):
+            v.check_invariants()
+
+    def test_files_for_get_newest_run_first(self):
+        v = Version(_options())
+        v.add_file(1, _meta(1, b"a", b"z", run=0))
+        v.add_file(1, _meta(2, b"a", b"z", run=1))
+        hits = v.files_for_get(b"k")
+        assert [m.number for _, m in hits] == [2, 1]
+
+    def test_describe_reports_runs(self):
+        v = Version(_options())
+        v.add_file(1, _meta(1, b"a", b"m", run=0))
+        v.add_file(1, _meta(2, b"a", b"m", run=1))
+        assert "2 runs" in v.describe()
+
+
+class TestManifestRoundTrip:
+    def test_run_and_policy_survive_encode_decode(self):
+        edit = VersionEdit(policy_spec="tiered:runs=3")
+        edit.add_file(1, _meta(7, b"a", b"m", run=2))
+        edit.add_file(2, _meta(8, b"n", b"z", run=0))
+        got = VersionEdit.decode(edit.encode())
+        assert got.policy_spec == "tiered:runs=3"
+        (lvl1, m1), (lvl2, m2) = got.new_files
+        assert (lvl1, m1.number, m1.run) == (1, 7, 2)
+        assert (lvl2, m2.number, m2.run) == (2, 8, 0)
+
+    def test_run_zero_files_keep_legacy_encoding(self):
+        """run-0 files must encode byte-identically to the pre-run
+        format so old stores replay under new code and vice versa."""
+        with_run = VersionEdit()
+        with_run.add_file(1, _meta(7, b"a", b"m", run=0))
+        legacy = VersionEdit()
+        legacy.add_file(1, FileMetaData(7, 1024, _ik(b"a"), _ik(b"m")))
+        assert with_run.encode() == legacy.encode()
+
+    def test_apply_sets_policy_on_version(self):
+        v = Version(_options())
+        edit = VersionEdit(policy_spec="lazy-leveled:runs=4")
+        edit.apply(v)
+        assert v.policy_spec == "lazy-leveled:runs=4"
+
+
+class TestCompactionTask:
+    def test_output_level_defaults_to_next(self):
+        task = CompactionTask(1, [_meta(1, b"a", b"m")], [])
+        assert task.output_level == 2
+
+    def test_in_place_merge_is_never_a_trivial_move(self):
+        task = CompactionTask(
+            3, [_meta(1, b"a", b"m")], [], output_level=3, output_run=0
+        )
+        assert not task.is_trivial_move()
+        down = CompactionTask(3, [_meta(1, b"a", b"m")], [])
+        assert down.is_trivial_move()
+
+
+class TestLeveledPolicy:
+    def test_spec_and_default(self):
+        opts = _options()
+        policy = make_policy(None, opts)
+        assert isinstance(policy, LeveledPolicy)
+        assert policy.spec() == "leveled"
+
+    def test_l0_trigger_by_file_count(self):
+        opts = _options(l0_compaction_trigger=2)
+        policy = LeveledPolicy(opts)
+        v = Version(opts)
+        v.add_file(0, _meta(1, b"a", b"z"))
+        assert not policy.needs_compaction(v)
+        v.add_file(0, _meta(2, b"a", b"z"))
+        assert policy.needs_compaction(v)
+        task = policy.pick(v)
+        assert task.level == 0 and task.output_level == 1
+        assert task.output_run == 0
+
+    def test_leveled_outputs_always_run_zero(self):
+        opts = _options(level1_bytes=1024)
+        policy = LeveledPolicy(opts)
+        v = Version(opts)
+        v.add_file(1, _meta(1, b"a", b"m", size=4096))
+        task = policy.pick(v)
+        assert task is not None and task.output_run == 0
+
+
+class TestTieredPolicy:
+    def test_trigger_counts_runs_not_bytes(self):
+        opts = _options(l0_compaction_trigger=2)
+        policy = TieredPolicy(opts)
+        v = Version(opts)
+        # Two huge runs on L1: leveling would compact on bytes; tiering
+        # waits for the run count.
+        v.add_file(1, _meta(1, b"a", b"z", size=10**9, run=0))
+        assert not policy.needs_compaction(v)
+        v.add_file(1, _meta(2, b"a", b"z", size=10**9, run=1))
+        assert policy.needs_compaction(v)
+
+    def test_pick_merges_whole_level_to_fresh_run(self):
+        opts = _options(l0_compaction_trigger=2)
+        policy = TieredPolicy(opts)
+        v = Version(opts)
+        v.add_file(1, _meta(1, b"a", b"m", run=0))
+        v.add_file(1, _meta(2, b"n", b"z", run=0))
+        v.add_file(1, _meta(3, b"a", b"z", run=1))
+        v.add_file(2, _meta(4, b"a", b"z", run=5))
+        task = policy.pick(v)
+        assert task.level == 1 and task.output_level == 2
+        assert sorted(m.number for m in task.inputs_upper) == [1, 2, 3]
+        assert task.inputs_lower == []  # no rewrite at the target
+        assert task.output_run == 6  # fresh run above the existing one
+
+    def test_last_level_merges_in_place(self):
+        opts = _options(l0_compaction_trigger=2, num_levels=3)
+        policy = TieredPolicy(opts)
+        v = Version(opts)
+        v.add_file(2, _meta(1, b"a", b"z", run=0))
+        v.add_file(2, _meta(2, b"a", b"z", run=1))
+        task = policy.pick(v)
+        assert task.level == 2 and task.output_level == 2
+        assert task.output_run == 0
+        # A single collapsed run must not re-trigger (no merge loop).
+        v2 = Version(opts)
+        v2.add_file(2, _meta(1, b"a", b"z", run=0))
+        v2.add_file(2, _meta(2, b"m", b"z", run=0))
+        assert policy._merge_level(v2, 2) is None
+
+    def test_write_stall_counts_runs(self):
+        opts = _options(l0_compaction_trigger=2, l0_stop_writes_trigger=3)
+        policy = TieredPolicy(opts)
+        v = Version(opts)
+        for n in range(3):
+            v.add_file(0, _meta(n + 1, b"a", b"z"))
+        assert policy.write_stall(v)
+
+
+class TestLazyLeveledPolicy:
+    def test_sink_level_never_scores(self):
+        opts = _options(l0_compaction_trigger=2, num_levels=3)
+        policy = LazyLeveledPolicy(opts)
+        v = Version(opts)
+        v.add_file(2, _meta(1, b"a", b"z", run=0))
+        v.add_file(2, _meta(2, b"a", b"z", run=1))
+        assert not policy.needs_compaction(v)
+        assert policy.pick(v) is None
+
+    def test_penultimate_level_does_a_leveled_merge(self):
+        opts = _options(l0_compaction_trigger=2, num_levels=3)
+        policy = LazyLeveledPolicy(opts)
+        v = Version(opts)
+        v.add_file(1, _meta(1, b"a", b"m", run=0))
+        v.add_file(1, _meta(2, b"a", b"m", run=1))
+        v.add_file(2, _meta(3, b"a", b"f", run=0))
+        v.add_file(2, _meta(4, b"x", b"z", run=0))  # outside the range
+        task = policy.pick(v)
+        assert task.level == 1 and task.output_level == 2
+        assert task.output_run == 0
+        assert [m.number for m in task.inputs_lower] == [3]
+
+    def test_upper_levels_tier(self):
+        opts = _options(l0_compaction_trigger=2, num_levels=4)
+        policy = LazyLeveledPolicy(opts)
+        v = Version(opts)
+        v.add_file(1, _meta(1, b"a", b"z", run=0))
+        v.add_file(1, _meta(2, b"a", b"z", run=1))
+        task = policy.pick(v)
+        assert task.output_level == 2 and task.inputs_lower == []
+        assert task.output_run == 0  # L2 empty -> first run id
